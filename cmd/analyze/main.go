@@ -1,0 +1,132 @@
+// Command analyze inspects spot-price traces the way a bidder would
+// before trusting a market: per-zone price diagnostics, the
+// Chapman-Kolmogorov Markov-property check, Wee-style hour-boundary
+// analysis, cross-zone correlation (the failure-independence
+// assumption), and suggested bids for a range of failure targets.
+//
+// Usage:
+//
+//	analyze [-trace file.csv] [-type m1.small] [-weeks N] [-seed N] [-zones a,b,c]
+//
+// Without -trace a synthetic trace set is generated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/market"
+	"repro/internal/smc"
+	"repro/internal/spotstats"
+	"repro/internal/trace"
+)
+
+func main() {
+	traceFile := flag.String("trace", "", "CSV trace file (default: synthetic)")
+	itype := flag.String("type", "m1.small", "instance type")
+	weeks := flag.Int64("weeks", 13, "synthetic trace length in weeks")
+	seed := flag.Uint64("seed", 2014, "synthetic generator seed")
+	zones := flag.String("zones", "us-east-1a,us-west-2b,ap-northeast-1a", "comma-separated zones")
+	flag.Parse()
+
+	if err := run(*traceFile, *itype, *weeks, *seed, *zones); err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(traceFile, itype string, weeks int64, seed uint64, zoneList string) error {
+	it := market.InstanceType(itype)
+	zs := strings.Split(zoneList, ",")
+	var set *trace.Set
+	var err error
+	if traceFile != "" {
+		f, ferr := os.Open(traceFile)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		set, err = trace.ReadCSV(f, it, 0, weeks*7*24*60)
+	} else {
+		set, err = trace.Generate(trace.GenConfig{
+			Seed: seed, Type: it, Zones: zs,
+			Start: 0, End: weeks * 7 * 24 * 60,
+		})
+	}
+	if err != nil {
+		return err
+	}
+
+	for _, zone := range set.Zones() {
+		tr := set.ByZone[zone]
+		rep, err := spotstats.Analyze(tr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== %s (%s) ==\n", zone, it)
+		fmt.Printf("  span: %d minutes, %d price changes (%.2f/hour)\n",
+			rep.Minutes, rep.Changes, rep.ChangesPerHour)
+		fmt.Printf("  price: mean %s, max %s, on-demand %s, above-OD fraction %.4f\n",
+			rep.MeanPrice, rep.MaxPrice, rep.OnDemand, rep.FractionAboveOD)
+		fmt.Printf("  sojourns: %s\n", rep.SojournMinutes)
+		fmt.Printf("  level occupancy:\n")
+		for _, ls := range rep.LevelOccupancy {
+			fmt.Printf("    %-10s %6.2f%%\n", ls.Price, 100*ls.Share)
+		}
+
+		ck, err := spotstats.ChapmanKolmogorov(tr, 0)
+		if err == nil {
+			fmt.Printf("  Markov check (Chapman-Kolmogorov): %d states, mean |dev| %.4f, max |dev| %.4f\n",
+				ck.States, ck.MeanAbsDiff, ck.MaxAbsDiff)
+		}
+		hb := spotstats.HourBoundary(tr)
+		fmt.Printf("  hour-boundary change ratio: %.2f (1.0 = no hourly repricing)\n", hb.Ratio)
+		if ml, mlerr := spotstats.Memorylessness(tr); mlerr == nil {
+			verdict := "memoryless (plain Markov would do)"
+			if ml.KS > ml.SignificanceBound {
+				verdict = "NOT memoryless (semi-Markov model required)"
+			}
+			fmt.Printf("  sojourn KS vs exponential: %.4f (bound %.4f) -> %s\n",
+				ml.KS, ml.SignificanceBound, verdict)
+		}
+
+		est := smc.NewEstimator(0)
+		est.Observe(tr)
+		if model, merr := est.Model(); merr == nil {
+			sup := model.SupportSummary(30)
+			fmt.Printf("  model support: %d states, %d transitions, min per-state %d, sparse(<30) %d\n",
+				sup.States, sup.TotalTransitions, sup.MinStateDepartures, sup.SparseStates)
+			if f, ferr := model.Stationary(); ferr == nil {
+				sugs, serr := spotstats.SuggestBids(tr, []float64{0.10, 0.05, 0.01}, f)
+				if serr == nil {
+					fmt.Printf("  suggested bids (stationary, out-of-bid targets):\n")
+					for _, s := range sugs {
+						if s.OK {
+							fmt.Printf("    FP <= %-5.2f -> bid %s\n", s.TargetFP, s.Bid)
+						} else {
+							fmt.Printf("    FP <= %-5.2f -> unreachable below on-demand\n", s.TargetFP)
+						}
+					}
+				}
+			}
+		}
+		fmt.Println()
+	}
+
+	zonesSorted := set.Zones()
+	if len(zonesSorted) >= 2 {
+		fmt.Println("== cross-zone hourly price correlation ==")
+		for i := 0; i < len(zonesSorted); i++ {
+			for j := i + 1; j < len(zonesSorted); j++ {
+				r, err := spotstats.Correlation(set.ByZone[zonesSorted[i]], set.ByZone[zonesSorted[j]])
+				if err != nil {
+					continue
+				}
+				fmt.Printf("  %-18s x %-18s %+.3f\n", zonesSorted[i], zonesSorted[j], r)
+			}
+		}
+	}
+	return nil
+}

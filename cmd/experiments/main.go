@@ -1,0 +1,159 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation on the synthetic market. See DESIGN.md §3 for the
+// experiment index and EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	experiments [-run all|table1|fig1|fig4|fig5|fig6|fig7|fig8|fig9|headline|example3] [-seed N] [-weeks N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	runFlag := flag.String("run", "all", "experiment to run: all, table1, fig1, fig4, fig5, fig6, fig7, fig8, fig9, headline, example3, ablation, adaptive, refine, weighted")
+	seed := flag.Uint64("seed", 2014, "master seed for trace generation and replay")
+	weeks := flag.Int64("weeks", 11, "replay length in weeks (paper: 11)")
+	train := flag.Int64("train", 13, "training prefix in weeks (paper: ~13)")
+	csvOut := flag.String("csv", "", "also write sweep rows (figs 6-9) as CSV to this file")
+	flag.Parse()
+
+	env := experiments.Env{Seed: *seed, TrainWeeks: *train, ReplayWeeks: *weeks}
+	if err := run(env, *runFlag, *csvOut); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(env experiments.Env, which, csvOut string) error {
+	var lockRows, storageRows []experiments.SweepRow
+	needLock := which == "all" || which == "fig6" || which == "fig7" || which == "headline"
+	needStorage := which == "all" || which == "fig8" || which == "fig9" || which == "headline"
+
+	if which == "all" || which == "table1" {
+		fmt.Println("== Table 1 ==")
+		fmt.Println(experiments.RenderTable1())
+	}
+	if which == "all" || which == "fig1" {
+		out, err := env.RenderFig1()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 1 ==")
+		fmt.Println(out)
+	}
+	if which == "all" || which == "fig4" {
+		out, err := env.RenderFig4()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 4 ==")
+		fmt.Println(out)
+	}
+	if which == "all" || which == "fig5" {
+		out, err := env.RenderFig5()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 5 ==")
+		fmt.Println(out)
+	}
+	if needLock {
+		rows, err := env.Fig6and7()
+		if err != nil {
+			return err
+		}
+		lockRows = rows
+		if which != "headline" {
+			fmt.Println("== Figures 6 and 7 ==")
+			fmt.Println(experiments.RenderSweep(rows, "lock"))
+		}
+	}
+	if needStorage {
+		rows, err := env.Fig8and9()
+		if err != nil {
+			return err
+		}
+		storageRows = rows
+		if which != "headline" {
+			fmt.Println("== Figures 8 and 9 ==")
+			fmt.Println(experiments.RenderSweep(rows, "storage"))
+		}
+	}
+	if which == "all" || which == "headline" {
+		var hs []experiments.Headline
+		if lockRows != nil {
+			h, err := experiments.HeadlineFrom(lockRows, "lock", experiments.LockSpec().TargetAvailability())
+			if err != nil {
+				return err
+			}
+			hs = append(hs, h)
+		}
+		if storageRows != nil {
+			h, err := experiments.HeadlineFrom(storageRows, "storage", experiments.StorageSpec().TargetAvailability())
+			if err != nil {
+				return err
+			}
+			hs = append(hs, h)
+		}
+		fmt.Println("== Headline ==")
+		fmt.Println(experiments.RenderHeadline(hs))
+	}
+	if which == "all" || which == "example3" {
+		out, err := env.RenderExample3()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Section 3 worked example ==")
+		fmt.Println(out)
+	}
+	if csvOut != "" && (lockRows != nil || storageRows != nil) {
+		f, err := os.Create(csvOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := experiments.WriteSweepCSV(f, append(append([]experiments.SweepRow{}, lockRows...), storageRows...)); err != nil {
+			return err
+		}
+		fmt.Println("wrote sweep CSV to", csvOut)
+	}
+	if which == "all" || which == "ablation" {
+		rows, err := env.AblationEstimators()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Ablation: failure estimator ==")
+		fmt.Println(experiments.RenderAblation(rows))
+	}
+	if which == "all" || which == "adaptive" {
+		rows, err := env.AblationAdaptiveInterval()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Extension: adaptive bidding interval ==")
+		fmt.Println(experiments.RenderAdaptive(rows))
+	}
+	if which == "all" || which == "refine" {
+		rows, err := env.AblationRefinement()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Extension: heterogeneous-bid refinement ==")
+		fmt.Println(experiments.RenderRefinement(rows))
+	}
+	if which == "all" || which == "weighted" {
+		rep, err := env.WeightedVotingAnalysis()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Analysis: weighted voting (paper 4.1) ==")
+		fmt.Println(experiments.RenderWeightedVoting(rep))
+	}
+	return nil
+}

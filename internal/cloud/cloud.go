@@ -1,0 +1,393 @@
+// Package cloud simulates the Amazon EC2 control plane the bidding
+// framework talks to: spot instance requests matched against per-zone
+// price processes, out-of-bid termination, startup delays of 200–700
+// seconds (Mao & Humphrey, paper [25]), on-demand instances with the
+// SLA-implied failure model, spot price history queries, and billing
+// per the §2.1 charging rules.
+//
+// Time is in minutes (the semi-Markov model's unit) and advances only
+// through AdvanceTo, making every replay deterministic.
+package cloud
+
+import (
+	"fmt"
+
+	"repro/internal/market"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// InstanceID identifies a virtual machine instance.
+type InstanceID string
+
+// Lifecycle is an instance's state.
+type Lifecycle int
+
+const (
+	// Pending: requested, still starting up.
+	Pending Lifecycle = iota
+	// Running: booted and serving.
+	Running
+	// Terminated: gone, by the provider or the user.
+	Terminated
+)
+
+// String renders the lifecycle state.
+func (l Lifecycle) String() string {
+	switch l {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case Terminated:
+		return "terminated"
+	default:
+		return fmt.Sprintf("lifecycle(%d)", int(l))
+	}
+}
+
+// Instance is one virtual machine.
+type Instance struct {
+	ID   InstanceID
+	Zone string
+	Type market.InstanceType
+	Spot bool
+	Bid  market.Money // spot only
+
+	State        Lifecycle
+	RequestedAt  int64
+	RunningAt    int64 // when startup completes
+	TerminatedAt int64
+	Cause        market.Termination // valid when Terminated
+
+	// downUntil > minute means a hardware/software outage is in
+	// progress (the SLA failure model), independent of billing.
+	downUntil int64
+}
+
+// Provider is the simulated control plane over a fixed price trace set.
+type Provider struct {
+	traces *trace.Set
+	now    int64
+	rng    *stats.RNG
+	nextID int64
+
+	instances map[InstanceID]*Instance
+	// active holds non-terminated instance IDs in sorted order so the
+	// per-minute step touches only live machines, deterministically.
+	active []InstanceID
+
+	// Persistent spot requests (requests.go), in creation order.
+	requests     map[RequestID]*spotRequest
+	requestOrder []RequestID
+
+	// Hardware failure injection (FP' model). Disabled when hazard = 0.
+	hazardPerMinute float64
+	mttrMinutes     int64
+}
+
+// Config tunes the provider.
+type Config struct {
+	Seed uint64
+	// InjectHardwareFailures enables the SLA failure model (FP' = 0.01)
+	// on every instance, spot and on-demand alike.
+	InjectHardwareFailures bool
+}
+
+// mttr and hazard chosen so steady-state unavailability matches the
+// paper's FP' = 0.01: h·MTTR / (1 + h·MTTR) = 0.01.
+const (
+	defaultMTTR   = 30
+	defaultHazard = 0.01 / (0.99 * defaultMTTR)
+)
+
+// NewProvider builds a provider over the trace set; simulated time
+// starts at the set's start minute.
+func NewProvider(traces *trace.Set, cfg Config) *Provider {
+	p := &Provider{
+		traces:    traces,
+		now:       traces.Start,
+		rng:       stats.NewRNG(cfg.Seed),
+		instances: make(map[InstanceID]*Instance),
+	}
+	if cfg.InjectHardwareFailures {
+		p.hazardPerMinute = defaultHazard
+		p.mttrMinutes = defaultMTTR
+	}
+	return p
+}
+
+// Now returns the current simulated minute.
+func (p *Provider) Now() int64 { return p.now }
+
+// End returns the last simulable minute (exclusive).
+func (p *Provider) End() int64 { return p.traces.End }
+
+// Zones lists the zones with price feeds, sorted.
+func (p *Provider) Zones() []string { return p.traces.Zones() }
+
+// SpotPrice returns the current spot price in a zone.
+func (p *Provider) SpotPrice(zone string) (market.Money, error) {
+	t, ok := p.traces.ByZone[zone]
+	if !ok {
+		return 0, fmt.Errorf("cloud: unknown zone %q", zone)
+	}
+	return t.PriceAt(p.now), nil
+}
+
+// SpotPriceAge returns how many minutes the current price has held, a
+// direct input to the semi-Markov failure estimator.
+func (p *Provider) SpotPriceAge(zone string) (int64, error) {
+	t, ok := p.traces.ByZone[zone]
+	if !ok {
+		return 0, fmt.Errorf("cloud: unknown zone %q", zone)
+	}
+	return t.AgeAt(p.now), nil
+}
+
+// PriceHistory returns the price trace of a zone over [from, to),
+// clamped to available data. The bidding framework trains its failure
+// model on this, exactly as the paper's prototype polled EC2's history.
+func (p *Provider) PriceHistory(zone string, from, to int64) (*trace.Trace, error) {
+	t, ok := p.traces.ByZone[zone]
+	if !ok {
+		return nil, fmt.Errorf("cloud: unknown zone %q", zone)
+	}
+	if from < t.Start {
+		from = t.Start
+	}
+	if to > p.now {
+		to = p.now // history never includes the future
+	}
+	if to < from {
+		to = from
+	}
+	return t.Window(from, to), nil
+}
+
+// startupDelay models 200–700 s boot times, varying mainly by region.
+func (p *Provider) startupDelay(zone string) int64 {
+	base := int64(4) // minutes
+	if r, err := market.RegionOfZone(zone); err == nil {
+		base += int64(len(r.Name)) % 5 // stable per-region component
+	}
+	return base + p.rng.Int63n(4) // 4..12 minutes ≈ 240..720 s
+}
+
+// RequestSpot places a spot request. Per EC2 rules the bid may not
+// exceed 4x the on-demand price; per the paper's framework callers cap
+// bids at the on-demand price themselves. The request fails immediately
+// when the bid is below the current spot price.
+func (p *Provider) RequestSpot(zone string, it market.InstanceType, bid market.Money) (InstanceID, error) {
+	if it != p.traces.Type {
+		return "", fmt.Errorf("cloud: provider serves %s, requested %s", p.traces.Type, it)
+	}
+	maxBid, err := market.MaxBid(zone, it)
+	if err != nil {
+		return "", err
+	}
+	if bid > maxBid {
+		return "", fmt.Errorf("cloud: bid %v exceeds cap %v", bid, maxBid)
+	}
+	price, err := p.SpotPrice(zone)
+	if err != nil {
+		return "", err
+	}
+	if bid < price {
+		return "", fmt.Errorf("cloud: bid %v below spot price %v in %s", bid, price, zone)
+	}
+	inst := &Instance{
+		ID:          p.newID("spot"),
+		Zone:        zone,
+		Type:        it,
+		Spot:        true,
+		Bid:         bid,
+		State:       Pending,
+		RequestedAt: p.now,
+	}
+	inst.RunningAt = p.now + p.startupDelay(zone)
+	p.instances[inst.ID] = inst
+	p.active = append(p.active, inst.ID) // IDs are monotonic: stays sorted
+	return inst.ID, nil
+}
+
+// RequestOnDemand launches an on-demand instance.
+func (p *Provider) RequestOnDemand(zone string, it market.InstanceType) (InstanceID, error) {
+	if _, err := market.OnDemandPrice(zone, it); err != nil {
+		return "", err
+	}
+	inst := &Instance{
+		ID:          p.newID("od"),
+		Zone:        zone,
+		Type:        it,
+		State:       Pending,
+		RequestedAt: p.now,
+	}
+	inst.RunningAt = p.now + p.startupDelay(zone)
+	p.instances[inst.ID] = inst
+	p.active = append(p.active, inst.ID)
+	return inst.ID, nil
+}
+
+func (p *Provider) newID(kind string) InstanceID {
+	p.nextID++
+	return InstanceID(fmt.Sprintf("i-%s-%06d", kind, p.nextID))
+}
+
+// Terminate shuts an instance down at the current minute on the user's
+// initiative (the final partial hour is charged).
+func (p *Provider) Terminate(id InstanceID) error {
+	inst, ok := p.instances[id]
+	if !ok {
+		return fmt.Errorf("cloud: unknown instance %s", id)
+	}
+	if inst.State == Terminated {
+		return nil
+	}
+	inst.State = Terminated
+	inst.TerminatedAt = p.now
+	inst.Cause = market.TerminatedByUser
+	return nil
+}
+
+// Instance returns a snapshot copy of an instance.
+func (p *Provider) Instance(id InstanceID) (Instance, error) {
+	inst, ok := p.instances[id]
+	if !ok {
+		return Instance{}, fmt.Errorf("cloud: unknown instance %s", id)
+	}
+	return *inst, nil
+}
+
+// Alive reports whether the instance is Running, in-bid, and not in a
+// hardware outage at the current minute.
+func (p *Provider) Alive(id InstanceID) bool {
+	inst, ok := p.instances[id]
+	if !ok || inst.State != Running {
+		return false
+	}
+	return inst.downUntil <= p.now
+}
+
+// AdvanceTo steps simulated time forward minute by minute, processing
+// startups, out-of-bid terminations, and hardware outages. It panics on
+// attempts to move backwards or beyond the trace span.
+func (p *Provider) AdvanceTo(minute int64) {
+	if minute < p.now {
+		panic(fmt.Sprintf("cloud: time moving backwards (%d -> %d)", p.now, minute))
+	}
+	if minute >= p.traces.End {
+		panic(fmt.Sprintf("cloud: minute %d beyond trace end %d", minute, p.traces.End))
+	}
+	for m := p.now + 1; m <= minute; m++ {
+		p.now = m
+		p.step()
+		p.stepRequests()
+	}
+}
+
+func (p *Provider) step() {
+	if len(p.active) == 0 {
+		return
+	}
+	var retired []InstanceID
+	for _, id := range p.active {
+		inst := p.instances[id]
+		if inst.State == Terminated {
+			retired = append(retired, id)
+			continue
+		}
+		switch inst.State {
+		case Pending:
+			if inst.Spot {
+				// A request whose bid the market has left behind never
+				// launches.
+				price := p.traces.ByZone[inst.Zone].PriceAt(p.now)
+				if price > inst.Bid {
+					inst.State = Terminated
+					inst.TerminatedAt = p.now
+					inst.RunningAt = p.now // never ran
+					inst.Cause = market.TerminatedByProvider
+					continue
+				}
+			}
+			if p.now >= inst.RunningAt {
+				inst.State = Running
+			}
+		case Running:
+			if inst.Spot {
+				price := p.traces.ByZone[inst.Zone].PriceAt(p.now)
+				if price > inst.Bid {
+					inst.State = Terminated
+					inst.TerminatedAt = p.now
+					inst.Cause = market.TerminatedByProvider
+					continue
+				}
+			}
+			if p.hazardPerMinute > 0 && inst.downUntil <= p.now {
+				if p.rng.Bool(p.hazardPerMinute) {
+					inst.downUntil = p.now + 1 + p.rng.Int63n(2*p.mttrMinutes)
+				}
+			}
+		}
+	}
+	if len(retired) > 0 {
+		live := p.active[:0]
+		for _, id := range p.active {
+			keep := true
+			for _, r := range retired {
+				if id == r {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				live = append(live, id)
+			}
+		}
+		p.active = live
+	}
+}
+
+// Charge computes the total bill for an instance up to now (or its
+// termination). Spot instances follow the §2.1 rules; on-demand
+// instances bill every started hour.
+func (p *Provider) Charge(id InstanceID) (market.Money, error) {
+	inst, ok := p.instances[id]
+	if !ok {
+		return 0, fmt.Errorf("cloud: unknown instance %s", id)
+	}
+	start := inst.RunningAt
+	end := p.now
+	if inst.State == Terminated {
+		end = inst.TerminatedAt
+	}
+	if inst.State == Pending || end <= start {
+		return 0, nil // never billed before running
+	}
+	if inst.Spot {
+		tr := p.traces.ByZone[inst.Zone]
+		cause := market.TerminatedByUser
+		if inst.State == Terminated {
+			cause = inst.Cause
+		}
+		return market.SpotCharge(tr.PriceAt, start, end, cause), nil
+	}
+	od, err := market.OnDemandPrice(inst.Zone, inst.Type)
+	if err != nil {
+		return 0, err
+	}
+	return market.OnDemandCharge(od, start, end), nil
+}
+
+// LiveInstances lists non-terminated instance IDs, sorted for
+// determinism.
+func (p *Provider) LiveInstances() []InstanceID {
+	var out []InstanceID
+	for _, id := range p.active {
+		if p.instances[id].State != Terminated {
+			out = append(out, id)
+		}
+	}
+	return out
+}

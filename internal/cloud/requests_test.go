@@ -1,0 +1,152 @@
+package cloud
+
+import (
+	"testing"
+
+	"repro/internal/market"
+	"repro/internal/trace"
+)
+
+// spikeSet: price $0.008, spikes to $0.02 during [100, 160), back down.
+func spikeSet(t *testing.T) *trace.Set {
+	t.Helper()
+	return flatSet(t, []trace.PricePoint{
+		{Minute: 0, Price: market.FromDollars(0.008)},
+		{Minute: 100, Price: market.FromDollars(0.02)},
+		{Minute: 160, Price: market.FromDollars(0.008)},
+	}, 24*60)
+}
+
+func TestPersistentRequestRelaunches(t *testing.T) {
+	p := NewProvider(spikeSet(t), Config{Seed: 1})
+	req, err := p.RequestSpotPersistent("us-east-1a", market.M1Small, market.FromDollars(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := p.RequestInstance(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first == "" {
+		t.Fatal("no initial instance")
+	}
+	// Spike kills the instance...
+	p.AdvanceTo(120)
+	if p.RequestAlive(req) {
+		t.Fatal("request alive during out-of-bid spike")
+	}
+	// ...and the request relaunches when the price returns.
+	p.AdvanceTo(200)
+	second, err := p.RequestInstance(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second == "" || second == first {
+		t.Fatalf("no relaunch: first=%s second=%s", first, second)
+	}
+	if !p.RequestAlive(req) {
+		t.Fatal("relaunched instance not alive")
+	}
+	hist, err := p.RequestHistory(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("history has %d instances, want 2", len(hist))
+	}
+}
+
+func TestPersistentRequestDeferredLaunch(t *testing.T) {
+	p := NewProvider(spikeSet(t), Config{Seed: 2})
+	p.AdvanceTo(110) // during the spike
+	req, err := p.RequestSpotPersistent("us-east-1a", market.M1Small, market.FromDollars(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := p.RequestInstance(req)
+	if cur != "" {
+		t.Fatal("instance launched above the bid")
+	}
+	p.AdvanceTo(200) // price back down
+	cur, _ = p.RequestInstance(req)
+	if cur == "" {
+		t.Fatal("request never fulfilled after price returned")
+	}
+}
+
+func TestCancelSpotRequest(t *testing.T) {
+	p := NewProvider(spikeSet(t), Config{Seed: 3})
+	req, err := p.RequestSpotPersistent("us-east-1a", market.M1Small, market.FromDollars(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AdvanceTo(50)
+	if err := p.CancelSpotRequest(req, true); err != nil {
+		t.Fatal(err)
+	}
+	if p.RequestAlive(req) {
+		t.Fatal("alive after cancel+terminate")
+	}
+	// No relaunch after the spike clears.
+	p.AdvanceTo(300)
+	if cur, _ := p.RequestInstance(req); cur != "" {
+		t.Fatal("cancelled request relaunched")
+	}
+}
+
+func TestRequestChargeTotalsAllInstances(t *testing.T) {
+	p := NewProvider(spikeSet(t), Config{Seed: 4})
+	req, err := p.RequestSpotPersistent("us-east-1a", market.M1Small, market.FromDollars(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AdvanceTo(400)
+	if err := p.CancelSpotRequest(req, true); err != nil {
+		t.Fatal(err)
+	}
+	total, err := p.RequestCharge(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, _ := p.RequestHistory(req)
+	var sum market.Money
+	for _, id := range hist {
+		c, err := p.Charge(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += c
+	}
+	if total != sum || total == 0 {
+		t.Fatalf("request charge %v, sum of instances %v", total, sum)
+	}
+}
+
+func TestPersistentRequestValidation(t *testing.T) {
+	p := NewProvider(spikeSet(t), Config{Seed: 5})
+	if _, err := p.RequestSpotPersistent("nowhere-1z", market.M1Small, market.FromDollars(0.01)); err == nil {
+		t.Fatal("unknown zone accepted")
+	}
+	if _, err := p.RequestSpotPersistent("us-east-1a", market.M3Large, market.FromDollars(0.01)); err == nil {
+		t.Fatal("wrong type accepted")
+	}
+	od, _ := market.OnDemandPrice("us-east-1a", market.M1Small)
+	if _, err := p.RequestSpotPersistent("us-east-1a", market.M1Small, od*5); err == nil {
+		t.Fatal("over-cap bid accepted")
+	}
+	if err := p.CancelSpotRequest("sir-999999", false); err == nil {
+		t.Fatal("unknown request cancelled")
+	}
+	if _, err := p.RequestHistory("sir-999999"); err == nil {
+		t.Fatal("unknown request history served")
+	}
+	if _, err := p.RequestCharge("sir-999999"); err == nil {
+		t.Fatal("unknown request charged")
+	}
+	if _, err := p.RequestInstance("sir-999999"); err == nil {
+		t.Fatal("unknown request instance served")
+	}
+	if p.RequestAlive("sir-999999") {
+		t.Fatal("unknown request alive")
+	}
+}

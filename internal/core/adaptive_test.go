@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/market"
+	"repro/internal/trace"
+)
+
+func TestAdaptiveChoosesWithinRange(t *testing.T) {
+	view := genView(t, 42, 13)
+	a := NewAdaptive()
+	iv := a.ChooseInterval(view, lockSpec())
+	if iv < a.MinMinutes || iv > a.MaxMinutes {
+		t.Fatalf("chose %d minutes, outside [%d, %d]", iv, a.MinMinutes, a.MaxMinutes)
+	}
+	if iv%60 != 0 {
+		t.Fatalf("chose %d, want whole hours", iv)
+	}
+	if a.LastInterval() != iv {
+		t.Fatalf("LastInterval = %d, want %d", a.LastInterval(), iv)
+	}
+}
+
+func TestAdaptiveRespondsToChurn(t *testing.T) {
+	// A calm market should get a longer interval than a churning one.
+	calm := &trace.Trace{Zone: "us-east-1a", Type: market.M1Small, Start: 0, End: 3 * 24 * 60}
+	for m := int64(0); m < calm.End; m += 12 * 60 {
+		price := market.FromDollars(0.007)
+		if (m/(12*60))%2 == 1 {
+			price = market.FromDollars(0.008)
+		}
+		calm.Points = append(calm.Points, trace.PricePoint{Minute: m, Price: price})
+	}
+	churny := &trace.Trace{Zone: "us-east-1a", Type: market.M1Small, Start: 0, End: 3 * 24 * 60}
+	for m := int64(0); m < churny.End; m += 10 {
+		price := market.FromDollars(0.007)
+		if (m/10)%2 == 1 {
+			price = market.FromDollars(0.008)
+		}
+		churny.Points = append(churny.Points, trace.PricePoint{Minute: m, Price: price})
+	}
+	mk := func(tr *trace.Trace) traceView {
+		set := trace.NewSet(market.M1Small, tr.Start, tr.End)
+		if err := set.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+		return traceView{set: set, now: tr.End - 1}
+	}
+	a := NewAdaptive()
+	calmIv := a.ChooseInterval(mk(calm), lockSpec())
+	churnIv := a.ChooseInterval(mk(churny), lockSpec())
+	if churnIv >= calmIv {
+		t.Fatalf("churny interval %d >= calm interval %d", churnIv, calmIv)
+	}
+	if churnIv != a.MinMinutes {
+		t.Fatalf("10-minute churn should pin the minimum, got %d", churnIv)
+	}
+	if calmIv != a.MaxMinutes {
+		t.Fatalf("12-hour sojourns should pin the maximum, got %d", calmIv)
+	}
+}
+
+func TestAdaptiveDecideDelegates(t *testing.T) {
+	view := genView(t, 42, 13)
+	a := NewAdaptive()
+	iv := a.ChooseInterval(view, lockSpec())
+	d, err := a.Decide(view, lockSpec(), iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Bids) == 0 && len(d.OnDemand) == 0 {
+		t.Fatal("adaptive made no decision")
+	}
+	if a.Name() != "Jupiter-adaptive" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+}
+
+func TestAdaptiveNoHistoryFallsToMax(t *testing.T) {
+	// With no measurable change periods the chooser is conservative:
+	// the longest interval (fewest relaunches).
+	set, err := trace.Generate(trace.GenConfig{
+		Seed: 1, Type: market.M1Small,
+		Zones: []string{"us-east-1a"}, Start: 0, End: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := traceView{set: set, now: 5}
+	a := NewAdaptive()
+	if iv := a.ChooseInterval(view, lockSpec()); iv != a.MaxMinutes {
+		t.Fatalf("chose %d with no history, want max %d", iv, a.MaxMinutes)
+	}
+}

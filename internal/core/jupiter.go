@@ -1,0 +1,433 @@
+// Package core implements the paper's primary contribution: Jupiter,
+// the availability- and cost-aware bidding framework (§4).
+//
+// At the start of each bidding interval, the online bidding algorithm
+// (paper Fig. 3) runs:
+//
+//  1. For every candidate group size n, invert the service's quorum
+//     availability to the equalized per-node failure probability FP that
+//     still meets the availability of the on-demand baseline
+//     (node_failure_pr).
+//  2. For every availability zone, find the minimal bid whose estimated
+//     failure probability over the next interval is at most FP, using
+//     the semi-Markov spot-instance failure model (internal/smc). Bids
+//     are capped at the on-demand price (§4.2).
+//  3. Greedily take the n cheapest zones; the bid sum is the cost upper
+//     bound for that n (the paper's objective, Equation 8).
+//  4. Return the bids of the n with the lowest upper bound.
+//
+// When no group size can meet the availability target with spot
+// instances, Jupiter falls back to on-demand instances, matching the
+// paper's rule of preferring an on-demand instance over an even higher
+// spot bid.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/market"
+	"repro/internal/quorum"
+	"repro/internal/smc"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+)
+
+// EstimatorMode selects how the per-zone failure probability under a
+// bid is estimated; ModeInterval is the framework's default, the other
+// two exist for the ablation benchmarks.
+type EstimatorMode int
+
+const (
+	// ModeInterval forward-propagates the semi-Markov chain over the
+	// bidding interval (the discretized Equation 5) — the default.
+	ModeInterval EstimatorMode = iota
+	// ModeStationary uses the chain's long-run occupancy, ignoring the
+	// current price's position in its sojourn.
+	ModeStationary
+	// ModeOneStep uses the raw Equation 14 single-time-unit estimate.
+	ModeOneStep
+)
+
+// Jupiter is the bidding framework. It trains one semi-Markov failure
+// model per availability zone from observed price history and retrains
+// on a fixed cadence as more data arrives.
+type Jupiter struct {
+	// FP0 is the baseline failure probability of an instance absent
+	// out-of-bid failures (the on-demand SLA figure, 0.01).
+	FP0 float64
+	// TrainingWindow is how much history to train on, in minutes
+	// (default 13 weeks, the paper's "about three months").
+	TrainingWindow int64
+	// RetrainEvery forces model refreshes at this cadence in minutes
+	// (default weekly); 0 trains once and never refreshes.
+	RetrainEvery int64
+	// MaxNodes caps the group-size enumeration (0 = number of zones).
+	MaxNodes int
+	// Mode selects the failure estimator (ablation hook).
+	Mode EstimatorMode
+	// Refine enables the heterogeneous-bid descent after the Fig. 3
+	// algorithm: zone bids are lowered one price level at a time, in
+	// order of largest saving, as long as the exact heterogeneous
+	// quorum availability still meets the target. An extension beyond
+	// the paper's equalized targets.
+	Refine bool
+
+	models       map[string]*smc.Model
+	trainedAt    map[string]int64
+	lastDecision []CandidateCost
+	lastBidFPs   map[string]float64
+	fpCache      map[fpKey]fpVal
+}
+
+// fpKey caches quorum inversions, which depend only on geometry and
+// target availability.
+type fpKey struct {
+	n, k   int
+	target float64
+}
+
+type fpVal struct {
+	fp  float64
+	err bool
+}
+
+// New returns a Jupiter with the paper's defaults.
+func New() *Jupiter {
+	return &Jupiter{
+		FP0:            market.OnDemandFailureProbability,
+		TrainingWindow: 13 * 7 * 24 * 60,
+		RetrainEvery:   7 * 24 * 60,
+		models:         make(map[string]*smc.Model),
+		trainedAt:      make(map[string]int64),
+		fpCache:        make(map[fpKey]fpVal),
+	}
+}
+
+// invertFP is quorum.InvertEqualFP with memoization.
+func (j *Jupiter) invertFP(n, k int, target float64) (float64, bool) {
+	key := fpKey{n: n, k: k, target: target}
+	if v, ok := j.fpCache[key]; ok {
+		return v.fp, !v.err
+	}
+	fp, err := quorum.InvertEqualFP(n, k, target)
+	j.fpCache[key] = fpVal{fp: fp, err: err != nil}
+	return fp, err == nil
+}
+
+// Name implements strategy.Strategy.
+func (j *Jupiter) Name() string {
+	if j.Refine {
+		return "Jupiter+refine"
+	}
+	return "Jupiter"
+}
+
+// CandidateCost records the evaluated upper-bound cost per group size,
+// exposed for ablation and debugging.
+type CandidateCost struct {
+	Nodes     int
+	FPTarget  float64
+	Feasible  bool
+	CostUpper market.Money
+}
+
+// LastCandidates returns the per-n cost table from the most recent
+// Decide call.
+func (j *Jupiter) LastCandidates() []CandidateCost {
+	return append([]CandidateCost(nil), j.lastDecision...)
+}
+
+// LastBidFailureProbabilities returns, for the zones chosen by the most
+// recent Decide, the estimated per-interval failure probability of each
+// placed bid — the heterogeneous p vector the weighted-voting analysis
+// (paper §4.1) evaluates.
+func (j *Jupiter) LastBidFailureProbabilities() map[string]float64 {
+	out := make(map[string]float64, len(j.lastBidFPs))
+	for z, fp := range j.lastBidFPs {
+		out[z] = fp
+	}
+	return out
+}
+
+// model returns a trained failure model for a zone, training or
+// retraining from the view's price history as needed.
+func (j *Jupiter) model(view strategy.MarketView, zone string) (*smc.Model, error) {
+	now := view.Now()
+	if m, ok := j.models[zone]; ok {
+		if j.RetrainEvery == 0 || now-j.trainedAt[zone] < j.RetrainEvery {
+			return m, nil
+		}
+	}
+	from := now - j.TrainingWindow
+	hist, err := view.PriceHistory(zone, from, now)
+	if err != nil {
+		return nil, err
+	}
+	est := smc.NewEstimator(0)
+	est.Observe(hist)
+	m, err := est.Model()
+	if err != nil {
+		return nil, fmt.Errorf("core: zone %s: %w", zone, err)
+	}
+	j.models[zone] = m
+	j.trainedAt[zone] = now
+	return m, nil
+}
+
+// zoneBid is a zone's minimal adequate bid for some failure target.
+type zoneBid struct {
+	zone string
+	bid  market.Money
+}
+
+// Decide implements strategy.Strategy — the Fig. 3 online bidding
+// algorithm.
+func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, intervalMinutes int64) (strategy.Decision, error) {
+	if intervalMinutes <= 0 {
+		return strategy.Decision{}, fmt.Errorf("core: interval %d <= 0", intervalMinutes)
+	}
+	zones := view.Zones()
+	target := spec.TargetAvailability()
+
+	// One failure estimator per zone, shared across all group sizes.
+	type zoneState struct {
+		minBid func(target float64) (market.Money, bool)
+		fpOf   func(bid market.Money) float64
+		levels []market.Money
+		cur    market.Money
+	}
+	states := make(map[string]*zoneState, len(zones))
+	for _, z := range zones {
+		m, err := j.model(view, z)
+		if err != nil {
+			continue // zone unusable this round (no history yet)
+		}
+		cur, err := view.SpotPrice(z)
+		if err != nil {
+			return strategy.Decision{}, err
+		}
+		age, err := view.SpotPriceAge(z)
+		if err != nil {
+			return strategy.Decision{}, err
+		}
+		od, err := market.OnDemandPrice(z, spec.Type)
+		if err != nil {
+			return strategy.Decision{}, err
+		}
+		var f *smc.Forecast
+		switch j.Mode {
+		case ModeStationary:
+			f, err = m.Stationary()
+		case ModeOneStep:
+			model := m
+			curZ, ageZ := cur, age
+			states[z] = &zoneState{
+				minBid: func(target float64) (market.Money, bool) {
+					return model.MinimalBidOneStep(curZ, ageZ, target, j.FP0, od)
+				},
+				fpOf: func(bid market.Money) float64 {
+					return model.OneStepFP(curZ, ageZ, bid, j.FP0)
+				},
+				levels: model.Prices(),
+				cur:    cur,
+			}
+			continue
+		default:
+			f, err = m.Forecast(cur, age, intervalMinutes)
+		}
+		if err != nil {
+			continue
+		}
+		fc := f
+		states[z] = &zoneState{
+			minBid: func(target float64) (market.Money, bool) {
+				return fc.MinimalBid(target, j.FP0, od)
+			},
+			fpOf: func(bid market.Money) float64 {
+				return fc.FailureProbability(bid, j.FP0)
+			},
+			levels: fc.Levels(),
+			cur:    cur,
+		}
+	}
+	if len(states) == 0 {
+		return j.fallback(view, spec)
+	}
+
+	maxNodes := j.MaxNodes
+	if maxNodes <= 0 || maxNodes > len(zones) {
+		maxNodes = len(zones)
+	}
+	minNodes := spec.DataShards
+	if minNodes < 1 {
+		minNodes = 1
+	}
+
+	j.lastDecision = j.lastDecision[:0]
+	bestCost := market.Money(0)
+	var bestBids []zoneBid
+	for n := minNodes; n <= maxNodes; n++ {
+		k := spec.QuorumSize(n)
+		cand := CandidateCost{Nodes: n}
+		fpTarget, ok := j.invertFP(n, k, target)
+		if !ok || fpTarget < j.FP0 {
+			j.lastDecision = append(j.lastDecision, cand)
+			continue
+		}
+		cand.FPTarget = fpTarget
+		var bids []zoneBid
+		for z, st := range states {
+			bid, ok := st.minBid(fpTarget)
+			if !ok {
+				continue
+			}
+			// Constraint (9): the bid must clear the current price so
+			// the instance launches at all.
+			cur, err := view.SpotPrice(z)
+			if err != nil {
+				return strategy.Decision{}, err
+			}
+			if bid < cur {
+				continue
+			}
+			bids = append(bids, zoneBid{zone: z, bid: bid})
+		}
+		if len(bids) < n {
+			j.lastDecision = append(j.lastDecision, cand)
+			continue
+		}
+		sort.Slice(bids, func(a, b int) bool {
+			if bids[a].bid != bids[b].bid {
+				return bids[a].bid < bids[b].bid
+			}
+			return bids[a].zone < bids[b].zone
+		})
+		var cost market.Money
+		for _, zb := range bids[:n] {
+			cost += zb.bid
+		}
+		cand.Feasible = true
+		cand.CostUpper = cost
+		j.lastDecision = append(j.lastDecision, cand)
+		if bestBids == nil || cost < bestCost {
+			bestCost = cost
+			bestBids = bids[:n]
+		}
+	}
+	if bestBids == nil {
+		return j.fallback(view, spec)
+	}
+	if j.Refine && len(bestBids) > 0 {
+		k := spec.QuorumSize(len(bestBids))
+		bestBids = refineBids(bestBids, k, target, func(zone string) *refineZone {
+			st := states[zone]
+			if st == nil {
+				return nil
+			}
+			return &refineZone{fpOf: st.fpOf, levels: st.levels, cur: st.cur}
+		})
+	}
+	out := strategy.Decision{}
+	j.lastBidFPs = make(map[string]float64, len(bestBids))
+	for _, zb := range bestBids {
+		out.Bids = append(out.Bids, strategy.Bid{Zone: zb.zone, Price: zb.bid})
+		if st := states[zb.zone]; st != nil && st.fpOf != nil {
+			j.lastBidFPs[zb.zone] = st.fpOf(zb.bid)
+		}
+	}
+	sort.Slice(out.Bids, func(a, b int) bool { return out.Bids[a].Zone < out.Bids[b].Zone })
+	return out, nil
+}
+
+// refineZone is the per-zone information the descent needs.
+type refineZone struct {
+	fpOf   func(bid market.Money) float64
+	levels []market.Money
+	cur    market.Money
+}
+
+// refineBids lowers bids one price level at a time — always the largest
+// available saving first — while the exact heterogeneous k-of-n
+// availability stays at or above the target.
+func refineBids(bids []zoneBid, k int, target float64, zoneInfo func(zone string) *refineZone) []zoneBid {
+	n := len(bids)
+	infos := make([]*refineZone, n)
+	fps := make([]float64, n)
+	for i, zb := range bids {
+		infos[i] = zoneInfo(zb.zone)
+		if infos[i] == nil {
+			return bids // cannot evaluate; keep the equalized solution
+		}
+		fps[i] = infos[i].fpOf(zb.bid)
+	}
+	// nextLower returns the largest candidate level strictly below the
+	// current bid but not below the zone's current spot price.
+	nextLower := func(i int) (market.Money, bool) {
+		var best market.Money = -1
+		for _, lv := range infos[i].levels {
+			if lv < bids[i].bid && lv >= infos[i].cur && lv > best {
+				best = lv
+			}
+		}
+		if best < 0 {
+			return 0, false
+		}
+		return best, true
+	}
+	for iter := 0; iter < 64*n; iter++ {
+		bestIdx := -1
+		var bestSave market.Money
+		var bestBid market.Money
+		var bestFP float64
+		for i := range bids {
+			lower, ok := nextLower(i)
+			if !ok {
+				continue
+			}
+			newFP := infos[i].fpOf(lower)
+			old := fps[i]
+			fps[i] = newFP
+			feasible := quorum.ThresholdAvailability(k, fps) >= target
+			fps[i] = old
+			if !feasible {
+				continue
+			}
+			if save := bids[i].bid - lower; save > bestSave {
+				bestSave = save
+				bestIdx = i
+				bestBid = lower
+				bestFP = newFP
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		bids[bestIdx].bid = bestBid
+		fps[bestIdx] = bestFP
+	}
+	return bids
+}
+
+// fallback runs the service on on-demand instances when no spot
+// configuration meets the availability constraint (§4.2's preference
+// for on-demand over over-bidding).
+func (j *Jupiter) fallback(view strategy.MarketView, spec strategy.ServiceSpec) (strategy.Decision, error) {
+	return strategy.OnDemand{}.Decide(view, spec, 0)
+}
+
+// TrainOn pre-trains zone models from a trace set, for tools that have
+// bulk history on disk rather than a live market view.
+func (j *Jupiter) TrainOn(set *trace.Set) error {
+	for zone, tr := range set.ByZone {
+		est := smc.NewEstimator(0)
+		est.Observe(tr)
+		m, err := est.Model()
+		if err != nil {
+			return fmt.Errorf("core: pre-training %s: %w", zone, err)
+		}
+		j.models[zone] = m
+		j.trainedAt[zone] = set.End
+	}
+	return nil
+}

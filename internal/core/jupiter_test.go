@@ -1,0 +1,254 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/market"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+)
+
+const week = int64(7 * 24 * 60)
+
+// traceView serves a generated trace set as a market view positioned at
+// a given minute.
+type traceView struct {
+	set *trace.Set
+	now int64
+}
+
+func (v traceView) Now() int64      { return v.now }
+func (v traceView) Zones() []string { return v.set.Zones() }
+func (v traceView) SpotPrice(zone string) (market.Money, error) {
+	return v.set.ByZone[zone].PriceAt(v.now), nil
+}
+func (v traceView) SpotPriceAge(zone string) (int64, error) {
+	tr := v.set.ByZone[zone]
+	cur := tr.PriceAt(v.now)
+	age := int64(1)
+	for m := v.now - 1; m >= tr.Start; m-- {
+		if tr.PriceAt(m) != cur {
+			break
+		}
+		age++
+	}
+	return age, nil
+}
+func (v traceView) PriceHistory(zone string, from, to int64) (*trace.Trace, error) {
+	tr := v.set.ByZone[zone]
+	if from < tr.Start {
+		from = tr.Start
+	}
+	if to > v.now {
+		to = v.now
+	}
+	return tr.Window(from, to), nil
+}
+
+func genView(t *testing.T, seed uint64, weeks int64) traceView {
+	t.Helper()
+	set, err := trace.Generate(trace.GenConfig{
+		Seed: seed, Type: market.M1Small,
+		Zones: market.ExperimentZones(),
+		Start: 0, End: weeks * week,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traceView{set: set, now: weeks*week - 1}
+}
+
+func lockSpec() strategy.ServiceSpec {
+	return strategy.ServiceSpec{Type: market.M1Small, BaseNodes: 5, DataShards: 1}
+}
+
+func TestJupiterDecidesFeasibleBids(t *testing.T) {
+	view := genView(t, 42, 13)
+	j := New()
+	d, err := j.Decide(view, lockSpec(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.OnDemand) > 0 {
+		t.Fatalf("fell back to on-demand: %v", d.OnDemand)
+	}
+	if len(d.Bids) < 5 {
+		t.Fatalf("chose %d nodes, want >= 5 for the lock service", len(d.Bids))
+	}
+	// Every bid is within [current spot, on-demand].
+	for _, b := range d.Bids {
+		cur, _ := view.SpotPrice(b.Zone)
+		od, err := market.OnDemandPrice(b.Zone, market.M1Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Price < cur {
+			t.Errorf("zone %s: bid %v below spot %v", b.Zone, b.Price, cur)
+		}
+		if b.Price > od {
+			t.Errorf("zone %s: bid %v above on-demand %v", b.Zone, b.Price, od)
+		}
+	}
+}
+
+func TestJupiterBidsAreCheap(t *testing.T) {
+	// The whole point: the bid sum should be far below 5x on-demand.
+	view := genView(t, 42, 13)
+	j := New()
+	d, err := j.Decide(view, lockSpec(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bidSum market.Money
+	for _, b := range d.Bids {
+		bidSum += b.Price
+	}
+	od, err := market.OnDemandPrice("us-east-1a", market.M1Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bidSum >= od*5/2 {
+		t.Fatalf("bid sum %v not clearly below half the on-demand cost %v", bidSum, od*5)
+	}
+}
+
+func TestJupiterCandidatesEnumerated(t *testing.T) {
+	view := genView(t, 42, 13)
+	j := New()
+	if _, err := j.Decide(view, lockSpec(), 60); err != nil {
+		t.Fatal(err)
+	}
+	cands := j.LastCandidates()
+	if len(cands) != len(market.ExperimentZones()) {
+		t.Fatalf("enumerated %d group sizes, want %d", len(cands), len(market.ExperimentZones()))
+	}
+	// Small n are infeasible (tiny FP targets below FP0); some larger n
+	// must be feasible; the chosen upper bound is the minimum.
+	feasible := 0
+	var best market.Money = -1
+	for _, c := range cands {
+		if c.Feasible {
+			feasible++
+			if best < 0 || c.CostUpper < best {
+				best = c.CostUpper
+			}
+		}
+	}
+	if feasible == 0 {
+		t.Fatal("no feasible group size")
+	}
+	if cands[0].Feasible && cands[0].Nodes == 1 {
+		t.Fatal("n=1 should not meet a five-nines-ish target with FP0=0.01")
+	}
+}
+
+func TestJupiterFPTargetsGrowWithN(t *testing.T) {
+	view := genView(t, 42, 13)
+	j := New()
+	if _, err := j.Decide(view, lockSpec(), 60); err != nil {
+		t.Fatal(err)
+	}
+	// Monotone over odd n (even n wastes a node in a majority quorum,
+	// so parity changes can dip).
+	var prev float64
+	for _, c := range j.LastCandidates() {
+		if c.FPTarget == 0 || c.Nodes%2 == 0 {
+			continue
+		}
+		if c.FPTarget < prev {
+			t.Fatalf("FP target decreased at n=%d: %v < %v", c.Nodes, c.FPTarget, prev)
+		}
+		prev = c.FPTarget
+	}
+}
+
+func TestJupiterStorageSpecUsesLargerQuorum(t *testing.T) {
+	set, err := trace.Generate(trace.GenConfig{
+		Seed: 42, Type: market.M3Large,
+		Zones: market.ExperimentZones(),
+		Start: 0, End: 13 * week,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := traceView{set: set, now: 13*week - 1}
+	spec := strategy.ServiceSpec{Type: market.M3Large, BaseNodes: 5, DataShards: 3}
+	j := New()
+	d, err := j.Decide(view, spec, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Bids) < 5 && len(d.OnDemand) == 0 {
+		t.Fatalf("storage decision too small: %d bids", len(d.Bids))
+	}
+}
+
+func TestJupiterLongerIntervalBidsHigher(t *testing.T) {
+	// §5.5: "Our bidding framework should make higher bids for a longer
+	// bidding interval under availability consideration."
+	view := genView(t, 7, 13)
+	sum := func(interval int64) market.Money {
+		j := New()
+		d, err := j.Decide(view, lockSpec(), interval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s market.Money
+		for _, b := range d.Bids {
+			s += b.Price
+		}
+		if len(d.Bids) > 0 {
+			return s / market.Money(len(d.Bids))
+		}
+		return 0
+	}
+	short := sum(60)
+	long := sum(12 * 60)
+	if long < short {
+		t.Fatalf("mean bid for 12h (%v) below 1h (%v)", long, short)
+	}
+}
+
+func TestJupiterRejectsBadInterval(t *testing.T) {
+	view := genView(t, 42, 13)
+	if _, err := New().Decide(view, lockSpec(), 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestJupiterTrainOn(t *testing.T) {
+	view := genView(t, 42, 13)
+	j := New()
+	j.RetrainEvery = 0 // rely solely on pre-training
+	if err := j.TrainOn(view.set); err != nil {
+		t.Fatal(err)
+	}
+	d, err := j.Decide(view, lockSpec(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Bids) == 0 && len(d.OnDemand) == 0 {
+		t.Fatal("pre-trained Jupiter made no decision")
+	}
+}
+
+func TestJupiterFallsBackWithNoHistory(t *testing.T) {
+	// A view positioned at minute 1 has no usable history: Jupiter must
+	// fall back to on-demand, not fail.
+	set, err := trace.Generate(trace.GenConfig{
+		Seed: 42, Type: market.M1Small,
+		Zones: market.ExperimentZones(),
+		Start: 0, End: 2 * week,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := traceView{set: set, now: 1}
+	d, err := New().Decide(view, lockSpec(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.OnDemand) != 5 {
+		t.Fatalf("fallback chose %d on-demand zones, want 5", len(d.OnDemand))
+	}
+}

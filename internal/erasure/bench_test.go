@@ -1,0 +1,78 @@
+package erasure
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func benchCode(b *testing.B, m, n, size int) {
+	b.Helper()
+	c, err := NewCode(m, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRNG(1)
+	obj := make([]byte, size)
+	for i := range obj {
+		obj[i] = byte(r.Intn(256))
+	}
+	data := c.Split(obj)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for _, cfg := range []struct{ m, n, size int }{
+		{3, 5, 4 << 10},
+		{3, 5, 1 << 20},
+		{6, 9, 1 << 20},
+	} {
+		b.Run(fmt.Sprintf("theta(%d,%d)/%dKiB", cfg.m, cfg.n, cfg.size>>10), func(b *testing.B) {
+			benchCode(b, cfg.m, cfg.n, cfg.size)
+		})
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	c, err := NewCode(3, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRNG(2)
+	obj := make([]byte, 1<<20)
+	for i := range obj {
+		obj[i] = byte(r.Intn(256))
+	}
+	data := c.Split(obj)
+	parity, err := c.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full := append(append([][]byte{}, data...), parity...)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards := make([][]byte, 5)
+		copy(shards, full)
+		// Worst case: two data shards missing.
+		shards[0], shards[1] = nil, nil
+		if err := c.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGFMul(b *testing.B) {
+	var acc byte
+	for i := 0; i < b.N; i++ {
+		acc ^= gfMul(byte(i), byte(i>>8))
+	}
+	_ = acc
+}

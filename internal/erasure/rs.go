@@ -1,0 +1,191 @@
+package erasure
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Code is a systematic θ(m, n) Reed-Solomon code: m data shards, n-m
+// parity shards, reconstruction from any m of the n shards. A Code is
+// immutable and safe for concurrent use.
+type Code struct {
+	m, n int
+	// enc is the n×m encoding matrix whose top m rows are the identity
+	// (systematic form): shards = enc × data.
+	enc *matrix
+}
+
+// NewCode builds a θ(m, n) code. m and n must satisfy
+// 1 <= m <= n <= 256 (the field size bounds the shard count).
+func NewCode(m, n int) (*Code, error) {
+	if m < 1 || n < m || n > fieldSize {
+		return nil, fmt.Errorf("erasure: invalid code θ(%d, %d)", m, n)
+	}
+	// Build a systematic encoding matrix: take an n×m Vandermonde
+	// matrix and normalize its top m×m block to the identity.
+	v := vandermonde(n, m)
+	top := v.subRows(seq(m))
+	topInv, err := top.invert()
+	if err != nil {
+		return nil, fmt.Errorf("erasure: building θ(%d, %d): %w", m, n, err)
+	}
+	return &Code{m: m, n: n, enc: v.mul(topInv)}, nil
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// DataShards returns m.
+func (c *Code) DataShards() int { return c.m }
+
+// TotalShards returns n.
+func (c *Code) TotalShards() int { return c.n }
+
+// ParityShards returns n - m.
+func (c *Code) ParityShards() int { return c.n - c.m }
+
+// Split divides an object into m equal-sized data shards, zero-padding
+// the tail. The original length must be carried out of band (see Join).
+func (c *Code) Split(object []byte) [][]byte {
+	shardLen := (len(object) + c.m - 1) / c.m
+	if shardLen == 0 {
+		shardLen = 1
+	}
+	shards := make([][]byte, c.m)
+	for i := range shards {
+		shards[i] = make([]byte, shardLen)
+		lo := i * shardLen
+		if lo < len(object) {
+			copy(shards[i], object[lo:])
+		}
+	}
+	return shards
+}
+
+// Join reassembles the original object of the given length from data
+// shards produced by Split.
+func (c *Code) Join(data [][]byte, length int) ([]byte, error) {
+	if len(data) != c.m {
+		return nil, fmt.Errorf("erasure: Join got %d shards, want %d", len(data), c.m)
+	}
+	var buf bytes.Buffer
+	for _, s := range data {
+		buf.Write(s)
+	}
+	if buf.Len() < length {
+		return nil, fmt.Errorf("erasure: shards hold %d bytes, need %d", buf.Len(), length)
+	}
+	return buf.Bytes()[:length], nil
+}
+
+// Encode computes the n-m parity shards for the given m data shards.
+// All shards must be the same length.
+func (c *Code) Encode(data [][]byte) ([][]byte, error) {
+	if err := c.checkShards(data, c.m); err != nil {
+		return nil, err
+	}
+	size := len(data[0])
+	parity := make([][]byte, c.n-c.m)
+	for p := range parity {
+		parity[p] = make([]byte, size)
+		row := c.enc.row(c.m + p)
+		for d := 0; d < c.m; d++ {
+			mulSliceXor(row[d], data[d], parity[p])
+		}
+	}
+	return parity, nil
+}
+
+// Reconstruct fills in the missing shards of a full n-slot shard slice
+// in place. Present shards are non-nil and equal length; missing shards
+// are nil. At least m shards must be present.
+func (c *Code) Reconstruct(shards [][]byte) error {
+	if len(shards) != c.n {
+		return fmt.Errorf("erasure: Reconstruct got %d slots, want %d", len(shards), c.n)
+	}
+	present := make([]int, 0, c.n)
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("erasure: shard %d length %d != %d", i, len(s), size)
+		}
+		present = append(present, i)
+	}
+	if len(present) < c.m {
+		return fmt.Errorf("erasure: only %d shards present, need %d", len(present), c.m)
+	}
+	if len(present) == c.n {
+		return nil
+	}
+	// Solve for the data shards from any m present shards, then
+	// re-encode whatever is missing.
+	rows := present[:c.m]
+	sub := c.enc.subRows(rows)
+	inv, err := sub.invert()
+	if err != nil {
+		return fmt.Errorf("erasure: reconstruction matrix singular: %w", err)
+	}
+	data := make([][]byte, c.m)
+	for d := 0; d < c.m; d++ {
+		data[d] = make([]byte, size)
+		row := inv.row(d)
+		for j, src := range rows {
+			mulSliceXor(row[j], shards[src], data[d])
+		}
+	}
+	for i := 0; i < c.n; i++ {
+		if shards[i] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := c.enc.row(i)
+		for d := 0; d < c.m; d++ {
+			mulSliceXor(row[d], data[d], out)
+		}
+		shards[i] = out
+	}
+	return nil
+}
+
+// Verify checks that the parity shards are consistent with the data
+// shards. shards must contain all n shards.
+func (c *Code) Verify(shards [][]byte) (bool, error) {
+	if err := c.checkShards(shards, c.n); err != nil {
+		return false, err
+	}
+	parity, err := c.Encode(shards[:c.m])
+	if err != nil {
+		return false, err
+	}
+	for i, p := range parity {
+		if !bytes.Equal(p, shards[c.m+i]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (c *Code) checkShards(shards [][]byte, want int) error {
+	if len(shards) != want {
+		return fmt.Errorf("erasure: got %d shards, want %d", len(shards), want)
+	}
+	if len(shards[0]) == 0 {
+		return fmt.Errorf("erasure: empty shards")
+	}
+	for i, s := range shards {
+		if len(s) != len(shards[0]) {
+			return fmt.Errorf("erasure: shard %d length %d != %d", i, len(s), len(shards[0]))
+		}
+	}
+	return nil
+}

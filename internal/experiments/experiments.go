@@ -1,0 +1,231 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§5) on the synthetic market (see DESIGN.md §3 for the
+// experiment index and §4 for the data substitution):
+//
+//	Table 1   — region/availability-zone catalog
+//	Figure 1  — spot price history sample
+//	Figure 4  — micro-benchmark: measured out-of-bid failure probability
+//	Figure 5  — one-week cost, lock + storage service
+//	Figures 6/7 — 11-week lock-service cost and availability vs interval
+//	Figures 8/9 — 11-week storage-service cost and availability
+//	Headline  — cost reduction percentages (81.23% / 85.32% in-paper)
+//	Example §3 — availability arithmetic and naive-bidding downtime
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/market"
+	"repro/internal/replay"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+)
+
+// Week is one week of minutes.
+const Week = int64(7 * 24 * 60)
+
+// Env fixes the data and scale of an experiment run.
+type Env struct {
+	// Seed drives trace generation and replay jitter.
+	Seed uint64
+	// TrainWeeks is the model-training prefix (the paper used ~3
+	// months of price history).
+	TrainWeeks int64
+	// ReplayWeeks is the accounted span (11 in the paper's §5.5).
+	ReplayWeeks int64
+}
+
+// DefaultEnv matches the paper's scale.
+func DefaultEnv() Env {
+	return Env{Seed: 2014, TrainWeeks: 13, ReplayWeeks: 11}
+}
+
+// QuickEnv is a scaled-down environment for benchmarks and smoke runs.
+func QuickEnv() Env {
+	return Env{Seed: 2014, TrainWeeks: 6, ReplayWeeks: 1}
+}
+
+// LockSpec is the distributed lock service deployment (§5.1.1/§5.2):
+// five m1.small replicas, majority quorum.
+func LockSpec() strategy.ServiceSpec {
+	return strategy.ServiceSpec{Type: market.M1Small, BaseNodes: 5, DataShards: 1}
+}
+
+// StorageSpec is the erasure-coded storage deployment (§5.1.2/§5.2):
+// five m3.large nodes, θ(3,5) RS-Paxos quorum.
+func StorageSpec() strategy.ServiceSpec {
+	return strategy.ServiceSpec{Type: market.M3Large, BaseNodes: 5, DataShards: 3}
+}
+
+// Traces generates (deterministically) the market history for a spec:
+// a training prefix of TrainWeeks followed by ReplayWeeks of replayable
+// market, across the paper's 17 experiment zones.
+func (e Env) Traces(it market.InstanceType) (*trace.Set, error) {
+	return trace.Generate(trace.GenConfig{
+		Seed:  e.Seed,
+		Type:  it,
+		Zones: market.ExperimentZones(),
+		Start: 0,
+		End:   (e.TrainWeeks + e.ReplayWeeks) * Week,
+	})
+}
+
+// replayOne runs a single strategy/interval combination.
+func (e Env) replayOne(set *trace.Set, spec strategy.ServiceSpec, strat strategy.Strategy, intervalHours int64) (*replay.Result, error) {
+	return replay.Run(replay.Config{
+		Traces:                 set,
+		Start:                  e.TrainWeeks * Week,
+		Spec:                   spec,
+		Strategy:               strat,
+		IntervalMinutes:        intervalHours * 60,
+		Seed:                   e.Seed ^ uint64(intervalHours)<<32 ^ uint64(len(strat.Name())),
+		InjectHardwareFailures: true,
+	})
+}
+
+// SweepRow is one cell of the Figures 6–9 matrices.
+type SweepRow struct {
+	Service       string
+	Strategy      string
+	IntervalHours int64
+	Cost          market.Money
+	Availability  float64
+	OutOfBid      int
+	MeanGroupSize float64
+}
+
+// SweepIntervals are the bidding intervals of §5.5.
+var SweepIntervals = []int64{1, 3, 6, 9, 12}
+
+// sweepStrategies builds the §5.5 strategy roster. Jupiter is
+// constructed fresh per run so model caches never leak across runs.
+func sweepStrategies() []func() strategy.Strategy {
+	return []func() strategy.Strategy{
+		func() strategy.Strategy { return core.New() },
+		func() strategy.Strategy { return strategy.Extra{ExtraNodes: 0, Portion: 0.2} },
+		func() strategy.Strategy { return strategy.Extra{ExtraNodes: 2, Portion: 0.2} },
+		func() strategy.Strategy { return strategy.OnDemand{} },
+	}
+}
+
+// Sweep reproduces one service's cost/availability matrices (Figures
+// 6/7 for the lock service, 8/9 for storage).
+func (e Env) Sweep(spec strategy.ServiceSpec, serviceName string) ([]SweepRow, error) {
+	set, err := e.Traces(spec.Type)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SweepRow
+	for _, hours := range SweepIntervals {
+		for _, mk := range sweepStrategies() {
+			strat := mk()
+			res, err := e.replayOne(set, spec, strat, hours)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s/%s/%dh: %w", serviceName, strat.Name(), hours, err)
+			}
+			rows = append(rows, SweepRow{
+				Service:       serviceName,
+				Strategy:      strat.Name(),
+				IntervalHours: hours,
+				Cost:          res.Cost,
+				Availability:  res.Availability,
+				OutOfBid:      res.OutOfBid,
+				MeanGroupSize: res.MeanGroupSize,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig6and7 reproduces the lock-service sweep.
+func (e Env) Fig6and7() ([]SweepRow, error) {
+	return e.Sweep(LockSpec(), "lock")
+}
+
+// Fig8and9 reproduces the storage-service sweep.
+func (e Env) Fig8and9() ([]SweepRow, error) {
+	return e.Sweep(StorageSpec(), "storage")
+}
+
+// Headline summarizes the paper's headline claim from sweep rows: the
+// best-interval Jupiter cost versus the baseline.
+type Headline struct {
+	Service          string
+	BaselineCost     market.Money
+	JupiterBestCost  market.Money
+	JupiterBestHours int64
+	ReductionPercent float64
+	// AvailabilityKept is true when Jupiter's availability at the best
+	// interval is within epsilon of the baseline's.
+	JupiterAvailability  float64
+	BaselineAvailability float64
+}
+
+// HeadlineFrom extracts the headline for one service from sweep rows:
+// the cheapest Jupiter interval whose measured availability still meets
+// the service's target (the paper's Equation 10 constraint), against
+// the baseline cost. If no interval meets the target exactly, the
+// highest-availability interval is reported instead.
+func HeadlineFrom(rows []SweepRow, service string, targetAvailability float64) (Headline, error) {
+	h := Headline{Service: service}
+	var haveBase, haveJup bool
+	bestAvail := -1.0
+	for _, r := range rows {
+		if r.Service != service {
+			continue
+		}
+		switch r.Strategy {
+		case "Baseline":
+			if !haveBase || r.Cost > h.BaselineCost {
+				h.BaselineCost = r.Cost
+				h.BaselineAvailability = r.Availability
+				haveBase = true
+			}
+		case "Jupiter":
+			meets := r.Availability >= targetAvailability
+			curMeets := haveJup && h.JupiterAvailability >= targetAvailability
+			better := false
+			switch {
+			case !haveJup:
+				better = true
+			case meets && !curMeets:
+				better = true
+			case meets == curMeets && meets && r.Cost < h.JupiterBestCost:
+				better = true
+			case !meets && !curMeets && r.Availability > bestAvail:
+				better = true
+			}
+			if better {
+				h.JupiterBestCost = r.Cost
+				h.JupiterBestHours = r.IntervalHours
+				h.JupiterAvailability = r.Availability
+				bestAvail = r.Availability
+				haveJup = true
+			}
+		}
+	}
+	if !haveBase || !haveJup {
+		return h, fmt.Errorf("experiments: sweep rows missing baseline or Jupiter for %s", service)
+	}
+	h.ReductionPercent = 100 * (1 - h.JupiterBestCost.Dollars()/h.BaselineCost.Dollars())
+	return h, nil
+}
+
+// ReservedDiscount is the paper's §5.2 note: "using reserved instances
+// can reduce 30%–40% cost at most, but it is inflexible". The midpoint
+// models a reserved-instance baseline for comparison.
+const ReservedDiscount = 0.35
+
+// ReservedCost estimates what the baseline deployment would cost on
+// reserved instances.
+func (h Headline) ReservedCost() market.Money {
+	return h.BaselineCost.Scale(1 - ReservedDiscount)
+}
+
+// JupiterVsReservedPercent is Jupiter's cost reduction measured against
+// the reserved-instance baseline instead of on-demand — Jupiter must
+// still win for the paper's argument to carry.
+func (h Headline) JupiterVsReservedPercent() float64 {
+	return 100 * (1 - h.JupiterBestCost.Dollars()/h.ReservedCost().Dollars())
+}

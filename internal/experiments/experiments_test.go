@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/market"
+)
+
+// quick returns a fast environment: 6 training weeks, 1 replay week.
+func quick() Env { return QuickEnv() }
+
+func TestTable1MatchesPaper(t *testing.T) {
+	regions := Table1()
+	if len(regions) != 9 {
+		t.Fatalf("%d regions, want 9", len(regions))
+	}
+	total := 0
+	for _, r := range regions {
+		total += len(r.Zones)
+	}
+	if total != 24 {
+		t.Fatalf("%d zones, want 24", total)
+	}
+	out := RenderTable1()
+	for _, want := range []string{"us-east-1", "Virginia", "Sao Paulo"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 rendering missing %q", want)
+		}
+	}
+}
+
+func TestFig1Window(t *testing.T) {
+	tr, err := quick().Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.End-tr.Start != 120 {
+		t.Fatalf("Fig 1 window %d minutes, want 120", tr.End-tr.Start)
+	}
+	if tr.Zone != "us-east-1a" || tr.Type != market.M1Small {
+		t.Fatalf("Fig 1 source %s/%s", tr.Zone, tr.Type)
+	}
+	if len(tr.Points) == 0 {
+		t.Fatal("Fig 1 window empty")
+	}
+	out, err := quick().RenderFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "us-east-1a") {
+		t.Error("rendering missing zone")
+	}
+}
+
+func TestFig4EstimatesHold(t *testing.T) {
+	rows, err := quick().Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 { // 5 zones x 2 types
+		t.Fatalf("%d rows, want 10", len(rows))
+	}
+	// The paper's result: measured out-of-bid probability is near the
+	// 0.01 estimate in most cases, with small exceedances allowed (the
+	// paper itself reports two exceptions up to ~0.018).
+	bad := 0
+	for _, r := range rows {
+		if r.Bid <= 0 {
+			t.Errorf("%s/%s: no bid", r.Zone, r.Type)
+		}
+		if r.Measured > 0.05 {
+			bad++
+			t.Logf("%s/%s measured %.4f", r.Zone, r.Type, r.Measured)
+		}
+	}
+	if bad > 2 {
+		t.Fatalf("%d of %d zones exceeded 5x the failure target", bad, len(rows))
+	}
+}
+
+func TestFig5ShapesHold(t *testing.T) {
+	rows, err := quick().Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 2 services x 3 strategies
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	cost := map[string]map[string]float64{}
+	avail := map[string]map[string]float64{}
+	for _, r := range rows {
+		if cost[r.Service] == nil {
+			cost[r.Service] = map[string]float64{}
+			avail[r.Service] = map[string]float64{}
+		}
+		cost[r.Service][r.Strategy] = r.Cost.Dollars()
+		avail[r.Service][r.Strategy] = r.Availability
+	}
+	for _, svc := range []string{"lock", "storage"} {
+		if cost[svc]["Jupiter"] >= cost[svc]["Baseline"]/2 {
+			t.Errorf("%s: Jupiter cost %.2f not well below baseline %.2f",
+				svc, cost[svc]["Jupiter"], cost[svc]["Baseline"])
+		}
+		if avail[svc]["Jupiter"] < 0.999 {
+			t.Errorf("%s: Jupiter availability %.4f", svc, avail[svc]["Jupiter"])
+		}
+		// The paper's one-week run: Extra(0,0.1) cost comparable to
+		// Jupiter but availability suffers (the storage service
+		// "failed in the running").
+		if avail[svc]["Extra(0, 0.1)"] > avail[svc]["Jupiter"] {
+			t.Errorf("%s: Extra(0,0.1) availability above Jupiter", svc)
+		}
+	}
+}
+
+func TestSweepShapesHold(t *testing.T) {
+	env := Env{Seed: 2014, TrainWeeks: 8, ReplayWeeks: 2}
+	rows, err := env.Fig6and7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(SweepIntervals)*4 {
+		t.Fatalf("%d rows, want %d", len(rows), len(SweepIntervals)*4)
+	}
+	get := func(strat string, h int64) SweepRow {
+		for _, r := range rows {
+			if r.Strategy == strat && r.IntervalHours == h {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%dh missing", strat, h)
+		return SweepRow{}
+	}
+	for _, h := range SweepIntervals {
+		b := get("Baseline", h)
+		j := get("Jupiter", h)
+		e0 := get("Extra(0, 0.2)", h)
+		e2 := get("Extra(2, 0.2)", h)
+		// Cost ordering: everything spot beats on-demand; Extra(2)
+		// costs more than Extra(0) (two more instances).
+		if j.Cost >= b.Cost {
+			t.Errorf("%dh: Jupiter %v >= baseline %v", h, j.Cost, b.Cost)
+		}
+		if e2.Cost <= e0.Cost {
+			t.Errorf("%dh: Extra(2) %v <= Extra(0) %v", h, e2.Cost, e0.Cost)
+		}
+		// Availability ordering: Jupiter >= Extra(0, 0.2).
+		if j.Availability < e0.Availability {
+			t.Errorf("%dh: Jupiter availability %v below Extra(0,0.2) %v",
+				h, j.Availability, e0.Availability)
+		}
+	}
+	// Extra's availability degrades as intervals grow (§5.5).
+	if get("Extra(0, 0.2)", 12).Availability >= get("Extra(0, 0.2)", 1).Availability {
+		t.Error("Extra(0,0.2) availability did not degrade with interval")
+	}
+
+	h, err := HeadlineFrom(rows, "lock", LockSpec().TargetAvailability())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ReductionPercent < 50 {
+		t.Errorf("headline reduction %.1f%%, want > 50%%", h.ReductionPercent)
+	}
+	out := RenderSweep(rows, "lock")
+	if !strings.Contains(out, "Jupiter") || !strings.Contains(out, "availability") {
+		t.Error("sweep rendering incomplete")
+	}
+	if RenderHeadline([]Headline{h}) == "" {
+		t.Error("headline rendering empty")
+	}
+}
+
+func TestExample3Numbers(t *testing.T) {
+	r, err := quick().Example3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3: 0.9999901494 availability, ~25.5 s downtime per month.
+	if r.OnDemandAvailability < 0.99999 || r.OnDemandAvailability > 0.999991 {
+		t.Errorf("on-demand availability %.10f", r.OnDemandAvailability)
+	}
+	if r.OnDemandDowntimeSec < 25 || r.OnDemandDowntimeSec > 26 {
+		t.Errorf("on-demand downtime %.2f s, want ~25.5", r.OnDemandDowntimeSec)
+	}
+	// Naive spot-price bidding: far worse (paper: >1500 s downtime).
+	if r.NaiveDowntimeSec < 1500 {
+		t.Errorf("naive downtime %.0f s, want > 1500 (paper §3)", r.NaiveDowntimeSec)
+	}
+	out, err := quick().RenderExample3()
+	if err != nil || out == "" {
+		t.Errorf("rendering: %v", err)
+	}
+}
+
+func TestHeadlineFromMissingRows(t *testing.T) {
+	if _, err := HeadlineFrom(nil, "lock", 0.999); err == nil {
+		t.Fatal("empty rows accepted")
+	}
+}

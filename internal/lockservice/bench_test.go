@@ -1,0 +1,25 @@
+package lockservice
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+// BenchmarkAcquireRelease measures full lock cycles through Paxos.
+func BenchmarkAcquireRelease(b *testing.B) {
+	net := simnet.New(1)
+	s := New(net, members(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lock := fmt.Sprintf("/bench/%d", i%16)
+		ok, _, err := s.Acquire("client", lock, 0)
+		if err != nil || !ok {
+			b.Fatalf("acquire: %v %v", ok, err)
+		}
+		if _, err := s.Release("client", lock); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

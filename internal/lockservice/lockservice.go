@@ -1,0 +1,291 @@
+// Package lockservice implements a Chubby-like distributed advisory lock
+// service (paper §5.1.1) as a replicated state machine over Paxos with
+// full-copy replication (m = 1). A standard deployment has 5 replicas
+// and tolerates any two simultaneous failures; the bidding framework
+// rotates replicas between bidding intervals via Paxos view change.
+package lockservice
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/paxos"
+	"repro/internal/simnet"
+)
+
+// op is a lock command as replicated through Paxos.
+type op struct {
+	Op     string `json:"op"` // "acquire" | "release"
+	Lock   string `json:"lock"`
+	Client string `json:"client"`
+	// LeaseTicks > 0 bounds the hold time in virtual ticks; 0 means
+	// hold until released. Stamped by the proposer against the shared
+	// virtual clock, so expiry is deterministic across replicas.
+	LeaseTicks int64 `json:"lease_ticks,omitempty"`
+	Now        int64 `json:"now"`
+}
+
+// holder records the current owner of a lock.
+type holder struct {
+	client   string
+	sequence uint64 // Chubby-style lock sequencer, increases per grant
+	expires  int64  // 0 = no lease
+}
+
+// result is the outcome of one command, recorded per cmdID so clients
+// can read their command's verdict after it commits.
+type result struct {
+	OK       bool
+	Sequence uint64
+	Holder   string
+}
+
+// sm is the lock table state machine; one per replica, all
+// deterministic replicas of each other.
+type sm struct {
+	locks   map[string]*holder
+	results map[uint64]result
+	nextSeq uint64
+}
+
+func newSM() *sm {
+	return &sm{locks: make(map[string]*holder), results: make(map[uint64]result)}
+}
+
+// Apply implements paxos.StateMachine.
+func (s *sm) Apply(slot uint64, kind paxos.CmdKind, cmdID uint64, meta, payload []byte, shardIdx, viewSize int) {
+	if kind != paxos.KindApp {
+		return
+	}
+	var o op
+	if err := json.Unmarshal(payload, &o); err != nil {
+		s.results[cmdID] = result{OK: false}
+		return
+	}
+	h := s.locks[o.Lock]
+	// Lazy lease expiry against the deterministic command timestamp.
+	if h != nil && h.expires != 0 && o.Now >= h.expires {
+		delete(s.locks, o.Lock)
+		h = nil
+	}
+	switch o.Op {
+	case "acquire":
+		if h != nil && h.client != o.Client {
+			s.results[cmdID] = result{OK: false, Holder: h.client}
+			return
+		}
+		if h != nil && h.client == o.Client {
+			// Re-acquire refreshes the lease, keeping the sequencer.
+			if o.LeaseTicks > 0 {
+				h.expires = o.Now + o.LeaseTicks
+			}
+			s.results[cmdID] = result{OK: true, Sequence: h.sequence}
+			return
+		}
+		s.nextSeq++
+		nh := &holder{client: o.Client, sequence: s.nextSeq}
+		if o.LeaseTicks > 0 {
+			nh.expires = o.Now + o.LeaseTicks
+		}
+		s.locks[o.Lock] = nh
+		s.results[cmdID] = result{OK: true, Sequence: nh.sequence}
+	case "release":
+		if h == nil || h.client != o.Client {
+			curr := ""
+			if h != nil {
+				curr = h.client
+			}
+			s.results[cmdID] = result{OK: false, Holder: curr}
+			return
+		}
+		delete(s.locks, o.Lock)
+		s.results[cmdID] = result{OK: true, Sequence: h.sequence}
+	default:
+		s.results[cmdID] = result{OK: false}
+	}
+}
+
+// jsonSM mirrors sm for snapshot serialization.
+type jsonSM struct {
+	Locks   map[string]jsonHolder `json:"locks"`
+	Results map[uint64]jsonResult `json:"results"`
+	NextSeq uint64                `json:"next_seq"`
+}
+
+type jsonHolder struct {
+	Client   string `json:"client"`
+	Sequence uint64 `json:"sequence"`
+	Expires  int64  `json:"expires"`
+}
+
+type jsonResult struct {
+	OK       bool   `json:"ok"`
+	Sequence uint64 `json:"sequence"`
+	Holder   string `json:"holder,omitempty"`
+}
+
+// Snapshot implements paxos.StateMachine.
+func (s *sm) Snapshot() []byte {
+	js := jsonSM{
+		Locks:   map[string]jsonHolder{},
+		Results: map[uint64]jsonResult{},
+		NextSeq: s.nextSeq,
+	}
+	for k, h := range s.locks {
+		js.Locks[k] = jsonHolder{Client: h.client, Sequence: h.sequence, Expires: h.expires}
+	}
+	for id, r := range s.results {
+		js.Results[id] = jsonResult{OK: r.OK, Sequence: r.Sequence, Holder: r.Holder}
+	}
+	data, err := json.Marshal(js)
+	if err != nil {
+		panic("lockservice: snapshot encoding: " + err.Error())
+	}
+	return data
+}
+
+// Restore implements paxos.StateMachine.
+func (s *sm) Restore(snapshot []byte) {
+	var js jsonSM
+	if err := json.Unmarshal(snapshot, &js); err != nil {
+		panic("lockservice: snapshot decoding: " + err.Error())
+	}
+	s.locks = map[string]*holder{}
+	s.results = map[uint64]result{}
+	s.nextSeq = js.NextSeq
+	for k, h := range js.Locks {
+		s.locks[k] = &holder{client: h.Client, sequence: h.Sequence, expires: h.Expires}
+	}
+	for id, r := range js.Results {
+		s.results[id] = result{OK: r.OK, Sequence: r.Sequence, Holder: r.Holder}
+	}
+}
+
+// Service is the client-facing lock service handle. Operations drive
+// the simulated network until the command commits.
+type Service struct {
+	cluster *paxos.Cluster
+	sms     map[simnet.NodeID]*sm
+}
+
+// New builds a lock service replicated across the given members.
+func New(net *simnet.Network, members []simnet.NodeID) *Service {
+	s := &Service{sms: make(map[simnet.NodeID]*sm)}
+	s.cluster = paxos.NewCluster(net, members, func(id simnet.NodeID) paxos.StateMachine {
+		m := newSM()
+		s.sms[id] = m
+		return m
+	}, paxos.DefaultOptions(1))
+	return s
+}
+
+// Cluster exposes the underlying Paxos cluster (for membership rotation
+// by the bidding framework and for tests).
+func (s *Service) Cluster() *paxos.Cluster { return s.cluster }
+
+// Acquire attempts to take the lock for the client, optionally bounded
+// by a lease in ticks. It returns the grant plus the lock sequencer.
+func (s *Service) Acquire(client, lock string, leaseTicks int64) (bool, uint64, error) {
+	return s.do(op{Op: "acquire", Lock: lock, Client: client, LeaseTicks: leaseTicks})
+}
+
+// Release drops the client's hold on the lock.
+func (s *Service) Release(client, lock string) (bool, error) {
+	ok, _, err := s.do(op{Op: "release", Lock: lock, Client: client})
+	return ok, err
+}
+
+func (s *Service) do(o op) (bool, uint64, error) {
+	o.Now = s.cluster.Net.Now()
+	payload, err := json.Marshal(o)
+	if err != nil {
+		return false, 0, fmt.Errorf("lockservice: encoding op: %w", err)
+	}
+	cmdID, err := s.cluster.Propose(payload)
+	if err != nil {
+		return false, 0, err
+	}
+	res, err := s.lookupResult(cmdID)
+	if err != nil {
+		return false, 0, err
+	}
+	return res.OK, res.Sequence, nil
+}
+
+// lookupResult reads the command verdict from any replica that applied
+// it — deterministic replication guarantees they all agree.
+func (s *Service) lookupResult(cmdID uint64) (result, error) {
+	for id, m := range s.sms {
+		if s.cluster.Net.Crashed(id) {
+			continue
+		}
+		if res, ok := m.results[cmdID]; ok {
+			return res, nil
+		}
+	}
+	return result{}, fmt.Errorf("lockservice: command %d result not found", cmdID)
+}
+
+// Holder reports the current owner of a lock as seen by the most
+// caught-up live replica, with "" for unheld.
+func (s *Service) Holder(lock string) string {
+	var best *sm
+	bestFrontier := uint64(0)
+	for id, m := range s.sms {
+		n := s.cluster.Node(id)
+		if n == nil || s.cluster.Net.Crashed(id) {
+			continue
+		}
+		if n.Frontier() >= bestFrontier {
+			bestFrontier = n.Frontier()
+			best = m
+		}
+	}
+	if best == nil {
+		return ""
+	}
+	h := best.locks[lock]
+	if h == nil {
+		return ""
+	}
+	if h.expires != 0 && s.cluster.Net.Now() >= h.expires {
+		return ""
+	}
+	return h.client
+}
+
+// Rotate performs the bidding framework's make-before-break instance
+// replacement: add the new members, commit the view change, then retire
+// the old instances.
+func (s *Service) Rotate(add, remove []simnet.NodeID) error {
+	current := map[simnet.NodeID]bool{}
+	var anyNode *paxos.Node
+	for id, n := range s.cluster.Nodes() {
+		_ = id
+		anyNode = n
+		break
+	}
+	if anyNode == nil {
+		return fmt.Errorf("lockservice: empty cluster")
+	}
+	for _, id := range anyNode.CurrentView() {
+		current[id] = true
+	}
+	for _, id := range add {
+		current[id] = true
+	}
+	for _, id := range remove {
+		delete(current, id)
+	}
+	var next []simnet.NodeID
+	for id := range current {
+		next = append(next, id)
+	}
+	if err := s.cluster.Reconfigure(next); err != nil {
+		return err
+	}
+	for _, id := range remove {
+		s.cluster.StopNode(id)
+	}
+	return nil
+}

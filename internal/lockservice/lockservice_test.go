@@ -1,0 +1,228 @@
+package lockservice
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+func members(n int) []simnet.NodeID {
+	out := make([]simnet.NodeID, n)
+	for i := range out {
+		out[i] = simnet.NodeID(fmt.Sprintf("replica-%d", i))
+	}
+	return out
+}
+
+func newService(t *testing.T, n int, seed uint64) *Service {
+	t.Helper()
+	net := simnet.New(seed)
+	return New(net, members(n))
+}
+
+func TestAcquireRelease(t *testing.T) {
+	s := newService(t, 5, 1)
+	ok, seq, err := s.Acquire("alice", "/locks/db", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || seq == 0 {
+		t.Fatalf("acquire: ok=%v seq=%d", ok, seq)
+	}
+	if h := s.Holder("/locks/db"); h != "alice" {
+		t.Fatalf("holder = %q", h)
+	}
+	released, err := s.Release("alice", "/locks/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !released {
+		t.Fatal("release failed")
+	}
+	if h := s.Holder("/locks/db"); h != "" {
+		t.Fatalf("holder after release = %q", h)
+	}
+}
+
+func TestMutualExclusion(t *testing.T) {
+	s := newService(t, 5, 2)
+	ok, _, err := s.Acquire("alice", "/l", 0)
+	if err != nil || !ok {
+		t.Fatalf("alice acquire: %v %v", ok, err)
+	}
+	ok, _, err = s.Acquire("bob", "/l", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("bob acquired a held lock")
+	}
+	// Release frees it for bob.
+	if _, err := s.Release("alice", "/l"); err != nil {
+		t.Fatal(err)
+	}
+	ok, _, err = s.Acquire("bob", "/l", 0)
+	if err != nil || !ok {
+		t.Fatalf("bob acquire after release: %v %v", ok, err)
+	}
+}
+
+func TestSequencersIncrease(t *testing.T) {
+	s := newService(t, 3, 3)
+	_, seq1, err := s.Acquire("a", "/l", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Release("a", "/l"); err != nil {
+		t.Fatal(err)
+	}
+	_, seq2, err := s.Acquire("b", "/l", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq2 <= seq1 {
+		t.Fatalf("sequencer did not increase: %d then %d", seq1, seq2)
+	}
+}
+
+func TestReacquireRefreshesLease(t *testing.T) {
+	s := newService(t, 3, 4)
+	ok, seq1, err := s.Acquire("a", "/l", 100000)
+	if err != nil || !ok {
+		t.Fatal("initial acquire failed")
+	}
+	ok, seq2, err := s.Acquire("a", "/l", 100000)
+	if err != nil || !ok {
+		t.Fatal("re-acquire by holder failed")
+	}
+	if seq1 != seq2 {
+		t.Fatalf("re-acquire changed sequencer: %d -> %d", seq1, seq2)
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	s := newService(t, 3, 5)
+	ok, _, err := s.Acquire("a", "/l", 50)
+	if err != nil || !ok {
+		t.Fatal("acquire failed")
+	}
+	// Drive the clock past the lease by issuing unrelated commands.
+	for i := 0; i < 5; i++ {
+		if _, _, err := s.Acquire("noise", fmt.Sprintf("/other-%d", i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.cluster.Net.Now() <= 50 {
+		t.Skip("virtual clock did not advance far enough")
+	}
+	ok, _, err = s.Acquire("b", "/l", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("expired lease not reclaimed")
+	}
+}
+
+func TestReleaseByNonHolderFails(t *testing.T) {
+	s := newService(t, 3, 6)
+	if ok, _, _ := s.Acquire("a", "/l", 0); !ok {
+		t.Fatal("acquire failed")
+	}
+	ok, err := s.Release("b", "/l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("non-holder release succeeded")
+	}
+	if h := s.Holder("/l"); h != "a" {
+		t.Fatalf("holder = %q after bogus release", h)
+	}
+}
+
+func TestReleaseUnheldFails(t *testing.T) {
+	s := newService(t, 3, 7)
+	ok, err := s.Release("a", "/never")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("release of unheld lock succeeded")
+	}
+}
+
+func TestSurvivesTwoReplicaFailures(t *testing.T) {
+	s := newService(t, 5, 8)
+	if ok, _, _ := s.Acquire("a", "/l", 0); !ok {
+		t.Fatal("acquire failed")
+	}
+	// Crash two replicas (possibly including the leader).
+	crashed := 0
+	for _, id := range members(5) {
+		if crashed == 2 {
+			break
+		}
+		s.cluster.Net.Crash(id)
+		crashed++
+	}
+	// The service still operates.
+	ok, _, err := s.Acquire("b", "/m", 0)
+	if err != nil || !ok {
+		t.Fatalf("acquire with 2 down: ok=%v err=%v", ok, err)
+	}
+	if h := s.Holder("/l"); h != "a" {
+		t.Fatalf("state lost after failures: holder=%q", h)
+	}
+}
+
+func TestRotationKeepsState(t *testing.T) {
+	// The bidding framework's core maneuver: replace replicas between
+	// bidding intervals without losing lock state.
+	s := newService(t, 5, 9)
+	if ok, _, _ := s.Acquire("a", "/l", 0); !ok {
+		t.Fatal("acquire failed")
+	}
+	if err := s.Rotate([]simnet.NodeID{"fresh-0", "fresh-1"}, []simnet.NodeID{"replica-0", "replica-1"}); err != nil {
+		t.Fatal(err)
+	}
+	s.cluster.Settle(100000)
+	if h := s.Holder("/l"); h != "a" {
+		t.Fatalf("lock state lost in rotation: holder=%q", h)
+	}
+	// New membership works for new commands.
+	ok, _, err := s.Acquire("b", "/m", 0)
+	if err != nil || !ok {
+		t.Fatalf("post-rotation acquire: ok=%v err=%v", ok, err)
+	}
+	// The rotated view no longer contains the removed replicas.
+	view := s.cluster.Node("fresh-0").CurrentView()
+	if len(view) != 5 {
+		t.Fatalf("view size %d", len(view))
+	}
+	for _, id := range view {
+		if id == "replica-0" || id == "replica-1" {
+			t.Fatalf("removed replica %s still in view", id)
+		}
+	}
+}
+
+func TestManyLocksIndependent(t *testing.T) {
+	s := newService(t, 3, 10)
+	for i := 0; i < 10; i++ {
+		lock := fmt.Sprintf("/locks/%d", i)
+		client := fmt.Sprintf("client-%d", i%3)
+		ok, _, err := s.Acquire(client, lock, 0)
+		if err != nil || !ok {
+			t.Fatalf("acquire %s: ok=%v err=%v", lock, ok, err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		lock := fmt.Sprintf("/locks/%d", i)
+		want := fmt.Sprintf("client-%d", i%3)
+		if h := s.Holder(lock); h != want {
+			t.Fatalf("holder(%s) = %q, want %q", lock, h, want)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package market
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Region is an EC2 geographic region with its isolated availability zones
+// (paper Table 1).
+type Region struct {
+	Name     string   // e.g. "us-east-1"
+	Location string   // e.g. "Virginia"
+	Zones    []string // e.g. ["us-east-1a", ...]
+}
+
+// InstanceType identifies an EC2 virtual machine type.
+type InstanceType string
+
+// Instance types used in the paper's evaluation.
+const (
+	M1Small InstanceType = "m1.small" // lock-service experiments
+	M3Large InstanceType = "m3.large" // storage-service experiments
+)
+
+// regionSpec describes one Table 1 row plus the per-instance-type
+// on-demand price for zones in that region. The paper reports m1.small
+// on-demand at $0.044–0.061/h and m3.large at $0.14–0.201/h depending on
+// region; the assignment below spreads regions over those ranges the way
+// EC2 did in 2014 (US cheapest, São Paulo most expensive).
+type regionSpec struct {
+	name      string
+	location  string
+	zoneCount int
+	odM1Small Money
+	odM3Large Money
+}
+
+var regionSpecs = []regionSpec{
+	{"us-east-1", "Virginia", 4, FromDollars(0.044), FromDollars(0.140)},
+	{"us-west-2", "Oregon", 3, FromDollars(0.044), FromDollars(0.140)},
+	{"us-west-1", "California", 3, FromDollars(0.047), FromDollars(0.154)},
+	{"eu-west-1", "Ireland", 3, FromDollars(0.047), FromDollars(0.154)},
+	{"eu-central-1", "Frankfurt", 2, FromDollars(0.050), FromDollars(0.158)},
+	{"ap-southeast-1", "Singapore", 2, FromDollars(0.058), FromDollars(0.196)},
+	{"ap-northeast-1", "Tokyo", 3, FromDollars(0.061), FromDollars(0.193)},
+	{"ap-southeast-2", "Sydney", 2, FromDollars(0.058), FromDollars(0.186)},
+	{"sa-east-1", "Sao Paulo", 2, FromDollars(0.061), FromDollars(0.201)},
+}
+
+// Regions returns the Table 1 catalog: nine regions, 24 availability
+// zones in total.
+func Regions() []Region {
+	out := make([]Region, 0, len(regionSpecs))
+	for _, rs := range regionSpecs {
+		r := Region{Name: rs.name, Location: rs.location}
+		for i := 0; i < rs.zoneCount; i++ {
+			r.Zones = append(r.Zones, fmt.Sprintf("%s%c", rs.name, 'a'+i))
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// AllZones returns every availability zone name in the catalog, sorted.
+func AllZones() []string {
+	var zones []string
+	for _, r := range Regions() {
+		zones = append(zones, r.Zones...)
+	}
+	sort.Strings(zones)
+	return zones
+}
+
+// ExperimentZones returns the 17 availability zones the paper's
+// evaluation ran over (§5.2). The subset drops the later zones of the
+// largest regions, which had the sparsest price histories in 2014.
+func ExperimentZones() []string {
+	drop := map[string]bool{
+		"us-east-1d":      true,
+		"us-west-1c":      true,
+		"eu-west-1c":      true,
+		"ap-northeast-1c": true,
+		"us-west-2c":      true,
+		"eu-central-1b":   true,
+		"sa-east-1b":      true,
+	}
+	var zones []string
+	for _, z := range AllZones() {
+		if !drop[z] {
+			zones = append(zones, z)
+		}
+	}
+	return zones
+}
+
+// RegionOfZone returns the region a zone belongs to, or an error for an
+// unknown zone name.
+func RegionOfZone(zone string) (Region, error) {
+	for _, r := range Regions() {
+		for _, z := range r.Zones {
+			if z == zone {
+				return r, nil
+			}
+		}
+	}
+	return Region{}, fmt.Errorf("market: unknown availability zone %q", zone)
+}
+
+// OnDemandPrice returns the hourly on-demand price for the instance type
+// in the given zone. Prices are uniform within a region, as on EC2.
+func OnDemandPrice(zone string, it InstanceType) (Money, error) {
+	r, err := RegionOfZone(zone)
+	if err != nil {
+		return 0, err
+	}
+	for _, rs := range regionSpecs {
+		if rs.name == r.Name {
+			switch it {
+			case M1Small:
+				return rs.odM1Small, nil
+			case M3Large:
+				return rs.odM3Large, nil
+			default:
+				return 0, fmt.Errorf("market: unknown instance type %q", it)
+			}
+		}
+	}
+	return 0, fmt.Errorf("market: unknown region %q", r.Name)
+}
+
+// MaxBid returns the EC2 cap on a spot bid: four times the on-demand
+// price (§2.1).
+func MaxBid(zone string, it InstanceType) (Money, error) {
+	od, err := OnDemandPrice(zone, it)
+	if err != nil {
+		return 0, err
+	}
+	return od * 4, nil
+}
+
+// OnDemandFailureProbability is the per-time-unit failure probability of
+// an on-demand instance implied by the EC2 SLA (99% availability), used
+// as FP' throughout the paper.
+const OnDemandFailureProbability = 0.01

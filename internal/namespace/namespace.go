@@ -1,0 +1,659 @@
+// Package namespace implements the Chubby-like interface the paper's
+// lock service is modeled on (§5.1.1, Burrows 2006): a small
+// hierarchical file system with advisory locks, replicated through
+// Paxos. It provides directories and small files with versioned
+// contents, advisory locks with monotonic sequencers, client sessions
+// with leases, ephemeral nodes that vanish with their session, and a
+// per-path event log that clients poll as a watch mechanism.
+//
+// All mutations are Paxos commands applied deterministically on every
+// replica; reads are served from the most caught-up live replica.
+package namespace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/paxos"
+	"repro/internal/simnet"
+)
+
+// EventType classifies namespace events.
+type EventType string
+
+// Event types recorded in per-path logs.
+const (
+	EventCreated      EventType = "created"
+	EventDeleted      EventType = "deleted"
+	EventModified     EventType = "modified"
+	EventLockAcquired EventType = "lock-acquired"
+	EventLockReleased EventType = "lock-released"
+)
+
+// Event is one namespace change, observable via Service.Events.
+type Event struct {
+	Seq     uint64    // global, monotonically increasing
+	Path    string    // affected node
+	Type    EventType //
+	Session string    // session that caused it ("" for expiry)
+}
+
+// op is a namespace command as replicated through Paxos.
+type op struct {
+	Op        string `json:"op"`
+	Path      string `json:"path,omitempty"`
+	Session   string `json:"session,omitempty"`
+	Contents  []byte `json:"contents,omitempty"`
+	Dir       bool   `json:"dir,omitempty"`
+	Ephemeral bool   `json:"ephemeral,omitempty"`
+	TTLTicks  int64  `json:"ttl,omitempty"`
+	// Version for conditional writes; 0 = unconditional.
+	IfVersion uint64 `json:"if_version,omitempty"`
+	Now       int64  `json:"now"`
+}
+
+// node is one file or directory.
+type node struct {
+	dir       bool
+	contents  []byte
+	version   uint64 // bumped on every contents change
+	ephemeral bool
+	owner     string // session that created an ephemeral node
+	// Advisory lock state.
+	lockHolder  string // session holding the lock ("" = free)
+	lockSeq     uint64
+	lockExpires int64 // 0 = until released or session expiry
+	children    map[string]bool
+}
+
+// session is a client session with a lease.
+type session struct {
+	expires int64 // 0 = no lease
+}
+
+// result reports a command's outcome to the issuing client.
+type result struct {
+	OK       bool
+	Err      string
+	Version  uint64
+	Sequence uint64
+	Contents []byte
+}
+
+// sm is the namespace state machine.
+type sm struct {
+	nodes    map[string]*node
+	sessions map[string]*session
+	results  map[uint64]result
+	events   []Event
+	eventSeq uint64
+	lockSeq  uint64
+	// eventCap bounds the retained event log.
+	eventCap int
+}
+
+func newSM() *sm {
+	s := &sm{
+		nodes:    map[string]*node{"/": {dir: true, children: map[string]bool{}}},
+		sessions: map[string]*session{},
+		results:  map[uint64]result{},
+		eventCap: 4096,
+	}
+	return s
+}
+
+func parent(path string) string {
+	i := strings.LastIndex(path, "/")
+	if i <= 0 {
+		return "/"
+	}
+	return path[:i]
+}
+
+func validPath(path string) bool {
+	if path == "/" {
+		return true
+	}
+	if !strings.HasPrefix(path, "/") || strings.HasSuffix(path, "/") {
+		return false
+	}
+	for _, seg := range strings.Split(path[1:], "/") {
+		if seg == "" {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *sm) emit(path string, t EventType, sess string) {
+	s.eventSeq++
+	s.events = append(s.events, Event{Seq: s.eventSeq, Path: path, Type: t, Session: sess})
+	if len(s.events) > s.eventCap {
+		s.events = s.events[len(s.events)-s.eventCap:]
+	}
+}
+
+// expireSessions lazily removes sessions (and their ephemeral nodes and
+// locks) whose lease has passed, as of the deterministic command time.
+func (s *sm) expireSessions(now int64) {
+	var dead []string
+	for name, sess := range s.sessions {
+		if sess.expires != 0 && now >= sess.expires {
+			dead = append(dead, name)
+		}
+	}
+	sort.Strings(dead) // deterministic cleanup order
+	for _, name := range dead {
+		delete(s.sessions, name)
+		s.cleanupSession(name)
+	}
+}
+
+func (s *sm) cleanupSession(name string) {
+	var paths []string
+	for p := range s.nodes {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		n, ok := s.nodes[p]
+		if !ok {
+			continue
+		}
+		if n.lockHolder == name {
+			n.lockHolder = ""
+			n.lockExpires = 0
+			s.emit(p, EventLockReleased, "")
+		}
+		if n.ephemeral && n.owner == name {
+			s.deleteSubtree(p, "")
+		}
+	}
+}
+
+func (s *sm) deleteSubtree(path string, sess string) {
+	n, ok := s.nodes[path]
+	if !ok {
+		return
+	}
+	if n.dir {
+		var kids []string
+		for k := range n.children {
+			kids = append(kids, k)
+		}
+		sort.Strings(kids)
+		for _, k := range kids {
+			s.deleteSubtree(k, sess)
+		}
+	}
+	delete(s.nodes, path)
+	if p, ok := s.nodes[parent(path)]; ok {
+		delete(p.children, path)
+	}
+	s.emit(path, EventDeleted, sess)
+}
+
+// Apply implements paxos.StateMachine.
+func (s *sm) Apply(slot uint64, kind paxos.CmdKind, cmdID uint64, meta, payload []byte, shardIdx, viewSize int) {
+	if kind != paxos.KindApp {
+		return
+	}
+	var o op
+	if err := json.Unmarshal(payload, &o); err != nil {
+		s.results[cmdID] = result{Err: "bad command encoding"}
+		return
+	}
+	s.expireSessions(o.Now)
+	s.results[cmdID] = s.apply(o)
+}
+
+func (s *sm) apply(o op) result {
+	switch o.Op {
+	case "open-session":
+		sess := &session{}
+		if o.TTLTicks > 0 {
+			sess.expires = o.Now + o.TTLTicks
+		}
+		s.sessions[o.Session] = sess
+		return result{OK: true}
+	case "keepalive":
+		sess, ok := s.sessions[o.Session]
+		if !ok {
+			return result{Err: "no such session"}
+		}
+		if o.TTLTicks > 0 {
+			sess.expires = o.Now + o.TTLTicks
+		}
+		return result{OK: true}
+	case "close-session":
+		if _, ok := s.sessions[o.Session]; !ok {
+			return result{Err: "no such session"}
+		}
+		delete(s.sessions, o.Session)
+		s.cleanupSession(o.Session)
+		return result{OK: true}
+	}
+
+	if _, ok := s.sessions[o.Session]; !ok {
+		return result{Err: "no such session"}
+	}
+	if !validPath(o.Path) {
+		return result{Err: "invalid path"}
+	}
+
+	switch o.Op {
+	case "create":
+		if _, exists := s.nodes[o.Path]; exists {
+			return result{Err: "node exists"}
+		}
+		par, ok := s.nodes[parent(o.Path)]
+		if !ok || !par.dir {
+			return result{Err: "parent is not a directory"}
+		}
+		n := &node{dir: o.Dir, contents: o.Contents, version: 1, ephemeral: o.Ephemeral, owner: o.Session}
+		if o.Dir {
+			n.children = map[string]bool{}
+		}
+		s.nodes[o.Path] = n
+		par.children[o.Path] = true
+		s.emit(o.Path, EventCreated, o.Session)
+		return result{OK: true, Version: 1}
+	case "delete":
+		n, ok := s.nodes[o.Path]
+		if !ok {
+			return result{Err: "no such node"}
+		}
+		if o.Path == "/" {
+			return result{Err: "cannot delete root"}
+		}
+		if n.dir && len(n.children) > 0 {
+			return result{Err: "directory not empty"}
+		}
+		if o.IfVersion != 0 && n.version != o.IfVersion {
+			return result{Err: "version mismatch", Version: n.version}
+		}
+		s.deleteSubtree(o.Path, o.Session)
+		return result{OK: true}
+	case "write":
+		n, ok := s.nodes[o.Path]
+		if !ok {
+			return result{Err: "no such node"}
+		}
+		if n.dir {
+			return result{Err: "is a directory"}
+		}
+		if o.IfVersion != 0 && n.version != o.IfVersion {
+			return result{Err: "version mismatch", Version: n.version}
+		}
+		n.contents = o.Contents
+		n.version++
+		s.emit(o.Path, EventModified, o.Session)
+		return result{OK: true, Version: n.version}
+	case "acquire":
+		n, ok := s.nodes[o.Path]
+		if !ok {
+			return result{Err: "no such node"}
+		}
+		if n.lockHolder != "" && n.lockExpires != 0 && o.Now >= n.lockExpires {
+			n.lockHolder = ""
+			n.lockExpires = 0
+			s.emit(o.Path, EventLockReleased, "")
+		}
+		if n.lockHolder != "" && n.lockHolder != o.Session {
+			return result{Err: "lock held", Contents: []byte(n.lockHolder)}
+		}
+		if n.lockHolder == o.Session {
+			if o.TTLTicks > 0 {
+				n.lockExpires = o.Now + o.TTLTicks
+			}
+			return result{OK: true, Sequence: n.lockSeq}
+		}
+		s.lockSeq++
+		n.lockHolder = o.Session
+		n.lockSeq = s.lockSeq
+		if o.TTLTicks > 0 {
+			n.lockExpires = o.Now + o.TTLTicks
+		} else {
+			n.lockExpires = 0
+		}
+		s.emit(o.Path, EventLockAcquired, o.Session)
+		return result{OK: true, Sequence: n.lockSeq}
+	case "release":
+		n, ok := s.nodes[o.Path]
+		if !ok {
+			return result{Err: "no such node"}
+		}
+		if n.lockHolder != o.Session {
+			return result{Err: "not the holder"}
+		}
+		n.lockHolder = ""
+		n.lockExpires = 0
+		s.emit(o.Path, EventLockReleased, o.Session)
+		return result{OK: true, Sequence: n.lockSeq}
+	default:
+		return result{Err: fmt.Sprintf("unknown op %q", o.Op)}
+	}
+}
+
+// jsonNS mirrors sm for snapshot serialization.
+type jsonNS struct {
+	Nodes    map[string]jsonNode    `json:"nodes"`
+	Sessions map[string]jsonSession `json:"sessions"`
+	Results  map[uint64]result      `json:"results"`
+	Events   []Event                `json:"events"`
+	EventSeq uint64                 `json:"event_seq"`
+	LockSeq  uint64                 `json:"lock_seq"`
+}
+
+type jsonNode struct {
+	Dir         bool     `json:"dir"`
+	Contents    []byte   `json:"contents,omitempty"`
+	Version     uint64   `json:"version"`
+	Ephemeral   bool     `json:"ephemeral"`
+	Owner       string   `json:"owner,omitempty"`
+	LockHolder  string   `json:"lock_holder,omitempty"`
+	LockSeq     uint64   `json:"lock_seq"`
+	LockExpires int64    `json:"lock_expires"`
+	Children    []string `json:"children,omitempty"`
+}
+
+type jsonSession struct {
+	Expires int64 `json:"expires"`
+}
+
+// Snapshot implements paxos.StateMachine.
+func (s *sm) Snapshot() []byte {
+	js := jsonNS{
+		Nodes:    map[string]jsonNode{},
+		Sessions: map[string]jsonSession{},
+		Results:  s.results,
+		Events:   s.events,
+		EventSeq: s.eventSeq,
+		LockSeq:  s.lockSeq,
+	}
+	for p, n := range s.nodes {
+		jn := jsonNode{
+			Dir: n.dir, Contents: n.contents, Version: n.version,
+			Ephemeral: n.ephemeral, Owner: n.owner,
+			LockHolder: n.lockHolder, LockSeq: n.lockSeq, LockExpires: n.lockExpires,
+		}
+		for k := range n.children {
+			jn.Children = append(jn.Children, k)
+		}
+		sort.Strings(jn.Children)
+		js.Nodes[p] = jn
+	}
+	for name, sess := range s.sessions {
+		js.Sessions[name] = jsonSession{Expires: sess.expires}
+	}
+	data, err := json.Marshal(js)
+	if err != nil {
+		panic("namespace: snapshot encoding: " + err.Error())
+	}
+	return data
+}
+
+// Restore implements paxos.StateMachine.
+func (s *sm) Restore(snapshot []byte) {
+	var js jsonNS
+	if err := json.Unmarshal(snapshot, &js); err != nil {
+		panic("namespace: snapshot decoding: " + err.Error())
+	}
+	s.nodes = map[string]*node{}
+	s.sessions = map[string]*session{}
+	for name, sess := range js.Sessions {
+		s.sessions[name] = &session{expires: sess.Expires}
+	}
+	s.results = js.Results
+	if s.results == nil {
+		s.results = map[uint64]result{}
+	}
+	s.events = js.Events
+	s.eventSeq = js.EventSeq
+	s.lockSeq = js.LockSeq
+	for p, jn := range js.Nodes {
+		n := &node{
+			dir: jn.Dir, contents: jn.Contents, version: jn.Version,
+			ephemeral: jn.Ephemeral, owner: jn.Owner,
+			lockHolder: jn.LockHolder, lockSeq: jn.LockSeq, lockExpires: jn.LockExpires,
+		}
+		if jn.Dir {
+			n.children = map[string]bool{}
+			for _, k := range jn.Children {
+				n.children[k] = true
+			}
+		}
+		s.nodes[p] = n
+	}
+	if _, ok := s.nodes["/"]; !ok {
+		s.nodes["/"] = &node{dir: true, children: map[string]bool{}}
+	}
+}
+
+// --- client-facing service ---
+
+// Service is the replicated namespace handle.
+type Service struct {
+	cluster *paxos.Cluster
+	sms     map[simnet.NodeID]*sm
+}
+
+// New builds a namespace replicated across the given members.
+func New(net *simnet.Network, members []simnet.NodeID) *Service {
+	s := &Service{sms: make(map[simnet.NodeID]*sm)}
+	s.cluster = paxos.NewCluster(net, members, func(id simnet.NodeID) paxos.StateMachine {
+		m := newSM()
+		s.sms[id] = m
+		return m
+	}, paxos.DefaultOptions(1))
+	return s
+}
+
+// Cluster exposes the underlying Paxos cluster for rotation and tests.
+func (s *Service) Cluster() *paxos.Cluster { return s.cluster }
+
+func (s *Service) do(o op) (result, error) {
+	o.Now = s.cluster.Net.Now()
+	payload, err := json.Marshal(o)
+	if err != nil {
+		return result{}, fmt.Errorf("namespace: encoding op: %w", err)
+	}
+	cmdID, err := s.cluster.Propose(payload)
+	if err != nil {
+		return result{}, err
+	}
+	for id, m := range s.sms {
+		if s.cluster.Net.Crashed(id) {
+			continue
+		}
+		if res, ok := m.results[cmdID]; ok {
+			return res, nil
+		}
+	}
+	return result{}, fmt.Errorf("namespace: command %d result not found", cmdID)
+}
+
+// errOf converts an applied result to a Go error.
+func errOf(r result) error {
+	if r.OK {
+		return nil
+	}
+	return fmt.Errorf("namespace: %s", r.Err)
+}
+
+// OpenSession starts a client session; ttlTicks = 0 means no lease.
+func (s *Service) OpenSession(name string, ttlTicks int64) error {
+	r, err := s.do(op{Op: "open-session", Session: name, TTLTicks: ttlTicks})
+	if err != nil {
+		return err
+	}
+	return errOf(r)
+}
+
+// KeepAlive extends a session's lease.
+func (s *Service) KeepAlive(name string, ttlTicks int64) error {
+	r, err := s.do(op{Op: "keepalive", Session: name, TTLTicks: ttlTicks})
+	if err != nil {
+		return err
+	}
+	return errOf(r)
+}
+
+// CloseSession ends a session, releasing its locks and ephemeral nodes.
+func (s *Service) CloseSession(name string) error {
+	r, err := s.do(op{Op: "close-session", Session: name})
+	if err != nil {
+		return err
+	}
+	return errOf(r)
+}
+
+// Create makes a file (dir=false) or directory at path. Ephemeral
+// nodes disappear when their session ends.
+func (s *Service) Create(sess, path string, dir, ephemeral bool, contents []byte) error {
+	r, err := s.do(op{Op: "create", Session: sess, Path: path, Dir: dir, Ephemeral: ephemeral, Contents: contents})
+	if err != nil {
+		return err
+	}
+	return errOf(r)
+}
+
+// Delete removes a node; ifVersion != 0 makes it conditional.
+func (s *Service) Delete(sess, path string, ifVersion uint64) error {
+	r, err := s.do(op{Op: "delete", Session: sess, Path: path, IfVersion: ifVersion})
+	if err != nil {
+		return err
+	}
+	return errOf(r)
+}
+
+// Write replaces a file's contents, returning the new version;
+// ifVersion != 0 makes it a compare-and-swap.
+func (s *Service) Write(sess, path string, contents []byte, ifVersion uint64) (uint64, error) {
+	r, err := s.do(op{Op: "write", Session: sess, Path: path, Contents: contents, IfVersion: ifVersion})
+	if err != nil {
+		return 0, err
+	}
+	return r.Version, errOf(r)
+}
+
+// Acquire takes the advisory lock on a node, returning the Chubby-style
+// sequencer; ttlTicks bounds the hold.
+func (s *Service) Acquire(sess, path string, ttlTicks int64) (uint64, error) {
+	r, err := s.do(op{Op: "acquire", Session: sess, Path: path, TTLTicks: ttlTicks})
+	if err != nil {
+		return 0, err
+	}
+	return r.Sequence, errOf(r)
+}
+
+// Release drops an advisory lock.
+func (s *Service) Release(sess, path string) error {
+	r, err := s.do(op{Op: "release", Session: sess, Path: path})
+	if err != nil {
+		return err
+	}
+	return errOf(r)
+}
+
+// bestSM returns the most caught-up live replica's state machine.
+func (s *Service) bestSM() *sm {
+	var best *sm
+	bestFrontier := uint64(0)
+	for id, m := range s.sms {
+		n := s.cluster.Node(id)
+		if n == nil || s.cluster.Net.Crashed(id) {
+			continue
+		}
+		if n.Frontier() >= bestFrontier {
+			bestFrontier = n.Frontier()
+			best = m
+		}
+	}
+	return best
+}
+
+// Read returns a file's contents and version.
+func (s *Service) Read(path string) ([]byte, uint64, error) {
+	m := s.bestSM()
+	if m == nil {
+		return nil, 0, fmt.Errorf("namespace: no live replica")
+	}
+	n, ok := m.nodes[path]
+	if !ok {
+		return nil, 0, fmt.Errorf("namespace: no such node %q", path)
+	}
+	if n.dir {
+		return nil, 0, fmt.Errorf("namespace: %q is a directory", path)
+	}
+	return append([]byte(nil), n.contents...), n.version, nil
+}
+
+// List returns a directory's children, sorted.
+func (s *Service) List(path string) ([]string, error) {
+	m := s.bestSM()
+	if m == nil {
+		return nil, fmt.Errorf("namespace: no live replica")
+	}
+	n, ok := m.nodes[path]
+	if !ok {
+		return nil, fmt.Errorf("namespace: no such node %q", path)
+	}
+	if !n.dir {
+		return nil, fmt.Errorf("namespace: %q is not a directory", path)
+	}
+	var kids []string
+	for k := range n.children {
+		kids = append(kids, k)
+	}
+	sort.Strings(kids)
+	return kids, nil
+}
+
+// LockHolder reports the session holding a node's lock ("" = free).
+func (s *Service) LockHolder(path string) string {
+	m := s.bestSM()
+	if m == nil {
+		return ""
+	}
+	n, ok := m.nodes[path]
+	if !ok || n.lockHolder == "" {
+		return ""
+	}
+	if n.lockExpires != 0 && s.cluster.Net.Now() >= n.lockExpires {
+		return ""
+	}
+	return n.lockHolder
+}
+
+// Events returns namespace events with Seq > since, optionally filtered
+// to one path prefix ("" = all). This is the poll-based watch.
+func (s *Service) Events(pathPrefix string, since uint64) []Event {
+	m := s.bestSM()
+	if m == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range m.events {
+		if e.Seq <= since {
+			continue
+		}
+		if pathPrefix != "" && !strings.HasPrefix(e.Path, pathPrefix) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Exists reports whether a path exists.
+func (s *Service) Exists(path string) bool {
+	m := s.bestSM()
+	if m == nil {
+		return false
+	}
+	_, ok := m.nodes[path]
+	return ok
+}

@@ -1,0 +1,349 @@
+package namespace
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+func members(n int) []simnet.NodeID {
+	out := make([]simnet.NodeID, n)
+	for i := range out {
+		out[i] = simnet.NodeID(fmt.Sprintf("ns-%d", i))
+	}
+	return out
+}
+
+func newNS(t *testing.T, seed uint64) *Service {
+	t.Helper()
+	net := simnet.New(seed)
+	s := New(net, members(5))
+	if err := s.OpenSession("alice", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.OpenSession("bob", 0); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCreateReadWrite(t *testing.T) {
+	s := newNS(t, 1)
+	if err := s.Create("alice", "/cfg", true, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("alice", "/cfg/db", false, false, []byte("primary=az-a")); err != nil {
+		t.Fatal(err)
+	}
+	data, ver, err := s.Read("/cfg/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "primary=az-a" || ver != 1 {
+		t.Fatalf("read %q v%d", data, ver)
+	}
+	newVer, err := s.Write("bob", "/cfg/db", []byte("primary=az-b"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newVer != 2 {
+		t.Fatalf("version after write = %d", newVer)
+	}
+	data, _, _ = s.Read("/cfg/db")
+	if string(data) != "primary=az-b" {
+		t.Fatalf("read-after-write %q", data)
+	}
+}
+
+func TestCreateRequiresParentDir(t *testing.T) {
+	s := newNS(t, 2)
+	if err := s.Create("alice", "/nosuch/file", false, false, nil); err == nil {
+		t.Fatal("create without parent succeeded")
+	}
+	if err := s.Create("alice", "/f", false, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("alice", "/f/child", false, false, nil); err == nil {
+		t.Fatal("create under a file succeeded")
+	}
+	if err := s.Create("alice", "/f", false, false, nil); err == nil {
+		t.Fatal("duplicate create succeeded")
+	}
+}
+
+func TestInvalidPaths(t *testing.T) {
+	s := newNS(t, 3)
+	for _, p := range []string{"", "noslash", "/trail/", "/a//b"} {
+		if err := s.Create("alice", p, false, false, nil); err == nil {
+			t.Errorf("path %q accepted", p)
+		}
+	}
+}
+
+func TestDeleteSemantics(t *testing.T) {
+	s := newNS(t, 4)
+	if err := s.Create("alice", "/d", true, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("alice", "/d/f", false, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("alice", "/d", 0); err == nil {
+		t.Fatal("deleted non-empty directory")
+	}
+	if err := s.Delete("alice", "/d/f", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("alice", "/d", 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists("/d") {
+		t.Fatal("deleted directory still exists")
+	}
+	if err := s.Delete("alice", "/", 0); err == nil {
+		t.Fatal("deleted root")
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	s := newNS(t, 5)
+	if err := s.Create("alice", "/k", false, false, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// CAS with the right version succeeds.
+	v, err := s.Write("alice", "/k", []byte("v2"), 1)
+	if err != nil || v != 2 {
+		t.Fatalf("CAS v1->v2: v=%d err=%v", v, err)
+	}
+	// Stale version fails.
+	if _, err := s.Write("bob", "/k", []byte("v3"), 1); err == nil {
+		t.Fatal("stale CAS succeeded")
+	}
+	data, _, _ := s.Read("/k")
+	if string(data) != "v2" {
+		t.Fatalf("contents %q after failed CAS", data)
+	}
+	// Conditional delete.
+	if err := s.Delete("alice", "/k", 1); err == nil {
+		t.Fatal("stale conditional delete succeeded")
+	}
+	if err := s.Delete("alice", "/k", 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestList(t *testing.T) {
+	s := newNS(t, 6)
+	if err := s.Create("alice", "/svc", true, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"/svc/c", "/svc/a", "/svc/b"} {
+		if err := s.Create("alice", f, false, false, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kids, err := s.List("/svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/svc/a", "/svc/b", "/svc/c"}
+	if len(kids) != 3 {
+		t.Fatalf("List = %v", kids)
+	}
+	for i := range want {
+		if kids[i] != want[i] {
+			t.Fatalf("List = %v, want %v", kids, want)
+		}
+	}
+	if _, err := s.List("/svc/a"); err == nil {
+		t.Fatal("List of a file succeeded")
+	}
+}
+
+func TestAdvisoryLocks(t *testing.T) {
+	s := newNS(t, 7)
+	if err := s.Create("alice", "/lock", false, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	seq1, err := s.Acquire("alice", "/lock", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq1 == 0 {
+		t.Fatal("zero sequencer")
+	}
+	if _, err := s.Acquire("bob", "/lock", 0); err == nil {
+		t.Fatal("second session acquired a held lock")
+	}
+	if h := s.LockHolder("/lock"); h != "alice" {
+		t.Fatalf("holder %q", h)
+	}
+	if err := s.Release("bob", "/lock"); err == nil {
+		t.Fatal("non-holder release succeeded")
+	}
+	if err := s.Release("alice", "/lock"); err != nil {
+		t.Fatal(err)
+	}
+	seq2, err := s.Acquire("bob", "/lock", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq2 <= seq1 {
+		t.Fatalf("sequencer did not advance: %d then %d", seq1, seq2)
+	}
+}
+
+func TestEphemeralNodesVanishWithSession(t *testing.T) {
+	s := newNS(t, 8)
+	if err := s.Create("alice", "/members", true, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("bob", "/members/bob", false, true, []byte("host-b")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Exists("/members/bob") {
+		t.Fatal("ephemeral node missing")
+	}
+	if err := s.CloseSession("bob"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists("/members/bob") {
+		t.Fatal("ephemeral node survived session close")
+	}
+}
+
+func TestSessionLeaseExpiryReleasesLocksAndEphemerals(t *testing.T) {
+	s := newNS(t, 9)
+	if err := s.OpenSession("carl", 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("alice", "/l", false, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Acquire("carl", "/l", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("carl", "/eph", false, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Let the virtual clock pass carl's lease (50 ticks from its last
+	// renewal) with unrelated traffic.
+	deadline := s.cluster.Net.Now() + 60
+	for i := 0; s.cluster.Net.Now() <= deadline && i < 200; i++ {
+		if _, err := s.Write("alice", "/l", []byte{byte(i)}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.cluster.Net.Now() <= deadline {
+		t.Fatal("virtual clock failed to advance past the lease")
+	}
+	// Next command triggers lazy expiry.
+	if _, err := s.Acquire("bob", "/l", 0); err != nil {
+		t.Fatalf("lock not reclaimed from expired session: %v", err)
+	}
+	if s.Exists("/eph") {
+		t.Fatal("ephemeral node survived lease expiry")
+	}
+}
+
+func TestKeepAliveExtendsLease(t *testing.T) {
+	s := newNS(t, 10)
+	if err := s.OpenSession("dora", 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("dora", "/e", false, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Keep renewing while the clock advances.
+	for i := 0; i < 10; i++ {
+		if err := s.KeepAlive("dora", 200); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Exists("/e") {
+		t.Fatal("node lost despite keepalives")
+	}
+}
+
+func TestSessionRequired(t *testing.T) {
+	s := newNS(t, 11)
+	if err := s.Create("ghost", "/x", false, false, nil); err == nil {
+		t.Fatal("command from unknown session succeeded")
+	}
+	if err := s.KeepAlive("ghost", 10); err == nil {
+		t.Fatal("keepalive for unknown session succeeded")
+	}
+}
+
+func TestEventsLog(t *testing.T) {
+	s := newNS(t, 12)
+	if err := s.Create("alice", "/watched", false, false, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write("alice", "/watched", []byte("b"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Acquire("bob", "/watched", 0); err != nil {
+		t.Fatal(err)
+	}
+	evs := s.Events("/watched", 0)
+	if len(evs) != 3 {
+		t.Fatalf("got %d events: %+v", len(evs), evs)
+	}
+	wantTypes := []EventType{EventCreated, EventModified, EventLockAcquired}
+	for i, e := range evs {
+		if e.Type != wantTypes[i] {
+			t.Fatalf("event %d = %s, want %s", i, e.Type, wantTypes[i])
+		}
+	}
+	// Incremental poll: nothing new since the last seq.
+	if more := s.Events("/watched", evs[len(evs)-1].Seq); len(more) != 0 {
+		t.Fatalf("unexpected new events: %+v", more)
+	}
+	// Seq strictly increases.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatal("event seq not increasing")
+		}
+	}
+}
+
+func TestNamespaceSurvivesFailures(t *testing.T) {
+	s := newNS(t, 13)
+	if err := s.Create("alice", "/data", false, false, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	s.cluster.Net.Crash("ns-0")
+	s.cluster.Net.Crash("ns-1")
+	data, _, err := s.Read("/data")
+	if err != nil || !bytes.Equal(data, []byte("payload")) {
+		t.Fatalf("read with 2 down: %q %v", data, err)
+	}
+	if _, err := s.Write("alice", "/data", []byte("updated"), 0); err != nil {
+		t.Fatalf("write with 2 down: %v", err)
+	}
+}
+
+func TestNamespaceRotation(t *testing.T) {
+	s := newNS(t, 14)
+	if err := s.Create("alice", "/stay", false, false, []byte("here")); err != nil {
+		t.Fatal(err)
+	}
+	// Make-before-break rotation via the cluster, as the bidding
+	// framework performs between intervals.
+	if err := s.cluster.Reconfigure([]simnet.NodeID{"ns-2", "ns-3", "ns-4", "fresh-0", "fresh-1"}); err != nil {
+		t.Fatal(err)
+	}
+	s.cluster.StopNode("ns-0")
+	s.cluster.StopNode("ns-1")
+	s.cluster.Settle(100000)
+	data, _, err := s.Read("/stay")
+	if err != nil || string(data) != "here" {
+		t.Fatalf("read after rotation: %q %v", data, err)
+	}
+	if _, err := s.Write("alice", "/stay", []byte("still"), 0); err != nil {
+		t.Fatalf("write after rotation: %v", err)
+	}
+}

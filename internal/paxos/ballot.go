@@ -1,0 +1,44 @@
+// Package paxos implements a Multi-Paxos replicated state machine over
+// the simulated network, with the two quorum/value regimes the paper's
+// experimental systems need:
+//
+//   - classic replication (m = 1): every acceptor stores the full value,
+//     quorums are simple majorities — the substrate of the distributed
+//     lock service (§5.1.1);
+//   - RS-Paxos (m > 1): values are erasure-coded θ(m, n) and each
+//     acceptor stores only its shard; read and write quorums have size
+//     ceil((n+m)/2) so any two intersect in at least m nodes and a
+//     committed value can always be reconstructed — the substrate of the
+//     erasure-coded distributed storage service (§5.1.2, Mu et al.).
+//
+// The engine supports leader election with stable leases (heartbeats +
+// randomized election timeouts), log catch-up, and membership (view)
+// change, which the bidding framework uses to rotate spot instances
+// between bidding intervals (§4).
+package paxos
+
+import (
+	"fmt"
+
+	"repro/internal/simnet"
+)
+
+// Ballot orders proposal rounds; ties break by proposer identity.
+type Ballot struct {
+	Round    uint64
+	Proposer simnet.NodeID
+}
+
+// Less reports strict ballot order.
+func (b Ballot) Less(o Ballot) bool {
+	if b.Round != o.Round {
+		return b.Round < o.Round
+	}
+	return b.Proposer < o.Proposer
+}
+
+// IsZero reports whether the ballot is the zero value (no proposal yet).
+func (b Ballot) IsZero() bool { return b.Round == 0 && b.Proposer == "" }
+
+// String renders the ballot compactly.
+func (b Ballot) String() string { return fmt.Sprintf("%d.%s", b.Round, b.Proposer) }

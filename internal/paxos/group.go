@@ -1,0 +1,157 @@
+package paxos
+
+import (
+	"fmt"
+
+	"repro/internal/simnet"
+)
+
+// Cluster drives a Paxos group over a simulated network: creating
+// replicas, submitting commands, waiting for commits, and changing
+// membership. It is the harness the lock and storage services build on.
+type Cluster struct {
+	Net     *simnet.Network
+	Opts    Options
+	nodes   map[simnet.NodeID]*Node
+	smMake  func(id simnet.NodeID) StateMachine
+	nextCmd uint64
+	// maxEvents bounds each wait loop.
+	maxEvents int
+}
+
+// NewCluster builds a cluster with the given member IDs. smMake
+// constructs each replica's state machine.
+func NewCluster(net *simnet.Network, members []simnet.NodeID, smMake func(id simnet.NodeID) StateMachine, opts Options) *Cluster {
+	c := &Cluster{
+		Net:       net,
+		Opts:      opts,
+		nodes:     make(map[simnet.NodeID]*Node),
+		smMake:    smMake,
+		maxEvents: 200000,
+	}
+	for _, id := range members {
+		c.nodes[id] = NewNode(id, members, net, smMake(id), opts)
+	}
+	return c
+}
+
+// Node returns the replica with the given ID, or nil.
+func (c *Cluster) Node(id simnet.NodeID) *Node { return c.nodes[id] }
+
+// Nodes returns all replicas, including stopped ones.
+func (c *Cluster) Nodes() map[simnet.NodeID]*Node { return c.nodes }
+
+// Leader returns the current leader if one is established.
+func (c *Cluster) Leader() *Node {
+	for _, n := range c.nodes {
+		if n.IsLeader() && !c.Net.Crashed(n.ID) {
+			return n
+		}
+	}
+	return nil
+}
+
+// WaitForLeader runs the network until a leader emerges.
+func (c *Cluster) WaitForLeader() (*Node, error) {
+	ok := c.Net.RunUntil(func() bool { return c.Leader() != nil }, c.maxEvents)
+	if !ok {
+		return nil, fmt.Errorf("paxos: no leader elected within event budget")
+	}
+	return c.Leader(), nil
+}
+
+// NextCmdID allocates a unique command ID.
+func (c *Cluster) NextCmdID() uint64 {
+	c.nextCmd++
+	return c.nextCmd
+}
+
+// Propose submits an application command and runs the network until a
+// quorum of live in-view replicas has applied it, retrying on leader
+// changes. It returns the slot-independent command ID used.
+func (c *Cluster) Propose(payload []byte) (uint64, error) {
+	return c.ProposeMeta(nil, payload)
+}
+
+// ProposeMeta submits a command with uncoded metadata (replicated in
+// full everywhere) alongside the possibly-coded payload.
+func (c *Cluster) ProposeMeta(meta, payload []byte) (uint64, error) {
+	cmdID := c.NextCmdID()
+	return cmdID, c.proposeWithID(KindApp, cmdID, meta, payload)
+}
+
+func (c *Cluster) proposeWithID(kind CmdKind, cmdID uint64, meta, payload []byte) error {
+	const attempts = 8
+	for attempt := 0; attempt < attempts; attempt++ {
+		target := c.Leader()
+		if target == nil {
+			var err error
+			target, err = c.WaitForLeader()
+			if err != nil {
+				return err
+			}
+		}
+		target.Submit(kind, cmdID, meta, payload)
+		applied := func() bool { return c.appliedOnQuorum(cmdID) }
+		if c.Net.RunUntil(applied, c.maxEvents/attempts) {
+			return nil
+		}
+	}
+	return fmt.Errorf("paxos: command %d not applied after %d attempts", cmdID, attempts)
+}
+
+// appliedOnQuorum reports whether a quorum of live current-view replicas
+// has applied the command.
+func (c *Cluster) appliedOnQuorum(cmdID uint64) bool {
+	var any *Node
+	for _, n := range c.nodes {
+		if !n.stopped {
+			any = n
+			break
+		}
+	}
+	if any == nil {
+		return false
+	}
+	view := any.CurrentView()
+	count := 0
+	for _, id := range view {
+		n := c.nodes[id]
+		if n == nil || c.Net.Crashed(id) {
+			continue
+		}
+		if n.dedup[cmdID] {
+			count++
+		}
+	}
+	return count >= any.quorum(len(view))
+}
+
+// Reconfigure proposes a membership change to the given member set,
+// creating replicas for new members, and waits until the change is
+// applied by a quorum of the new view.
+func (c *Cluster) Reconfigure(members []simnet.NodeID) error {
+	for _, id := range members {
+		if _, ok := c.nodes[id]; !ok {
+			// New members start with only themselves excluded from the
+			// view; they learn the real view from the leader snapshot.
+			c.nodes[id] = NewNode(id, members, c.Net, c.smMake(id), c.Opts)
+		}
+	}
+	cmdID := c.NextCmdID()
+	return c.proposeWithID(KindReconfig, cmdID, nil, EncodeMembers(members))
+}
+
+// StopNode terminates a replica permanently (spot instance reclaimed).
+func (c *Cluster) StopNode(id simnet.NodeID) {
+	if n, ok := c.nodes[id]; ok {
+		n.Stop()
+		c.Net.Deregister(id)
+	}
+}
+
+// Settle runs the network until it is quiescent or the event budget is
+// exhausted, useful after fault injection.
+func (c *Cluster) Settle(maxEvents int) {
+	c.Net.Run(maxEvents)
+}

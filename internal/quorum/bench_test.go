@@ -1,0 +1,55 @@
+package quorum
+
+import "testing"
+
+func BenchmarkAvailabilityExact15(b *testing.B) {
+	sys := Majority(15)
+	p := make([]float64, 15)
+	for i := range p {
+		p[i] = 0.01 + 0.002*float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Availability(sys, p)
+	}
+}
+
+func BenchmarkAvailabilityEqual(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		AvailabilityEqual(17, 9, 0.03)
+	}
+}
+
+func BenchmarkInvertEqualFP(b *testing.B) {
+	target := AvailabilityEqual(5, 3, 0.01)
+	for i := 0; i < b.N; i++ {
+		if _, err := InvertEqualFP(9, 5, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinimalQuorums(b *testing.B) {
+	sys := Majority(13)
+	for i := 0; i < b.N; i++ {
+		MinimalQuorums(sys)
+	}
+}
+
+func BenchmarkThresholdAvailabilityDP(b *testing.B) {
+	p := make([]float64, 17)
+	for i := range p {
+		p[i] = 0.005 + 0.002*float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ThresholdAvailability(9, p)
+	}
+}
+
+func BenchmarkOptimalWeights(b *testing.B) {
+	p := []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.45}
+	for i := 0; i < b.N; i++ {
+		OptimalWeights(p)
+	}
+}

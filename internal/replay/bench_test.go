@@ -1,0 +1,57 @@
+package replay
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/market"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+)
+
+func benchSet(b *testing.B) *trace.Set {
+	b.Helper()
+	set, err := trace.Generate(trace.GenConfig{
+		Seed: 3, Type: market.M1Small,
+		Zones: market.ExperimentZones(),
+		Start: 0, End: 7 * week,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set
+}
+
+func benchReplay(b *testing.B, strat func() strategy.Strategy) {
+	b.Helper()
+	set := benchSet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := Run(Config{
+			Traces: set, Start: 6 * week,
+			Spec:            lockSpec(),
+			Strategy:        strat(),
+			IntervalMinutes: 60, Seed: uint64(i),
+			InjectHardwareFailures: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayWeekBaseline measures a one-week on-demand replay.
+func BenchmarkReplayWeekBaseline(b *testing.B) {
+	benchReplay(b, func() strategy.Strategy { return strategy.OnDemand{} })
+}
+
+// BenchmarkReplayWeekExtra measures a one-week Extra(0, 0.2) replay.
+func BenchmarkReplayWeekExtra(b *testing.B) {
+	benchReplay(b, func() strategy.Strategy { return strategy.Extra{ExtraNodes: 0, Portion: 0.2} })
+}
+
+// BenchmarkReplayWeekJupiter measures a one-week Jupiter replay,
+// including model training from six weeks of history.
+func BenchmarkReplayWeekJupiter(b *testing.B) {
+	benchReplay(b, func() strategy.Strategy { return core.New() })
+}

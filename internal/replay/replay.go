@@ -1,0 +1,382 @@
+// Package replay drives a bidding strategy over a spot-price trace
+// under the simulated EC2 control plane, accounting cost (per the §2.1
+// billing rules) and service availability (quorum evaluation of the
+// live instance set, minute by minute) — the paper's §5.5 trace-replay
+// methodology: "as cost and availability of a spot instance are
+// certained with the given spot prices data, the result is the same as
+// real running the bidding framework".
+package replay
+
+import (
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/market"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+)
+
+// Config parameterizes one replay run.
+type Config struct {
+	// Traces supplies the per-zone price histories, including a
+	// training prefix before Start.
+	Traces *trace.Set
+	// Start is the minute the replayed service goes live. History in
+	// [Traces.Start, Start) is visible to the strategy for training.
+	Start int64
+	// End is the exclusive end of accounting (default: trace end - 1).
+	End int64
+	// Spec describes the hosted service.
+	Spec strategy.ServiceSpec
+	// Strategy decides the bids.
+	Strategy strategy.Strategy
+	// IntervalMinutes is the bidding interval (the paper sweeps 1, 3,
+	// 6, 9, 12 hours).
+	IntervalMinutes int64
+	// LeadMinutes is how long before each interval boundary decisions
+	// are made and replacement instances launched (make-before-break,
+	// §4); it must exceed the worst startup delay. Default 15.
+	LeadMinutes int64
+	// Seed drives startup jitter and failure injection.
+	Seed uint64
+	// InjectHardwareFailures enables the FP' = 0.01 outage model.
+	InjectHardwareFailures bool
+	// PersistentRequests uses EC2 persistent spot requests instead of
+	// one-shot launches: a zone whose instance is reclaimed mid-interval
+	// relaunches automatically when the price returns below the bid
+	// (auto-heal ablation; the paper's framework uses one-shot bids).
+	PersistentRequests bool
+}
+
+// Result is the outcome of a replay.
+type Result struct {
+	Strategy        string
+	IntervalMinutes int64
+	// Cost is the total bill across all instances ever launched.
+	Cost market.Money
+	// Availability is the fraction of accounted minutes the service
+	// had a live quorum.
+	Availability   float64
+	TotalMinutes   int64
+	DownMinutes    int64
+	Decisions      int
+	OutOfBid       int // provider-terminated instances
+	FailedRequests int // bids below market at request time
+	OnDemandLaunch int
+	SpotLaunch     int
+	MeanGroupSize  float64
+	MaxGroupSize   int
+	// Series records one row per bidding interval, for time-series
+	// inspection and plotting.
+	Series []IntervalStats
+}
+
+// IntervalStats is the per-interval slice of a replay.
+type IntervalStats struct {
+	StartMinute     int64
+	IntervalMinutes int64
+	GroupSize       int
+	// CostSoFar is the cumulative bill of all instances ever launched,
+	// evaluated at the interval boundary.
+	DownMinutes int64 // downtime within this interval
+}
+
+// marketView adapts the provider to the strategy's view interface.
+type marketView struct {
+	p *cloud.Provider
+}
+
+func (v marketView) Now() int64      { return v.p.Now() }
+func (v marketView) Zones() []string { return v.p.Zones() }
+func (v marketView) SpotPrice(zone string) (market.Money, error) {
+	return v.p.SpotPrice(zone)
+}
+func (v marketView) SpotPriceAge(zone string) (int64, error) {
+	return v.p.SpotPriceAge(zone)
+}
+func (v marketView) PriceHistory(zone string, from, to int64) (*trace.Trace, error) {
+	return v.p.PriceHistory(zone, from, to)
+}
+
+// member is one node slot of the service during an interval.
+type member struct {
+	zone     string
+	bid      market.Money // zero for on-demand
+	onDemand bool
+	id       cloud.InstanceID // empty if the request failed
+	reqID    cloud.RequestID  // persistent-request mode only
+}
+
+// Run executes the replay.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Traces == nil || cfg.Strategy == nil {
+		return nil, fmt.Errorf("replay: traces and strategy are required")
+	}
+	if cfg.IntervalMinutes <= 0 {
+		return nil, fmt.Errorf("replay: interval %d <= 0", cfg.IntervalMinutes)
+	}
+	lead := cfg.LeadMinutes
+	if lead <= 0 {
+		lead = 15
+	}
+	end := cfg.End
+	if end == 0 {
+		end = cfg.Traces.End - 1
+	}
+	if cfg.Start-lead < cfg.Traces.Start {
+		return nil, fmt.Errorf("replay: start %d leaves no room for lead %d", cfg.Start, lead)
+	}
+	if end <= cfg.Start {
+		return nil, fmt.Errorf("replay: empty accounting window [%d, %d)", cfg.Start, end)
+	}
+
+	provider := cloud.NewProvider(cfg.Traces, cloud.Config{
+		Seed:                   cfg.Seed,
+		InjectHardwareFailures: cfg.InjectHardwareFailures,
+	})
+	view := marketView{p: provider}
+	res := &Result{Strategy: cfg.Strategy.Name(), IntervalMinutes: cfg.IntervalMinutes}
+
+	var fleet []member   // membership being served and accounted now
+	var pending []member // next interval's membership (launched early)
+	var retiring []cloud.InstanceID
+	var retiringReqs []cloud.RequestID
+	var allInstances []cloud.InstanceID
+	var allRequests []cloud.RequestID
+	groupSizeSum := 0
+
+	// chooseInterval consults the strategy when it adapts its own
+	// bidding interval (the §5.5 extension), else uses the configured
+	// one.
+	chooseInterval := func() int64 {
+		if ic, ok := cfg.Strategy.(strategy.IntervalChooser); ok {
+			// Intervals shorter than twice the decision lead cannot be
+			// scheduled; fall back to the configured one then.
+			if iv := ic.ChooseInterval(view, cfg.Spec); iv > 2*lead {
+				return iv
+			}
+		}
+		return cfg.IntervalMinutes
+	}
+
+	// decideAndLaunch plans the next interval (make-before-break): new
+	// instances launch immediately so they are running by the boundary,
+	// but the service keeps running on the current fleet until then.
+	// It returns the length of the interval the decision covers.
+	decideAndLaunch := func() (int64, error) {
+		interval := chooseInterval()
+		decision, err := cfg.Strategy.Decide(view, cfg.Spec, interval)
+		if err != nil {
+			return 0, err
+		}
+		res.Decisions++
+		// Index current live instances by zone for reuse.
+		current := map[string]member{}
+		for _, mb := range fleet {
+			current[mb.zone] = mb
+		}
+		var next []member
+		keep := map[cloud.InstanceID]bool{}
+		launch := func(mb member) member {
+			if mb.onDemand {
+				id, err := provider.RequestOnDemand(mb.zone, cfg.Spec.Type)
+				if err == nil {
+					mb.id = id
+					allInstances = append(allInstances, id)
+					res.OnDemandLaunch++
+				}
+				return mb
+			}
+			if cfg.PersistentRequests {
+				reqID, err := provider.RequestSpotPersistent(mb.zone, cfg.Spec.Type, mb.bid)
+				if err != nil {
+					res.FailedRequests++
+					return mb
+				}
+				mb.reqID = reqID
+				allRequests = append(allRequests, reqID)
+				res.SpotLaunch++
+				return mb
+			}
+			id, err := provider.RequestSpot(mb.zone, cfg.Spec.Type, mb.bid)
+			if err != nil {
+				res.FailedRequests++
+				mb.id = ""
+				return mb
+			}
+			mb.id = id
+			allInstances = append(allInstances, id)
+			res.SpotLaunch++
+			return mb
+		}
+		keepReq := map[cloud.RequestID]bool{}
+		for _, b := range decision.Bids {
+			mb := member{zone: b.Zone, bid: b.Price}
+			// An existing instance is kept when its bid already covers
+			// the new decision: spot charges follow the market price,
+			// not the bid, so a higher standing bid costs nothing extra
+			// and only replacement-worthy changes force a relaunch.
+			cur, ok := current[b.Zone]
+			switch {
+			case ok && !cur.onDemand && cur.reqID != "" && cur.bid >= b.Price:
+				// A persistent request auto-heals; keep it even if its
+				// instance is momentarily out of bid.
+				mb.reqID = cur.reqID
+				mb.bid = cur.bid
+				keepReq[cur.reqID] = true
+			case ok && !cur.onDemand && cur.reqID == "" && cur.bid >= b.Price && cur.id != "" && provider.Alive(cur.id):
+				mb.id = cur.id
+				mb.bid = cur.bid
+				keep[cur.id] = true
+			default:
+				mb = launch(mb)
+			}
+			next = append(next, mb)
+		}
+		for _, z := range decision.OnDemand {
+			mb := member{zone: z, onDemand: true}
+			if cur, ok := current[z]; ok && cur.onDemand && cur.id != "" {
+				inst, ierr := provider.Instance(cur.id)
+				if ierr == nil && inst.State != cloud.Terminated {
+					mb.id = cur.id
+					keep[cur.id] = true
+				} else {
+					mb = launch(mb)
+				}
+			} else {
+				mb = launch(mb)
+			}
+			next = append(next, mb)
+		}
+		// Instances not carried forward retire at the interval boundary.
+		retiring = retiring[:0]
+		retiringReqs = retiringReqs[:0]
+		for _, mb := range fleet {
+			if mb.reqID != "" && !keepReq[mb.reqID] {
+				retiringReqs = append(retiringReqs, mb.reqID)
+				continue
+			}
+			if mb.id != "" && !keep[mb.id] {
+				retiring = append(retiring, mb.id)
+			}
+		}
+		pending = next
+		groupSizeSum += len(next)
+		if len(next) > res.MaxGroupSize {
+			res.MaxGroupSize = len(next)
+		}
+		return interval, nil
+	}
+
+	// Pre-roll to the first decision point.
+	provider.AdvanceTo(cfg.Start - lead)
+	nextIntervalLen, err := decideAndLaunch()
+	if err != nil {
+		return nil, err
+	}
+
+	nextBoundary := cfg.Start + nextIntervalLen
+	nextDecision := nextBoundary - lead
+	boundaryPending := true // install the first fleet at Start
+	intervalStart := cfg.Start
+	intervalDown := int64(0)
+	flushInterval := func(endMinute int64) {
+		res.Series = append(res.Series, IntervalStats{
+			StartMinute:     intervalStart,
+			IntervalMinutes: endMinute - intervalStart,
+			GroupSize:       len(fleet),
+			DownMinutes:     intervalDown,
+		})
+		intervalStart = endMinute
+		intervalDown = 0
+	}
+	for minute := cfg.Start; minute < end; minute++ {
+		provider.AdvanceTo(minute)
+		if boundaryPending {
+			fleet = pending
+			pending = nil
+			for _, id := range retiring {
+				if err := provider.Terminate(id); err != nil {
+					return nil, err
+				}
+			}
+			for _, rid := range retiringReqs {
+				if err := provider.CancelSpotRequest(rid, true); err != nil {
+					return nil, err
+				}
+			}
+			retiring = retiring[:0]
+			retiringReqs = retiringReqs[:0]
+			boundaryPending = false
+		}
+		// Availability: a live quorum of the configured group.
+		n := len(fleet)
+		alive := 0
+		for _, mb := range fleet {
+			switch {
+			case mb.reqID != "" && provider.RequestAlive(mb.reqID):
+				alive++
+			case mb.id != "" && provider.Alive(mb.id):
+				alive++
+			}
+		}
+		res.TotalMinutes++
+		if n == 0 || alive < cfg.Spec.QuorumSize(n) {
+			res.DownMinutes++
+			intervalDown++
+		}
+		// Interval machinery.
+		if minute == nextDecision {
+			nextIntervalLen, err = decideAndLaunch()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if minute+1 == nextBoundary {
+			flushInterval(minute + 1)
+			boundaryPending = true
+			nextBoundary += nextIntervalLen
+			nextDecision = nextBoundary - lead
+		}
+	}
+	if intervalStart < end {
+		flushInterval(end)
+	}
+
+	// Final accounting: user-terminate everything still running so the
+	// bill closes, then total the charges.
+	for _, rid := range allRequests {
+		if err := provider.CancelSpotRequest(rid, false); err != nil {
+			return nil, err
+		}
+		hist, err := provider.RequestHistory(rid)
+		if err != nil {
+			return nil, err
+		}
+		allInstances = append(allInstances, hist...)
+	}
+	for _, id := range provider.LiveInstances() {
+		if err := provider.Terminate(id); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range allInstances {
+		c, err := provider.Charge(id)
+		if err != nil {
+			return nil, err
+		}
+		res.Cost += c
+		inst, err := provider.Instance(id)
+		if err != nil {
+			return nil, err
+		}
+		if inst.Spot && inst.State == cloud.Terminated && inst.Cause == market.TerminatedByProvider {
+			res.OutOfBid++
+		}
+	}
+	res.Availability = 1 - float64(res.DownMinutes)/float64(res.TotalMinutes)
+	if res.Decisions > 0 {
+		res.MeanGroupSize = float64(groupSizeSum) / float64(res.Decisions)
+	}
+	return res, nil
+}

@@ -1,0 +1,48 @@
+package replay
+
+import (
+	"testing"
+
+	"repro/internal/market"
+	"repro/internal/strategy"
+)
+
+func TestSeriesCoversWholeReplay(t *testing.T) {
+	set := genTraces(t, 31, 1, market.M1Small)
+	res, err := Run(Config{
+		Traces: set, Start: 13 * week,
+		Spec: lockSpec(), Strategy: strategy.Extra{ExtraNodes: 0, Portion: 0.2},
+		IntervalMinutes: 180, Seed: 31, InjectHardwareFailures: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("no series rows")
+	}
+	var minutes, down int64
+	prevEnd := int64(13 * week)
+	for i, row := range res.Series {
+		if row.StartMinute != prevEnd {
+			t.Fatalf("row %d starts at %d, want %d (gapless series)", i, row.StartMinute, prevEnd)
+		}
+		if row.IntervalMinutes <= 0 {
+			t.Fatalf("row %d has non-positive length", i)
+		}
+		if row.DownMinutes < 0 || row.DownMinutes > row.IntervalMinutes {
+			t.Fatalf("row %d downtime %d of %d", i, row.DownMinutes, row.IntervalMinutes)
+		}
+		if row.GroupSize != 5 {
+			t.Fatalf("row %d group size %d, want 5 for Extra(0,·)", i, row.GroupSize)
+		}
+		minutes += row.IntervalMinutes
+		down += row.DownMinutes
+		prevEnd = row.StartMinute + row.IntervalMinutes
+	}
+	if minutes != res.TotalMinutes {
+		t.Fatalf("series covers %d minutes, result counted %d", minutes, res.TotalMinutes)
+	}
+	if down != res.DownMinutes {
+		t.Fatalf("series downtime %d, result %d", down, res.DownMinutes)
+	}
+}

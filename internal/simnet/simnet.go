@@ -1,0 +1,269 @@
+// Package simnet is a deterministic discrete-event simulated network:
+// addressable nodes exchange messages with configurable latency, loss,
+// partitions, and crash/restart faults, all under a virtual clock. The
+// Paxos replicated state machine and the services built on it run over
+// this transport, which lets 11 simulated weeks execute in milliseconds
+// while preserving every ordering decision.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// NodeID names a network endpoint.
+type NodeID string
+
+// Message is a payload in flight between two nodes.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Payload interface{}
+}
+
+// Handler consumes delivered messages. Implementations are invoked
+// sequentially by the network; no internal locking is needed.
+type Handler interface {
+	Receive(net *Network, msg Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(net *Network, msg Message)
+
+// Receive implements Handler.
+func (f HandlerFunc) Receive(net *Network, msg Message) { f(net, msg) }
+
+// event is a scheduled occurrence: a message delivery or a timer firing.
+type event struct {
+	at  int64
+	seq int64 // tiebreaker preserving scheduling order
+	msg *Message
+	fn  func()
+	// timer events may be addressed to a node so crashes cancel them.
+	owner NodeID
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Network is the simulated transport and virtual clock. It is not safe
+// for concurrent use: all activity happens inside Step/Run.
+type Network struct {
+	now     int64
+	seq     int64
+	queue   eventQueue
+	nodes   map[NodeID]Handler
+	crashed map[NodeID]bool
+	// partition maps each node to a group; messages cross groups only
+	// when partitioned is false.
+	partitioned bool
+	group       map[NodeID]int
+
+	dropProb   float64
+	minLatency int64
+	maxLatency int64
+	rng        *stats.RNG
+
+	delivered int64
+	dropped   int64
+}
+
+// New creates a network with the given seed. Default latency is exactly
+// 1 tick and no loss.
+func New(seed uint64) *Network {
+	return &Network{
+		nodes:      make(map[NodeID]Handler),
+		crashed:    make(map[NodeID]bool),
+		group:      make(map[NodeID]int),
+		minLatency: 1,
+		maxLatency: 1,
+		rng:        stats.NewRNG(seed),
+	}
+}
+
+// Now returns the virtual time in ticks.
+func (n *Network) Now() int64 { return n.now }
+
+// Register attaches a handler to an address. Re-registering replaces
+// the handler (used by restarts).
+func (n *Network) Register(id NodeID, h Handler) {
+	if h == nil {
+		panic("simnet: nil handler")
+	}
+	n.nodes[id] = h
+}
+
+// Deregister removes a node entirely.
+func (n *Network) Deregister(id NodeID) {
+	delete(n.nodes, id)
+	delete(n.crashed, id)
+	delete(n.group, id)
+}
+
+// SetLatency sets the delivery delay range in ticks (inclusive).
+func (n *Network) SetLatency(min, max int64) {
+	if min < 1 || max < min {
+		panic(fmt.Sprintf("simnet: bad latency range [%d, %d]", min, max))
+	}
+	n.minLatency, n.maxLatency = min, max
+}
+
+// SetDropProbability makes each message independently lost with
+// probability p.
+func (n *Network) SetDropProbability(p float64) {
+	if p < 0 || p > 1 {
+		panic("simnet: drop probability outside [0, 1]")
+	}
+	n.dropProb = p
+}
+
+// Crash makes a node silently drop all traffic and pending timers until
+// Restart.
+func (n *Network) Crash(id NodeID) { n.crashed[id] = true }
+
+// Restart brings a crashed node back; its handler state is whatever the
+// handler kept (the handler decides what persisted).
+func (n *Network) Restart(id NodeID) { delete(n.crashed, id) }
+
+// Crashed reports whether the node is currently crashed.
+func (n *Network) Crashed(id NodeID) bool { return n.crashed[id] }
+
+// Partition splits the network into groups; messages between different
+// groups are dropped until Heal. Nodes absent from any group default to
+// group 0.
+func (n *Network) Partition(groups ...[]NodeID) {
+	n.partitioned = true
+	n.group = make(map[NodeID]int)
+	for g, ids := range groups {
+		for _, id := range ids {
+			n.group[id] = g
+		}
+	}
+}
+
+// Heal removes any partition.
+func (n *Network) Heal() {
+	n.partitioned = false
+	n.group = make(map[NodeID]int)
+}
+
+func (n *Network) sameSide(a, b NodeID) bool {
+	if !n.partitioned {
+		return true
+	}
+	return n.group[a] == n.group[b]
+}
+
+// Send schedules a message for delivery. Loss, partitions, and crash
+// state are evaluated at delivery time, so a partition healed before
+// arrival lets late messages through.
+func (n *Network) Send(from, to NodeID, payload interface{}) {
+	lat := n.minLatency
+	if n.maxLatency > n.minLatency {
+		lat += n.rng.Int63n(n.maxLatency - n.minLatency + 1)
+	}
+	drop := n.dropProb > 0 && n.rng.Bool(n.dropProb)
+	n.seq++
+	ev := &event{at: n.now + lat, seq: n.seq, msg: &Message{From: from, To: to, Payload: payload}}
+	if drop {
+		// Still consume queue determinism but mark as dropped by
+		// clearing the message handler path at delivery.
+		ev.fn = func() { n.dropped++ }
+		ev.msg = nil
+	}
+	heap.Push(&n.queue, ev)
+}
+
+// After schedules fn to run at now+delay on behalf of owner; the timer
+// is skipped if the owner is crashed when it fires. A zero owner always
+// fires.
+func (n *Network) After(delay int64, owner NodeID, fn func()) {
+	if delay < 0 {
+		panic("simnet: negative delay")
+	}
+	n.seq++
+	heap.Push(&n.queue, &event{at: n.now + delay, seq: n.seq, fn: fn, owner: owner})
+}
+
+// Step delivers the next event. It returns false when the queue is
+// empty.
+func (n *Network) Step() bool {
+	for n.queue.Len() > 0 {
+		ev := heap.Pop(&n.queue).(*event)
+		n.now = ev.at
+		switch {
+		case ev.msg != nil:
+			m := *ev.msg
+			if n.crashed[m.From] || n.crashed[m.To] || !n.sameSide(m.From, m.To) {
+				n.dropped++
+				return true
+			}
+			h, ok := n.nodes[m.To]
+			if !ok {
+				n.dropped++
+				return true
+			}
+			n.delivered++
+			h.Receive(n, m)
+			return true
+		case ev.fn != nil:
+			if ev.owner != "" && n.crashed[ev.owner] {
+				return true
+			}
+			ev.fn()
+			return true
+		}
+	}
+	return false
+}
+
+// Run steps until the queue drains or maxEvents deliveries happen,
+// returning the number of events processed.
+func (n *Network) Run(maxEvents int) int {
+	steps := 0
+	for steps < maxEvents && n.Step() {
+		steps++
+	}
+	return steps
+}
+
+// RunUntil steps until cond holds, the queue drains, or maxEvents is
+// reached. It reports whether cond held when it stopped.
+func (n *Network) RunUntil(cond func() bool, maxEvents int) bool {
+	for i := 0; i < maxEvents; i++ {
+		if cond() {
+			return true
+		}
+		if !n.Step() {
+			return cond()
+		}
+	}
+	return cond()
+}
+
+// Stats reports delivered and dropped event counts.
+func (n *Network) Stats() (delivered, dropped int64) {
+	return n.delivered, n.dropped
+}
+
+// Pending returns the number of queued events.
+func (n *Network) Pending() int { return n.queue.Len() }

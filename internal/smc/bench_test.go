@@ -1,0 +1,110 @@
+package smc
+
+import (
+	"testing"
+
+	"repro/internal/market"
+	"repro/internal/trace"
+)
+
+func benchTrace(b *testing.B, weeks int64) *trace.Trace {
+	b.Helper()
+	set, err := trace.Generate(trace.GenConfig{
+		Seed: 5, Type: market.M1Small,
+		Zones: []string{"us-east-1a"},
+		Start: 0, End: weeks * 7 * 24 * 60,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set.ByZone["us-east-1a"]
+}
+
+func BenchmarkEstimatorObserve13Weeks(b *testing.B) {
+	tr := benchTrace(b, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEstimator(0)
+		e.Observe(tr)
+	}
+}
+
+func BenchmarkModelBuild(b *testing.B) {
+	tr := benchTrace(b, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEstimator(0)
+		e.Observe(tr)
+		if _, err := e.Model(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchModel(b *testing.B) (*Model, market.Money) {
+	b.Helper()
+	tr := benchTrace(b, 13)
+	e := NewEstimator(0)
+	e.Observe(tr)
+	m, err := e.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, tr.PriceAt(tr.End - 1)
+}
+
+func BenchmarkForecastColdProfiles(b *testing.B) {
+	// Includes building the fresh-entry DP tables (the retrain cost).
+	tr := benchTrace(b, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEstimator(0)
+		e.Observe(tr)
+		m, err := e.Model()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Forecast(tr.PriceAt(tr.End-1), 5, 360); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForecastWarm(b *testing.B) {
+	m, cur := benchModel(b)
+	if _, err := m.Forecast(cur, 5, 360); err != nil {
+		b.Fatal(err) // warm the profile cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Forecast(cur, int64(1+i%200), 360); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStationary(b *testing.B) {
+	m, _ := benchModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Stationary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinimalBid(b *testing.B) {
+	m, cur := benchModel(b)
+	f, err := m.Forecast(cur, 5, 360)
+	if err != nil {
+		b.Fatal(err)
+	}
+	od, err := market.OnDemandPrice("us-east-1a", market.M1Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MinimalBid(0.02, 0.01, od)
+	}
+}

@@ -1,0 +1,357 @@
+package smc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/market"
+)
+
+// The interval failure estimator (discretized Equation 5) forward-
+// propagates the learned semi-Markov chain: the failure probability of a
+// spot instance over a bidding interval is the average, over the
+// interval's minutes, of the probability that the spot price exceeds the
+// bid in that minute, composed with the on-demand failure probability.
+//
+// Propagation is exact dynamic programming, not Monte Carlo. For each
+// state i, freshProfile computes the occupancy distribution over states
+// for every minute after *entering* i; a forecast from the current
+// (price, age) pair then conditions the residual sojourn of the current
+// run and convolves departures with the precomputed fresh profiles.
+
+// stateDist is an occupancy vector over the model's price states.
+type stateDist []float64
+
+// freshProfiles caches, for a given horizon, the cumulative occupancy
+// C[i][u][s]: expected number of minutes spent in state s during the
+// first u minutes after entering state i.
+type freshProfiles struct {
+	horizon int64
+	cum     [][]stateDist // [state][minute+1] -> occupancy vector
+}
+
+// fitted per-state sojourn data derived lazily from the kernel.
+type sojournData struct {
+	durations []int64     // sorted distinct observed sojourns
+	pmf       []float64   // P(K = durations[x])
+	next      []stateDist // destination distribution given K = durations[x]
+	survival  []float64   // survival[a] = P(K >= a), a in [0, maxDur+1]
+	marginal  stateDist   // destination distribution ignoring K
+	maxDur    int64
+	absorbing bool // state observed only as a destination: never departs
+}
+
+func (m *Model) sojourn(i int) *sojournData {
+	if m.soj == nil {
+		m.soj = make([]*sojournData, len(m.prices))
+	}
+	if m.soj[i] != nil {
+		return m.soj[i]
+	}
+	n := len(m.prices)
+	sd := &sojournData{marginal: make(stateDist, n)}
+	if m.out[i] == 0 {
+		// Absorbing state: observed only as a destination.
+		sd.absorbing = true
+		m.soj[i] = sd
+		return sd
+	}
+	durations := make([]int64, 0, len(m.kernel[i]))
+	for k := range m.kernel[i] {
+		durations = append(durations, k)
+	}
+	sort.Slice(durations, func(a, b int) bool { return durations[a] < durations[b] })
+	sd.durations = durations
+	sd.maxDur = durations[len(durations)-1]
+	sd.pmf = make([]float64, len(durations))
+	sd.next = make([]stateDist, len(durations))
+	for x, k := range durations {
+		entries := m.kernel[i][k]
+		var total int64
+		for _, e := range entries {
+			total += e.count
+		}
+		dist := make(stateDist, n)
+		for _, e := range entries {
+			dist[e.to] = float64(e.count) / float64(total)
+			sd.marginal[e.to] += float64(e.count) / float64(m.out[i])
+		}
+		sd.next[x] = dist
+		sd.pmf[x] = float64(total) / float64(m.out[i])
+	}
+	// Cap the duration support so the fresh-profile DP stays cheap: a
+	// long tail of distinct sojourns merges into adjacent buckets with
+	// probability-weighted representative durations. This only coarsens
+	// *when* within the interval a transition lands, never whether.
+	const maxDurations = 96
+	if len(sd.durations) > maxDurations {
+		group := (len(sd.durations) + maxDurations - 1) / maxDurations
+		var mk []int64
+		var mp []float64
+		var mn []stateDist
+		for lo := 0; lo < len(sd.durations); lo += group {
+			hi := lo + group
+			if hi > len(sd.durations) {
+				hi = len(sd.durations)
+			}
+			var pSum, dSum float64
+			dist := make(stateDist, n)
+			for x := lo; x < hi; x++ {
+				pSum += sd.pmf[x]
+				dSum += float64(sd.durations[x]) * sd.pmf[x]
+				for s, g := range sd.next[x] {
+					dist[s] += g * sd.pmf[x]
+				}
+			}
+			if pSum == 0 {
+				continue
+			}
+			for s := range dist {
+				dist[s] /= pSum
+			}
+			d := int64(dSum/pSum + 0.5)
+			if d < 1 {
+				d = 1
+			}
+			if len(mk) > 0 && mk[len(mk)-1] >= d {
+				d = mk[len(mk)-1] + 1
+			}
+			mk = append(mk, d)
+			mp = append(mp, pSum)
+			mn = append(mn, dist)
+		}
+		sd.durations, sd.pmf, sd.next = mk, mp, mn
+		sd.maxDur = mk[len(mk)-1]
+	}
+	// survival[a] = P(K >= a): survival[0] = survival[1] = 1 since K >= 1.
+	sd.survival = make([]float64, sd.maxDur+2)
+	tail := 1.0
+	x := 0
+	for a := int64(1); a <= sd.maxDur+1; a++ {
+		sd.survival[a] = tail
+		for x < len(sd.durations) && sd.durations[x] == a {
+			tail -= sd.pmf[x]
+			x++
+		}
+		if tail < 0 {
+			tail = 0
+		}
+	}
+	sd.survival[0] = 1
+	m.soj[i] = sd
+	return sd
+}
+
+// fresh returns (building if needed) fresh profiles covering at least
+// the requested horizon.
+func (m *Model) fresh(horizon int64) *freshProfiles {
+	if m.profiles != nil && m.profiles.horizon >= horizon {
+		return m.profiles
+	}
+	n := len(m.prices)
+	occ := make([][]stateDist, n) // occ[i][t]
+	for i := range occ {
+		occ[i] = make([]stateDist, horizon)
+	}
+	for t := int64(0); t < horizon; t++ {
+		for i := 0; i < n; i++ {
+			sd := m.sojourn(i)
+			v := make(stateDist, n)
+			// Still in the entered state through minute t iff K >= t+1.
+			v[i] = sd.survivalAt(t + 1)
+			// Departures at minute d <= t hand off to fresh profiles.
+			for x, d := range sd.durations {
+				if d > t {
+					break
+				}
+				w := sd.pmf[x]
+				if w == 0 {
+					continue
+				}
+				dest := sd.next[x]
+				prev := occ
+				for j, g := range dest {
+					if g == 0 {
+						continue
+					}
+					src := prev[j][t-d]
+					wg := w * g
+					for s := range v {
+						v[s] += wg * src[s]
+					}
+				}
+			}
+			occ[i][t] = v
+		}
+	}
+	fp := &freshProfiles{horizon: horizon, cum: make([][]stateDist, n)}
+	for i := 0; i < n; i++ {
+		fp.cum[i] = make([]stateDist, horizon+1)
+		fp.cum[i][0] = make(stateDist, n)
+		for t := int64(0); t < horizon; t++ {
+			c := make(stateDist, n)
+			copy(c, fp.cum[i][t])
+			for s, o := range occ[i][t] {
+				c[s] += o
+			}
+			fp.cum[i][t+1] = c
+		}
+	}
+	m.profiles = fp
+	return fp
+}
+
+// survivalAt returns P(K >= a), extending beyond the observed maximum
+// as zero (every observed run ended by then). Absorbing states survive
+// forever.
+func (sd *sojournData) survivalAt(a int64) float64 {
+	if sd.absorbing {
+		return 1
+	}
+	if a < 0 {
+		a = 0
+	}
+	if a >= int64(len(sd.survival)) {
+		return 0
+	}
+	return sd.survival[a]
+}
+
+// Forecast is the model's price distribution averaged over a bidding
+// interval, from which failure probabilities under any bid follow.
+type Forecast struct {
+	prices  []market.Money
+	avgOcc  stateDist // average per-minute occupancy per price
+	horizon int64
+}
+
+// Forecast propagates the chain from the current price and run age
+// (minutes the price has already held, >= 1) over the next horizon
+// minutes and returns the average occupancy per price state. A price
+// never seen in training maps to the nearest learned state.
+func (m *Model) Forecast(cur market.Money, age, horizon int64) (*Forecast, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("smc: forecast horizon %d <= 0", horizon)
+	}
+	if age < 1 {
+		age = 1
+	}
+	if age > m.maxSojourn {
+		age = m.maxSojourn
+	}
+	n := len(m.prices)
+	i := m.nearestState(cur)
+	sd := m.sojourn(i)
+	fp := m.fresh(horizon)
+
+	tot := make(stateDist, n)
+	condSurv := sd.survivalAt(age)
+	if condSurv <= 0 {
+		// The run has outlived every observed sojourn: assume departure
+		// now with the marginal destination distribution.
+		for j, g := range sd.marginal {
+			if g == 0 {
+				continue
+			}
+			c := fp.cum[j][horizon]
+			for s := range tot {
+				tot[s] += g * c[s]
+			}
+		}
+		if m.out[i] == 0 {
+			// Truly absorbing: stay put.
+			tot[i] += float64(horizon)
+		}
+	} else {
+		// Stay term: still in state i during interval minute t iff
+		// K >= age + t + 1.
+		for t := int64(0); t < horizon; t++ {
+			tot[i] += sd.survivalAt(age+t+1) / condSurv
+		}
+		// Departure terms: K = age + d for d in [0, horizon).
+		for x, k := range sd.durations {
+			if k < age {
+				continue
+			}
+			d := k - age
+			if d >= horizon {
+				break
+			}
+			w := sd.pmf[x] / condSurv
+			if w == 0 {
+				continue
+			}
+			rem := horizon - d
+			for j, g := range sd.next[x] {
+				if g == 0 {
+					continue
+				}
+				c := fp.cum[j][rem]
+				wg := w * g
+				for s := range tot {
+					tot[s] += wg * c[s]
+				}
+			}
+		}
+	}
+
+	avg := make(stateDist, n)
+	for s := range avg {
+		avg[s] = tot[s] / float64(horizon)
+	}
+	return &Forecast{prices: m.Prices(), avgOcc: avg, horizon: horizon}, nil
+}
+
+// Levels returns the price levels at which the forecast's failure
+// probability steps, ascending — the candidate bid set for optimizers.
+func (f *Forecast) Levels() []market.Money {
+	return append([]market.Money(nil), f.prices...)
+}
+
+// OutOfBidFraction returns the expected fraction of the interval during
+// which the spot price strictly exceeds the bid.
+func (f *Forecast) OutOfBidFraction(bid market.Money) float64 {
+	out := 0.0
+	for s, p := range f.prices {
+		if p > bid {
+			out += f.avgOcc[s]
+		}
+	}
+	if out > 1 {
+		out = 1
+	}
+	return out
+}
+
+// FailureProbability composes the out-of-bid fraction with the
+// on-demand failure probability fp0 (Equation 4):
+// FP = 1 - (1 - fp0)(1 - Pr(price > bid)).
+func (f *Forecast) FailureProbability(bid market.Money, fp0 float64) float64 {
+	fp := 1 - (1-fp0)*(1-f.OutOfBidFraction(bid))
+	if fp < 0 {
+		return 0
+	}
+	if fp > 1 {
+		return 1
+	}
+	return fp
+}
+
+// MinimalBid returns the smallest bid not exceeding cap whose estimated
+// failure probability is at most target. Because FailureProbability is a
+// step function changing only at learned price levels, only those levels
+// (and the cap) need checking. ok is false when no such bid exists.
+func (f *Forecast) MinimalBid(target, fp0 float64, cap market.Money) (bid market.Money, ok bool) {
+	for _, p := range f.prices {
+		if p > cap {
+			break
+		}
+		if f.FailureProbability(p, fp0) <= target {
+			return p, true
+		}
+	}
+	if f.FailureProbability(cap, fp0) <= target {
+		return cap, true
+	}
+	return 0, false
+}

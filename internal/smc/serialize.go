@@ -1,0 +1,117 @@
+package smc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/market"
+)
+
+// Serialization lets a trained failure model be persisted and shipped —
+// the bidding framework's prototype retrained from raw history on every
+// run; a production deployment would checkpoint models instead.
+
+type jsonModel struct {
+	MaxSojourn int64            `json:"max_sojourn"`
+	Prices     []int64          `json:"prices_micro_usd"`
+	Out        []int64          `json:"out_counts"`
+	Kernel     []jsonKernelCell `json:"kernel"`
+}
+
+type jsonKernelCell struct {
+	From    int   `json:"from"`
+	To      int   `json:"to"`
+	Sojourn int64 `json:"sojourn"`
+	Count   int64 `json:"count"`
+}
+
+// WriteJSON serializes the model.
+func (m *Model) WriteJSON(w io.Writer) error {
+	jm := jsonModel{MaxSojourn: m.maxSojourn}
+	for _, p := range m.prices {
+		jm.Prices = append(jm.Prices, int64(p))
+	}
+	jm.Out = append(jm.Out, m.out...)
+	for i := range m.prices {
+		ks := make([]int64, 0, len(m.kernel[i]))
+		for k := range m.kernel[i] {
+			ks = append(ks, k)
+		}
+		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+		for _, k := range ks {
+			for _, e := range m.kernel[i][k] {
+				jm.Kernel = append(jm.Kernel, jsonKernelCell{
+					From: i, To: e.to, Sojourn: k, Count: e.count,
+				})
+			}
+		}
+	}
+	return json.NewEncoder(w).Encode(jm)
+}
+
+// ReadModel deserializes a model written by WriteJSON.
+func ReadModel(r io.Reader) (*Model, error) {
+	var jm jsonModel
+	if err := json.NewDecoder(r).Decode(&jm); err != nil {
+		return nil, fmt.Errorf("smc: reading model: %w", err)
+	}
+	if len(jm.Prices) == 0 {
+		return nil, fmt.Errorf("smc: model has no states")
+	}
+	if len(jm.Out) != len(jm.Prices) {
+		return nil, fmt.Errorf("smc: %d out-counts for %d states", len(jm.Out), len(jm.Prices))
+	}
+	if jm.MaxSojourn <= 0 {
+		return nil, fmt.Errorf("smc: invalid max sojourn %d", jm.MaxSojourn)
+	}
+	n := len(jm.Prices)
+	m := &Model{
+		maxSojourn: jm.MaxSojourn,
+		prices:     make([]market.Money, n),
+		idx:        make(map[market.Money]int, n),
+		out:        append([]int64(nil), jm.Out...),
+		kernel:     make([]map[int64][]kernelEntry, n),
+		sojPMF:     make([]map[int64]float64, n),
+	}
+	var prev market.Money = -1
+	for i, p := range jm.Prices {
+		mp := market.Money(p)
+		if mp <= prev {
+			return nil, fmt.Errorf("smc: prices not strictly ascending at %d", i)
+		}
+		prev = mp
+		m.prices[i] = mp
+		m.idx[mp] = i
+		m.kernel[i] = make(map[int64][]kernelEntry)
+		m.sojPMF[i] = make(map[int64]float64)
+	}
+	for _, c := range jm.Kernel {
+		if c.From < 0 || c.From >= n || c.To < 0 || c.To >= n {
+			return nil, fmt.Errorf("smc: kernel cell references state outside [0, %d)", n)
+		}
+		if c.Sojourn < 1 || c.Sojourn > jm.MaxSojourn || c.Count < 1 {
+			return nil, fmt.Errorf("smc: invalid kernel cell %+v", c)
+		}
+		m.kernel[c.From][c.Sojourn] = append(m.kernel[c.From][c.Sojourn], kernelEntry{to: c.To, count: c.Count})
+	}
+	// Rebuild sojourn PMFs and validate out-counts.
+	for i := 0; i < n; i++ {
+		var total int64
+		for k, entries := range m.kernel[i] {
+			var kc int64
+			for _, e := range entries {
+				kc += e.count
+			}
+			total += kc
+			if m.out[i] > 0 {
+				m.sojPMF[i][k] = float64(kc) / float64(m.out[i])
+			}
+		}
+		if total != m.out[i] {
+			return nil, fmt.Errorf("smc: state %d kernel mass %d != out count %d", i, total, m.out[i])
+		}
+	}
+	return m, nil
+}

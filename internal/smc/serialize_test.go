@@ -1,0 +1,87 @@
+package smc
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/market"
+	"repro/internal/trace"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	set, err := trace.Generate(trace.GenConfig{
+		Seed: 77, Type: market.M1Small,
+		Zones: []string{"us-east-1a"}, Start: 0, End: 8 * 7 * 24 * 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := set.ByZone["us-east-1a"]
+	e := NewEstimator(0)
+	e.Observe(tr)
+	orig, err := e.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical state space and kernel.
+	op, lp := orig.Prices(), loaded.Prices()
+	if len(op) != len(lp) {
+		t.Fatalf("state counts differ: %d vs %d", len(op), len(lp))
+	}
+	for i := range op {
+		if op[i] != lp[i] {
+			t.Fatalf("price %d differs", i)
+		}
+	}
+	for _, si := range op {
+		for _, sj := range op {
+			for k := int64(1); k < 200; k++ {
+				if a, b := orig.Kernel(si, sj, k), loaded.Kernel(si, sj, k); a != b {
+					t.Fatalf("kernel(%v,%v,%d): %v vs %v", si, sj, k, a, b)
+				}
+			}
+		}
+	}
+	// Forecasts agree.
+	cur := tr.PriceAt(tr.End - 1)
+	fa, err := orig.Forecast(cur, 3, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := loaded.Forecast(cur, 3, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range op {
+		if a, b := fa.OutOfBidFraction(p), fb.OutOfBidFraction(p); math.Abs(a-b) > 1e-12 {
+			t.Fatalf("forecast differs at %v: %v vs %v", p, a, b)
+		}
+	}
+}
+
+func TestReadModelRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"{nope",
+		`{"max_sojourn":0,"prices_micro_usd":[1],"out_counts":[0]}`,
+		`{"max_sojourn":10,"prices_micro_usd":[],"out_counts":[]}`,
+		`{"max_sojourn":10,"prices_micro_usd":[5,3],"out_counts":[0,0]}`, // not ascending
+		`{"max_sojourn":10,"prices_micro_usd":[1,2],"out_counts":[1]}`,   // length mismatch
+		`{"max_sojourn":10,"prices_micro_usd":[1,2],"out_counts":[1,0],"kernel":[{"from":5,"to":0,"sojourn":1,"count":1}]}`,
+		`{"max_sojourn":10,"prices_micro_usd":[1,2],"out_counts":[2,0],"kernel":[{"from":0,"to":1,"sojourn":1,"count":1}]}`, // mass mismatch
+	}
+	for i, c := range cases {
+		if _, err := ReadModel(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package smc implements the paper's spot-price model and spot-instance
+// failure model (§3.1, §4.2): a discrete semi-Markov chain over
+// (price, sojourn-time) states with 1-minute time units, estimated from
+// price history by the empirical estimator of Equation 13,
+//
+//	q̂(i,j,k) = N^k_{i,j} / N_i,
+//
+// and used to estimate the out-of-bid failure probability of a spot
+// instance under a bid, both for a single time unit (Equation 14) and
+// over a bidding interval (the discretization of Equation 5, computed by
+// forward-propagating the chain and averaging per-minute out-of-bid
+// probability).
+package smc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/market"
+	"repro/internal/trace"
+)
+
+// DefaultMaxSojourn caps the discretized sojourn state space T at one
+// day; longer runs are clamped, which only makes failure estimates more
+// conservative.
+const DefaultMaxSojourn int64 = 24 * 60
+
+// Estimator accumulates observed price transitions from traces. Use one
+// estimator per (zone, instance type) pair.
+type Estimator struct {
+	maxSojourn int64
+	// counts[i][j][k] = N^k_{i,j}: transitions from price i to price j
+	// after a sojourn of k minutes. Prices are keyed in micro-dollars.
+	counts map[market.Money]map[market.Money]map[int64]int64
+	// out[i] = N_i: observed departures from price i.
+	out map[market.Money]int64
+	// observations counts complete transitions seen.
+	observations int64
+}
+
+// NewEstimator creates an estimator with the given sojourn cap in
+// minutes; 0 selects DefaultMaxSojourn.
+func NewEstimator(maxSojourn int64) *Estimator {
+	if maxSojourn <= 0 {
+		maxSojourn = DefaultMaxSojourn
+	}
+	return &Estimator{
+		maxSojourn: maxSojourn,
+		counts:     make(map[market.Money]map[market.Money]map[int64]int64),
+		out:        make(map[market.Money]int64),
+	}
+}
+
+// Observe folds a trace's complete price runs into the counts. The final
+// (truncated) run carries no departure information and is skipped.
+func (e *Estimator) Observe(tr *trace.Trace) {
+	runs := tr.Sojourns()
+	for i := 0; i+1 < len(runs); i++ {
+		from, to := runs[i].Price, runs[i+1].Price
+		k := runs[i].Minutes
+		if k < 1 {
+			k = 1
+		}
+		if k > e.maxSojourn {
+			k = e.maxSojourn
+		}
+		byTo, ok := e.counts[from]
+		if !ok {
+			byTo = make(map[market.Money]map[int64]int64)
+			e.counts[from] = byTo
+		}
+		byK, ok := byTo[to]
+		if !ok {
+			byK = make(map[int64]int64)
+			byTo[to] = byK
+		}
+		byK[k]++
+		e.out[from]++
+		e.observations++
+	}
+}
+
+// Observations reports the number of complete transitions folded in.
+func (e *Estimator) Observations() int64 { return e.observations }
+
+// Model freezes the counts into a queryable semi-Markov model. It
+// errors when no transition has been observed.
+func (e *Estimator) Model() (*Model, error) {
+	if e.observations == 0 {
+		return nil, fmt.Errorf("smc: no transitions observed")
+	}
+	// Collect the price state space: every price seen as source or
+	// destination.
+	priceSet := map[market.Money]bool{}
+	for from, byTo := range e.counts {
+		priceSet[from] = true
+		for to := range byTo {
+			priceSet[to] = true
+		}
+	}
+	prices := make([]market.Money, 0, len(priceSet))
+	for p := range priceSet {
+		prices = append(prices, p)
+	}
+	sort.Slice(prices, func(a, b int) bool { return prices[a] < prices[b] })
+	idx := make(map[market.Money]int, len(prices))
+	for i, p := range prices {
+		idx[p] = i
+	}
+
+	n := len(prices)
+	m := &Model{
+		maxSojourn: e.maxSojourn,
+		prices:     prices,
+		idx:        idx,
+		out:        make([]int64, n),
+		kernel:     make([]map[int64][]kernelEntry, n),
+		sojPMF:     make([]map[int64]float64, n),
+	}
+	for from, byTo := range e.counts {
+		i := idx[from]
+		m.out[i] = e.out[from]
+		byK := make(map[int64]map[int]int64)
+		for to, ks := range byTo {
+			j := idx[to]
+			for k, c := range ks {
+				if byK[k] == nil {
+					byK[k] = make(map[int]int64)
+				}
+				byK[k][j] += c
+			}
+		}
+		m.kernel[i] = make(map[int64][]kernelEntry)
+		m.sojPMF[i] = make(map[int64]float64)
+		for k, js := range byK {
+			var total int64
+			entries := make([]kernelEntry, 0, len(js))
+			for j, c := range js {
+				entries = append(entries, kernelEntry{to: j, count: c})
+				total += c
+			}
+			sort.Slice(entries, func(a, b int) bool { return entries[a].to < entries[b].to })
+			m.kernel[i][k] = entries
+			m.sojPMF[i][k] = float64(total) / float64(m.out[i])
+		}
+	}
+	return m, nil
+}
+
+type kernelEntry struct {
+	to    int
+	count int64
+}
+
+// Model is a frozen semi-Markov chain estimated from price history.
+// Forecast state (sojourn tables, fresh profiles) is built lazily and
+// cached; a Model is not safe for concurrent use.
+type Model struct {
+	maxSojourn int64
+	prices     []market.Money
+	idx        map[market.Money]int
+	out        []int64                   // N_i
+	kernel     []map[int64][]kernelEntry // per source state: k -> destinations
+	sojPMF     []map[int64]float64       // per source state: k -> P(sojourn = k)
+
+	soj      []*sojournData // lazy per-state sojourn tables
+	profiles *freshProfiles // lazy fresh-entry occupancy cache
+}
+
+// Prices returns the learned price state space, ascending.
+func (m *Model) Prices() []market.Money {
+	return append([]market.Money(nil), m.prices...)
+}
+
+// Kernel evaluates q̂(i,j,k) = N^k_{i,j}/N_i for prices si, sj and
+// sojourn k (Equation 13). Unknown states or sojourns yield 0.
+func (m *Model) Kernel(si, sj market.Money, k int64) float64 {
+	i, ok := m.idx[si]
+	if !ok || m.out[i] == 0 {
+		return 0
+	}
+	j, ok := m.idx[sj]
+	if !ok {
+		return 0
+	}
+	for _, e := range m.kernel[i][k] {
+		if e.to == j {
+			return float64(e.count) / float64(m.out[i])
+		}
+	}
+	return 0
+}
+
+// Support summarizes how much training data backs each state — the
+// "estimation improves with more spot prices data" observation of the
+// paper made quantitative. States with few observed departures produce
+// coarse kernels and conservative bids.
+type Support struct {
+	States             int
+	TotalTransitions   int64
+	MinStateDepartures int64
+	// SparseStates counts states with fewer departures than the
+	// threshold passed to SupportSummary.
+	SparseStates int
+}
+
+// SupportSummary reports per-state training support; states with fewer
+// than minDepartures observations count as sparse.
+func (m *Model) SupportSummary(minDepartures int64) Support {
+	s := Support{States: len(m.prices), MinStateDepartures: -1}
+	for _, out := range m.out {
+		s.TotalTransitions += out
+		if s.MinStateDepartures < 0 || out < s.MinStateDepartures {
+			s.MinStateDepartures = out
+		}
+		if out < minDepartures {
+			s.SparseStates++
+		}
+	}
+	if s.MinStateDepartures < 0 {
+		s.MinStateDepartures = 0
+	}
+	return s
+}
+
+// SojournPMF returns P(sojourn = k minutes | current price = p), i.e.
+// the row-marginal of the kernel over destinations. Unknown prices or
+// sojourns yield 0.
+func (m *Model) SojournPMF(p market.Money, k int64) float64 {
+	i, ok := m.idx[p]
+	if !ok {
+		return 0
+	}
+	return m.sojPMF[i][k]
+}
+
+// MinimalBidOneStep searches the learned price levels for the smallest
+// bid whose Equation 14 one-step failure probability meets the target —
+// the paper's raw per-time-unit estimate, exposed for ablation against
+// the interval forecaster. ok is false when no bid at or below cap
+// qualifies.
+func (m *Model) MinimalBidOneStep(cur market.Money, k int64, target, fp0 float64, cap market.Money) (market.Money, bool) {
+	for _, p := range m.prices {
+		if p > cap {
+			break
+		}
+		if m.OneStepFP(cur, k, p, fp0) <= target {
+			return p, true
+		}
+	}
+	if m.OneStepFP(cur, k, cap, fp0) <= target {
+		return cap, true
+	}
+	return 0, false
+}
+
+// nearestState maps an arbitrary price onto the learned state space:
+// exact match if known, otherwise the nearest learned price (ties go
+// upward, the conservative direction for failure estimation).
+func (m *Model) nearestState(p market.Money) int {
+	if i, ok := m.idx[p]; ok {
+		return i
+	}
+	i := sort.Search(len(m.prices), func(i int) bool { return m.prices[i] >= p })
+	if i == len(m.prices) {
+		return len(m.prices) - 1
+	}
+	if i == 0 {
+		return 0
+	}
+	if p-m.prices[i-1] < m.prices[i]-p {
+		return i - 1
+	}
+	return i
+}
+
+// OneStepFP evaluates Equation 14 directly: the failure probability of a
+// spot instance for one time unit under bid b, when the current price is
+// cur with observed sojourn k, composed with the on-demand failure
+// probability fp0. Exposed for comparison with the interval estimator;
+// the bidding framework uses Forecast.
+func (m *Model) OneStepFP(cur market.Money, k int64, bid market.Money, fp0 float64) float64 {
+	if bid <= cur {
+		return 1
+	}
+	i := m.nearestState(cur)
+	if k > m.maxSojourn {
+		k = m.maxSojourn
+	}
+	sum := 0.0
+	for _, e := range m.kernel[i][k] {
+		if m.prices[e.to] <= bid {
+			sum += float64(e.count) / float64(m.out[i])
+		}
+	}
+	fp := 1 - (1-fp0)*sum
+	if fp < 0 {
+		return 0
+	}
+	if fp > 1 {
+		return 1
+	}
+	return fp
+}

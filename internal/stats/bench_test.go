@@ -1,0 +1,43 @@
+package stats
+
+import "testing"
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= r.Uint64()
+	}
+	_ = acc
+}
+
+func BenchmarkRNGNormFloat64(b *testing.B) {
+	r := NewRNG(1)
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += r.NormFloat64(0, 1)
+	}
+	_ = acc
+}
+
+func BenchmarkCategoricalSample(b *testing.B) {
+	c := NewCategorical([]float64{1, 2, 3, 4, 5, 6})
+	r := NewRNG(1)
+	var acc int
+	for i := 0; i < b.N; i++ {
+		acc += c.Sample(r)
+	}
+	_ = acc
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	r := NewRNG(1)
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Summarize(xs)
+	}
+}

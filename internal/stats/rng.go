@@ -1,0 +1,165 @@
+// Package stats provides deterministic random number generation,
+// probability distributions, and summary statistics used throughout the
+// spot-market simulator and the bidding framework.
+//
+// All randomness in the repository flows through stats.RNG so that every
+// experiment is reproducible from a single seed, independent of the Go
+// version's math/rand internals.
+package stats
+
+import "math"
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used only to expand a user seed into the xoshiro state.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RNG is a deterministic pseudo-random number generator based on
+// xoshiro256** by Blackman and Vigna. It is NOT safe for concurrent use;
+// create one RNG per goroutine (see Split).
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns an RNG seeded from the given seed. Two RNGs constructed
+// with the same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// xoshiro must not start in the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives a new, statistically independent RNG from this one.
+// The parent stream advances by one step.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn called with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("stats: Int63n called with n <= 0")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// ExpFloat64 returns an exponentially distributed value with rate lambda
+// (mean 1/lambda). It panics if lambda <= 0.
+func (r *RNG) ExpFloat64(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("stats: ExpFloat64 called with lambda <= 0")
+	}
+	u := r.Float64()
+	// Guard against log(0).
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / lambda
+}
+
+// NormFloat64 returns a normally distributed value with the given mean and
+// standard deviation, using the Marsaglia polar method.
+func (r *RNG) NormFloat64(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// LogNormFloat64 returns exp(N(mu, sigma)).
+func (r *RNG) LogNormFloat64(mu, sigma float64) float64 {
+	return math.Exp(r.NormFloat64(mu, sigma))
+}
+
+// Pareto returns a Pareto-distributed value with scale xm > 0 and shape
+// alpha > 0. Heavy-tailed; used for occasional price spikes.
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic("stats: Pareto requires xm > 0 and alpha > 0")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Geometric returns the number of failures before the first success in
+// Bernoulli(p) trials, i.e. a value in {0, 1, 2, ...}. Panics unless
+// 0 < p <= 1.
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("stats: Geometric requires 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return int(math.Floor(math.Log(u) / math.Log(1-p)))
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

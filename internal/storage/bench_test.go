@@ -1,0 +1,61 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+func benchService(b *testing.B, m int) *Service {
+	b.Helper()
+	net := simnet.New(1)
+	s, err := New(net, members(5), m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkPutCoded measures RS-Paxos writes (θ(3,5)).
+func BenchmarkPutCoded(b *testing.B) {
+	s := benchService(b, 3)
+	value := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPutReplicated measures the m=1 full-copy baseline the paper
+// compares RS-Paxos against.
+func BenchmarkPutReplicated(b *testing.B) {
+	s := benchService(b, 1)
+	value := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGetCoded measures quorum reads with reconstruction.
+func BenchmarkGetCoded(b *testing.B) {
+	s := benchService(b, 3)
+	value := make([]byte, 4096)
+	if err := s.Put("bench", value); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, found, err := s.Get("bench"); err != nil || !found {
+			b.Fatalf("get: %v %v", found, err)
+		}
+	}
+}

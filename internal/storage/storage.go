@@ -1,0 +1,484 @@
+// Package storage implements an erasure-code based distributed storage
+// service (paper §5.1.2) over RS-Paxos: writes replicate a θ(m, n) coded
+// value — each replica stores only its shard — through Paxos with
+// enlarged quorums (ceil((n+m)/2)), and reads gather any m shards and
+// reconstruct. The standard configuration is 5 nodes with θ(3, 5),
+// which tolerates one node failure.
+//
+// Because shards are tied to the view that accepted them, membership
+// rotation (the bidding framework replacing spot instances) is followed
+// by Rebalance, which re-encodes every key under the new view before the
+// old instances retire — the make-before-break discipline of paper §4.
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/erasure"
+	"repro/internal/paxos"
+	"repro/internal/simnet"
+)
+
+// Meta encoding: one op byte then the key.
+const (
+	opPut    = 'P'
+	opDelete = 'D'
+)
+
+// record is a replica's knowledge of one key: the latest committed
+// write's shard (or full copy for snapshot-bootstrapped replicas).
+type record struct {
+	slot     uint64
+	shardIdx int // -1 = full copy, -2 = known but shardless (needs repair)
+	viewSize int
+	payload  []byte
+	deleted  bool
+}
+
+// kvSM is the per-replica state machine.
+type kvSM struct {
+	id   simnet.NodeID
+	keys map[string]*record
+}
+
+func newKVSM(id simnet.NodeID) *kvSM {
+	return &kvSM{id: id, keys: make(map[string]*record)}
+}
+
+// Apply implements paxos.StateMachine.
+func (s *kvSM) Apply(slot uint64, kind paxos.CmdKind, cmdID uint64, meta, payload []byte, shardIdx, viewSize int) {
+	if kind != paxos.KindApp || len(meta) == 0 {
+		return
+	}
+	op, key := meta[0], string(meta[1:])
+	prev := s.keys[key]
+	if prev != nil && prev.slot >= slot {
+		return // stale re-apply
+	}
+	switch op {
+	case opPut:
+		rec := &record{slot: slot, shardIdx: shardIdx, viewSize: viewSize, payload: payload}
+		if payload == nil {
+			rec.shardIdx = -2 // joined after the write; needs rebalance
+		}
+		s.keys[key] = rec
+	case opDelete:
+		s.keys[key] = &record{slot: slot, deleted: true, shardIdx: -2}
+	}
+}
+
+// jsonKV mirrors kvSM for snapshot serialization. Shard payloads are
+// node-specific and never transferred: records travel as metadata and
+// the service's rebalance re-encodes data for the receiver.
+type jsonKV struct {
+	Keys map[string]jsonRecord `json:"keys"`
+}
+
+type jsonRecord struct {
+	Slot    uint64 `json:"slot"`
+	Deleted bool   `json:"deleted"`
+	// Full carries a payload only for full-copy records (shardIdx -1),
+	// which are node-independent.
+	Full []byte `json:"full,omitempty"`
+}
+
+// Snapshot implements paxos.StateMachine.
+func (s *kvSM) Snapshot() []byte {
+	js := jsonKV{Keys: map[string]jsonRecord{}}
+	for k, rec := range s.keys {
+		jr := jsonRecord{Slot: rec.slot, Deleted: rec.deleted}
+		if rec.shardIdx == -1 {
+			jr.Full = rec.payload
+		}
+		js.Keys[k] = jr
+	}
+	data, err := json.Marshal(js)
+	if err != nil {
+		panic("storage: snapshot encoding: " + err.Error())
+	}
+	return data
+}
+
+// Restore implements paxos.StateMachine.
+func (s *kvSM) Restore(snapshot []byte) {
+	var js jsonKV
+	if err := json.Unmarshal(snapshot, &js); err != nil {
+		panic("storage: snapshot decoding: " + err.Error())
+	}
+	s.keys = map[string]*record{}
+	for k, jr := range js.Keys {
+		rec := &record{slot: jr.Slot, deleted: jr.Deleted, shardIdx: -2}
+		if jr.Full != nil {
+			rec.shardIdx = -1
+			rec.payload = jr.Full
+		}
+		s.keys[k] = rec
+	}
+}
+
+// --- networked read path ---
+
+// kvAddr returns the replica's read endpoint address.
+func kvAddr(id simnet.NodeID) simnet.NodeID { return id + "#kv" }
+
+type getReq struct {
+	ReqID uint64
+	Key   string
+	Reply simnet.NodeID
+}
+
+type getRep struct {
+	ReqID    uint64
+	From     simnet.NodeID
+	Found    bool
+	Deleted  bool
+	Slot     uint64
+	ShardIdx int
+	ViewSize int
+	Payload  []byte
+}
+
+// kvEndpoint serves shard reads for one replica.
+type kvEndpoint struct {
+	id simnet.NodeID
+	sm *kvSM
+}
+
+func (e *kvEndpoint) Receive(net *simnet.Network, msg simnet.Message) {
+	req, ok := msg.Payload.(getReq)
+	if !ok {
+		return
+	}
+	rec := e.sm.keys[req.Key]
+	rep := getRep{ReqID: req.ReqID, From: e.id}
+	if rec != nil {
+		rep.Found = true
+		rep.Deleted = rec.deleted
+		rep.Slot = rec.slot
+		rep.ShardIdx = rec.shardIdx
+		rep.ViewSize = rec.viewSize
+		rep.Payload = rec.payload
+	}
+	net.Send(kvAddr(e.id), req.Reply, rep)
+}
+
+// Service is the client-facing storage handle.
+type Service struct {
+	cluster *paxos.Cluster
+	sms     map[simnet.NodeID]*kvSM
+	m       int
+	client  simnet.NodeID
+	nextReq uint64
+	replies map[uint64][]getRep
+}
+
+// New builds a storage service with θ(m, len(members)) coding.
+func New(net *simnet.Network, members []simnet.NodeID, m int) (*Service, error) {
+	if m < 1 || m > len(members) {
+		return nil, fmt.Errorf("storage: θ(%d, %d) invalid", m, len(members))
+	}
+	s := &Service{
+		sms:     make(map[simnet.NodeID]*kvSM),
+		m:       m,
+		client:  "storage-client",
+		replies: make(map[uint64][]getRep),
+	}
+	s.cluster = paxos.NewCluster(net, members, func(id simnet.NodeID) paxos.StateMachine {
+		sm := newKVSM(id)
+		s.sms[id] = sm
+		net.Register(kvAddr(id), &kvEndpoint{id: id, sm: sm})
+		return sm
+	}, paxos.DefaultOptions(m))
+	net.Register(s.client, simnet.HandlerFunc(func(_ *simnet.Network, msg simnet.Message) {
+		if rep, ok := msg.Payload.(getRep); ok {
+			s.replies[rep.ReqID] = append(s.replies[rep.ReqID], rep)
+		}
+	}))
+	return s, nil
+}
+
+// Cluster exposes the underlying Paxos cluster.
+func (s *Service) Cluster() *paxos.Cluster { return s.cluster }
+
+// DataShards returns m of the θ(m, n) code.
+func (s *Service) DataShards() int { return s.m }
+
+// Put stores value under key, driving the network until the write is
+// committed by the RS-Paxos quorum.
+func (s *Service) Put(key string, value []byte) error {
+	meta := append([]byte{opPut}, key...)
+	_, err := s.cluster.ProposeMeta(meta, value)
+	return err
+}
+
+// Delete removes a key.
+func (s *Service) Delete(key string) error {
+	meta := append([]byte{opDelete}, key...)
+	_, err := s.cluster.ProposeMeta(meta, nil)
+	return err
+}
+
+// Get reads a key by gathering shards from a read quorum of replicas
+// and reconstructing. It returns (nil, false, nil) for absent or
+// deleted keys.
+func (s *Service) Get(key string) ([]byte, bool, error) {
+	const attempts = 4
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		value, found, err := s.getOnce(key)
+		if err == nil {
+			return value, found, nil
+		}
+		lastErr = err
+		s.cluster.Settle(20000) // let commits and repairs land, retry
+	}
+	return nil, false, lastErr
+}
+
+func (s *Service) getOnce(key string) ([]byte, bool, error) {
+	var anyNode *paxos.Node
+	for _, n := range s.cluster.Nodes() {
+		anyNode = n
+		break
+	}
+	if anyNode == nil {
+		return nil, false, fmt.Errorf("storage: empty cluster")
+	}
+	view := anyNode.CurrentView()
+	s.nextReq++
+	reqID := s.nextReq
+	net := s.cluster.Net
+	for _, id := range view {
+		net.Send(s.client, kvAddr(id), getReq{ReqID: reqID, Key: key, Reply: s.client})
+	}
+	quorum := (len(view) + s.m + 1) / 2
+	// A quorum of replies alone may not carry m shards (replicas that
+	// joined after the write hold only metadata), so wait until the
+	// value is actually decodable or every member has answered.
+	net.RunUntil(func() bool {
+		reps := s.replies[reqID]
+		if len(reps) >= len(view) {
+			return true
+		}
+		return len(reps) >= quorum && decodable(reps, s.m)
+	}, 200000)
+	reps := s.replies[reqID]
+	delete(s.replies, reqID)
+	if len(reps) < quorum {
+		return nil, false, fmt.Errorf("storage: read quorum %d not reached (%d replies)", quorum, len(reps))
+	}
+	// Latest version among the quorum wins.
+	var maxSlot uint64
+	found := false
+	for _, r := range reps {
+		if r.Found && r.Slot >= maxSlot {
+			maxSlot = r.Slot
+			found = true
+		}
+	}
+	if !found {
+		return nil, false, nil
+	}
+	shards := map[int][]byte{}
+	viewSize := 0
+	deleted := false
+	var full []byte
+	haveFull := false
+	for _, r := range reps {
+		if !r.Found || r.Slot != maxSlot {
+			continue
+		}
+		if r.Deleted {
+			deleted = true
+			continue
+		}
+		switch {
+		case r.ShardIdx >= 0:
+			shards[r.ShardIdx] = r.Payload
+			viewSize = r.ViewSize
+		case r.ShardIdx == -1 && r.Payload != nil:
+			full = r.Payload
+			haveFull = true
+		}
+	}
+	if deleted {
+		return nil, false, nil
+	}
+	if haveFull {
+		return full, true, nil
+	}
+	if len(shards) < s.m {
+		return nil, false, fmt.Errorf("storage: key %q slot %d: only %d/%d shards", key, maxSlot, len(shards), s.m)
+	}
+	code, err := erasure.NewCode(s.m, viewSize)
+	if err != nil {
+		return nil, false, err
+	}
+	all := make([][]byte, viewSize)
+	for idx, sh := range shards {
+		if idx < viewSize {
+			all[idx] = sh
+		}
+	}
+	if err := code.Reconstruct(all); err != nil {
+		return nil, false, err
+	}
+	var joined []byte
+	for _, sh := range all[:s.m] {
+		joined = append(joined, sh...)
+	}
+	value, err := unframeValue(joined)
+	if err != nil {
+		return nil, false, err
+	}
+	return value, true, nil
+}
+
+// decodable reports whether the replies gathered so far suffice to
+// answer: the newest version is absent/deleted, available as a full
+// copy, or covered by at least m shards.
+func decodable(reps []getRep, m int) bool {
+	var maxSlot uint64
+	found := false
+	for _, r := range reps {
+		if r.Found && r.Slot >= maxSlot {
+			maxSlot = r.Slot
+			found = true
+		}
+	}
+	if !found {
+		return true
+	}
+	shards := 0
+	for _, r := range reps {
+		if !r.Found || r.Slot != maxSlot {
+			continue
+		}
+		if r.Deleted || (r.ShardIdx == -1 && r.Payload != nil) {
+			return true
+		}
+		if r.ShardIdx >= 0 {
+			shards++
+		}
+	}
+	return shards >= m
+}
+
+// unframeValue decodes the 8-byte little-endian length prefix the Paxos
+// engine frames coded values with.
+func unframeValue(joined []byte) ([]byte, error) {
+	if len(joined) < 8 {
+		return nil, fmt.Errorf("storage: framed value too short")
+	}
+	var l uint64
+	for i := 0; i < 8; i++ {
+		l |= uint64(joined[i]) << (8 * uint(i))
+	}
+	if int(l) > len(joined)-8 {
+		return nil, fmt.Errorf("storage: framed length %d exceeds payload", l)
+	}
+	return joined[8 : 8+l], nil
+}
+
+// Keys lists keys known to the most caught-up live replica (including
+// shardless records awaiting repair, excluding deletions).
+func (s *Service) Keys() []string {
+	var best *kvSM
+	bestFrontier := uint64(0)
+	for id, m := range s.sms {
+		n := s.cluster.Node(id)
+		if n == nil || s.cluster.Net.Crashed(id) {
+			continue
+		}
+		if n.Frontier() >= bestFrontier {
+			bestFrontier = n.Frontier()
+			best = m
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	var keys []string
+	for k, rec := range best.keys {
+		if !rec.deleted {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// Rotate swaps members (make-before-break) and rebalances all keys onto
+// the new view so shard placement matches current membership.
+func (s *Service) Rotate(add, remove []simnet.NodeID) error {
+	var anyNode *paxos.Node
+	for _, n := range s.cluster.Nodes() {
+		anyNode = n
+		break
+	}
+	if anyNode == nil {
+		return fmt.Errorf("storage: empty cluster")
+	}
+	current := map[simnet.NodeID]bool{}
+	for _, id := range anyNode.CurrentView() {
+		current[id] = true
+	}
+	for _, id := range add {
+		current[id] = true
+	}
+	for _, id := range remove {
+		delete(current, id)
+	}
+	var next []simnet.NodeID
+	for id := range current {
+		next = append(next, id)
+	}
+	if len(next) < s.m {
+		return fmt.Errorf("storage: view of %d below m=%d", len(next), s.m)
+	}
+	if err := s.cluster.Reconfigure(next); err != nil {
+		return err
+	}
+	if err := s.Rebalance(); err != nil {
+		return err
+	}
+	for _, id := range remove {
+		s.cluster.StopNode(id)
+	}
+	return nil
+}
+
+// Rebalance re-writes every key under the current view, restoring the
+// coded layout after membership changes. Old instances must still be
+// reachable while it runs (they hold the shards being read).
+func (s *Service) Rebalance() error {
+	for _, key := range s.Keys() {
+		value, found, err := s.Get(key)
+		if err != nil {
+			return fmt.Errorf("storage: rebalance read %q: %w", key, err)
+		}
+		if !found {
+			continue
+		}
+		if err := s.Put(key, value); err != nil {
+			return fmt.Errorf("storage: rebalance write %q: %w", key, err)
+		}
+	}
+	return nil
+}
+
+// shardBytesStored reports the total payload bytes stored across live
+// replicas — used by tests and benches to demonstrate the RS-Paxos
+// storage saving versus full replication.
+func (s *Service) shardBytesStored() int {
+	total := 0
+	for id, sm := range s.sms {
+		if s.cluster.Net.Crashed(id) {
+			continue
+		}
+		for _, rec := range sm.keys {
+			total += len(rec.payload)
+		}
+	}
+	return total
+}

@@ -1,0 +1,177 @@
+// Package strategy defines the bidding-strategy interface the replay
+// harness drives, plus the paper's comparison strategies: the
+// Extra(m, p) heuristics and the on-demand baseline (§5.2). The paper's
+// own framework, Jupiter, lives in internal/core and implements the
+// same interface.
+package strategy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/market"
+	"repro/internal/quorum"
+	"repro/internal/trace"
+)
+
+// MarketView is what a strategy can observe at decision time: current
+// prices, their ages, and price history — never the future.
+type MarketView interface {
+	// Now returns the current minute.
+	Now() int64
+	// Zones lists the candidate availability zones.
+	Zones() []string
+	// SpotPrice returns the current spot price in a zone.
+	SpotPrice(zone string) (market.Money, error)
+	// SpotPriceAge returns how long the current price has held, in
+	// minutes.
+	SpotPriceAge(zone string) (int64, error)
+	// PriceHistory returns past prices over [from, to) clamped to
+	// what has been observed.
+	PriceHistory(zone string, from, to int64) (*trace.Trace, error)
+}
+
+// ServiceSpec describes the distributed service being hosted.
+type ServiceSpec struct {
+	// Type is the instance type the service runs on.
+	Type market.InstanceType
+	// BaseNodes is the on-demand deployment size (5 in the paper).
+	BaseNodes int
+	// DataShards is m of the service's quorum regime: 1 for the
+	// replicated lock service, 3 for the θ(3,5) storage service.
+	DataShards int
+}
+
+// QuorumSize returns the quorum for a deployment of n nodes.
+func (s ServiceSpec) QuorumSize(n int) int {
+	return quorum.RSPaxosQuorumSize(n, s.DataShards)
+}
+
+// TargetAvailability returns the availability of the baseline
+// on-demand deployment: BaseNodes nodes at FP' with the service's
+// quorum rule — the constraint the paper's Equation 10 enforces.
+func (s ServiceSpec) TargetAvailability() float64 {
+	return quorum.AvailabilityEqual(s.BaseNodes, s.QuorumSize(s.BaseNodes), market.OnDemandFailureProbability)
+}
+
+// Bid is one zone's bid decision.
+type Bid struct {
+	Zone  string
+	Price market.Money
+}
+
+// Decision is a strategy's output for one bidding interval.
+type Decision struct {
+	// Bids lists the spot bids to place, one per zone.
+	Bids []Bid
+	// OnDemand lists zones in which to run on-demand instances
+	// (baseline strategy).
+	OnDemand []string
+}
+
+// Strategy decides bids at the start of each bidding interval.
+type Strategy interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// Decide returns the bids for the next interval of the given
+	// length in minutes.
+	Decide(view MarketView, spec ServiceSpec, intervalMinutes int64) (Decision, error)
+}
+
+// IntervalChooser is an optional Strategy extension: a strategy that
+// picks its own next bidding interval, in minutes, from observed market
+// conditions — the paper's §5.5 future-work extension ("detect the
+// frequency of spot prices fluctuating and change the bidding interval
+// correspondingly"). The replay harness consults it before each Decide.
+type IntervalChooser interface {
+	ChooseInterval(view MarketView, spec ServiceSpec) int64
+}
+
+// --- Extra(m, p) heuristic (§5.2) ---
+
+// Extra is the paper's heuristic comparison strategy: pick the
+// BaseNodes+ExtraNodes cheapest zones by current spot price and bid the
+// spot price plus an extra portion (e.g. 0.1 or 0.2).
+type Extra struct {
+	// ExtraNodes is m of Extra(m, p).
+	ExtraNodes int
+	// Portion is p of Extra(m, p), e.g. 0.2 for a 20% margin.
+	Portion float64
+}
+
+// Name implements Strategy.
+func (e Extra) Name() string {
+	return fmt.Sprintf("Extra(%d, %g)", e.ExtraNodes, e.Portion)
+}
+
+// Decide implements Strategy.
+func (e Extra) Decide(view MarketView, spec ServiceSpec, intervalMinutes int64) (Decision, error) {
+	type zp struct {
+		zone  string
+		price market.Money
+	}
+	var zps []zp
+	for _, z := range view.Zones() {
+		p, err := view.SpotPrice(z)
+		if err != nil {
+			return Decision{}, err
+		}
+		zps = append(zps, zp{z, p})
+	}
+	sort.Slice(zps, func(i, j int) bool {
+		if zps[i].price != zps[j].price {
+			return zps[i].price < zps[j].price
+		}
+		return zps[i].zone < zps[j].zone
+	})
+	n := spec.BaseNodes + e.ExtraNodes
+	if n > len(zps) {
+		n = len(zps)
+	}
+	var bids []Bid
+	for _, z := range zps[:n] {
+		bid := z.price.Scale(1 + e.Portion)
+		bids = append(bids, Bid{Zone: z.zone, Price: bid})
+	}
+	return Decision{Bids: bids}, nil
+}
+
+// --- On-demand baseline (§5.2) ---
+
+// OnDemand is the baseline: BaseNodes on-demand instances in the
+// cheapest zones, never bidding.
+type OnDemand struct{}
+
+// Name implements Strategy.
+func (OnDemand) Name() string { return "Baseline" }
+
+// Decide implements Strategy.
+func (OnDemand) Decide(view MarketView, spec ServiceSpec, intervalMinutes int64) (Decision, error) {
+	type zp struct {
+		zone  string
+		price market.Money
+	}
+	var zps []zp
+	for _, z := range view.Zones() {
+		od, err := market.OnDemandPrice(z, spec.Type)
+		if err != nil {
+			return Decision{}, err
+		}
+		zps = append(zps, zp{z, od})
+	}
+	sort.Slice(zps, func(i, j int) bool {
+		if zps[i].price != zps[j].price {
+			return zps[i].price < zps[j].price
+		}
+		return zps[i].zone < zps[j].zone
+	})
+	n := spec.BaseNodes
+	if n > len(zps) {
+		n = len(zps)
+	}
+	var zones []string
+	for _, z := range zps[:n] {
+		zones = append(zones, z.zone)
+	}
+	return Decision{OnDemand: zones}, nil
+}

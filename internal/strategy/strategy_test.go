@@ -1,0 +1,153 @@
+package strategy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/market"
+	"repro/internal/trace"
+)
+
+// fakeView is a static market view for strategy unit tests.
+type fakeView struct {
+	now    int64
+	prices map[string]market.Money
+	ages   map[string]int64
+	hist   map[string]*trace.Trace
+}
+
+func (v fakeView) Now() int64 { return v.now }
+func (v fakeView) Zones() []string {
+	var zs []string
+	for _, z := range market.ExperimentZones() {
+		if _, ok := v.prices[z]; ok {
+			zs = append(zs, z)
+		}
+	}
+	return zs
+}
+func (v fakeView) SpotPrice(zone string) (market.Money, error) { return v.prices[zone], nil }
+func (v fakeView) SpotPriceAge(zone string) (int64, error)     { return v.ages[zone], nil }
+func (v fakeView) PriceHistory(zone string, from, to int64) (*trace.Trace, error) {
+	return v.hist[zone], nil
+}
+
+func view3() fakeView {
+	return fakeView{
+		now: 100,
+		prices: map[string]market.Money{
+			"us-east-1a": market.FromDollars(0.0071),
+			"us-east-1b": market.FromDollars(0.0090),
+			"us-west-2a": market.FromDollars(0.0080),
+		},
+		ages: map[string]int64{"us-east-1a": 5, "us-east-1b": 10, "us-west-2a": 3},
+	}
+}
+
+func TestServiceSpecQuorums(t *testing.T) {
+	lock := ServiceSpec{Type: market.M1Small, BaseNodes: 5, DataShards: 1}
+	if k := lock.QuorumSize(5); k != 3 {
+		t.Fatalf("lock quorum = %d, want 3", k)
+	}
+	store := ServiceSpec{Type: market.M3Large, BaseNodes: 5, DataShards: 3}
+	if k := store.QuorumSize(5); k != 4 {
+		t.Fatalf("storage quorum = %d, want 4", k)
+	}
+	if k := store.QuorumSize(7); k != 5 {
+		t.Fatalf("storage quorum(7) = %d, want 5", k)
+	}
+}
+
+func TestTargetAvailabilityMatchesPaper(t *testing.T) {
+	lock := ServiceSpec{Type: market.M1Small, BaseNodes: 5, DataShards: 1}
+	if got := lock.TargetAvailability(); math.Abs(got-0.9999901494) > 1e-9 {
+		t.Fatalf("lock target = %.10f, want 0.9999901494 (paper §3)", got)
+	}
+	store := ServiceSpec{Type: market.M3Large, BaseNodes: 5, DataShards: 3}
+	// θ(3,5): q^5 + 5pq^4 at p = 0.01.
+	want := math.Pow(0.99, 5) + 5*0.01*math.Pow(0.99, 4)
+	if got := store.TargetAvailability(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("storage target = %v, want %v", got, want)
+	}
+}
+
+func TestExtraPicksCheapestWithMargin(t *testing.T) {
+	e := Extra{ExtraNodes: 0, Portion: 0.1}
+	spec := ServiceSpec{Type: market.M1Small, BaseNodes: 2, DataShards: 1}
+	d, err := e.Decide(view3(), spec, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Bids) != 2 {
+		t.Fatalf("got %d bids, want 2", len(d.Bids))
+	}
+	// Cheapest two zones: us-east-1a (0.0071), us-west-2a (0.0080).
+	byZone := map[string]market.Money{}
+	for _, b := range d.Bids {
+		byZone[b.Zone] = b.Price
+	}
+	if _, ok := byZone["us-east-1a"]; !ok {
+		t.Fatal("cheapest zone not selected")
+	}
+	if _, ok := byZone["us-west-2a"]; !ok {
+		t.Fatal("second-cheapest zone not selected")
+	}
+	want := market.FromDollars(0.0071).Scale(1.1)
+	if got := byZone["us-east-1a"]; got != want {
+		t.Fatalf("bid = %v, want spot*1.1 = %v", got, want)
+	}
+}
+
+func TestExtraAddsNodes(t *testing.T) {
+	e := Extra{ExtraNodes: 1, Portion: 0.2}
+	spec := ServiceSpec{Type: market.M1Small, BaseNodes: 2, DataShards: 1}
+	d, err := e.Decide(view3(), spec, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Bids) != 3 {
+		t.Fatalf("Extra(1, .2) placed %d bids, want 3", len(d.Bids))
+	}
+}
+
+func TestExtraClampsToZoneCount(t *testing.T) {
+	e := Extra{ExtraNodes: 10, Portion: 0.2}
+	spec := ServiceSpec{Type: market.M1Small, BaseNodes: 2, DataShards: 1}
+	d, err := e.Decide(view3(), spec, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Bids) != 3 {
+		t.Fatalf("got %d bids, want all 3 zones", len(d.Bids))
+	}
+}
+
+func TestExtraName(t *testing.T) {
+	if got := (Extra{ExtraNodes: 2, Portion: 0.2}).Name(); got != "Extra(2, 0.2)" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestOnDemandBaseline(t *testing.T) {
+	spec := ServiceSpec{Type: market.M1Small, BaseNodes: 2, DataShards: 1}
+	d, err := OnDemand{}.Decide(view3(), spec, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Bids) != 0 {
+		t.Fatal("baseline placed spot bids")
+	}
+	if len(d.OnDemand) != 2 {
+		t.Fatalf("baseline chose %d zones, want 2", len(d.OnDemand))
+	}
+	// us-east and us-west zones share the cheapest on-demand price.
+	for _, z := range d.OnDemand {
+		od, err := market.OnDemandPrice(z, market.M1Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if od != market.FromDollars(0.044) {
+			t.Fatalf("zone %s od price %v, want cheapest tier", z, od)
+		}
+	}
+}

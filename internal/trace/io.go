@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/market"
+)
+
+// CSV layout: header "zone,type,minute,price_usd" followed by one row per
+// price point, grouped by zone in ascending minute order.
+
+// WriteCSV serializes the set in the CSV layout above.
+func (s *Set) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"zone", "type", "minute", "price_usd"}); err != nil {
+		return err
+	}
+	for _, zone := range s.Zones() {
+		t := s.ByZone[zone]
+		for _, p := range t.Points {
+			row := []string{
+				zone,
+				string(t.Type),
+				strconv.FormatInt(p.Minute, 10),
+				strconv.FormatFloat(p.Price.Dollars(), 'f', -1, 64),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace set written by WriteCSV. Span boundaries are
+// supplied by the caller because the CSV stores only change points.
+func ReadCSV(r io.Reader, it market.InstanceType, start, end int64) (*Set, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	header := rows[0]
+	if len(header) != 4 || header[0] != "zone" || header[2] != "minute" {
+		return nil, fmt.Errorf("trace: unexpected CSV header %v", header)
+	}
+	byZone := map[string][]PricePoint{}
+	for i, row := range rows[1:] {
+		if len(row) != 4 {
+			return nil, fmt.Errorf("trace: row %d has %d fields", i+2, len(row))
+		}
+		if market.InstanceType(row[1]) != it {
+			return nil, fmt.Errorf("trace: row %d type %q, want %q", i+2, row[1], it)
+		}
+		minute, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d minute: %v", i+2, err)
+		}
+		dollars, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d price: %v", i+2, err)
+		}
+		byZone[row[0]] = append(byZone[row[0]], PricePoint{Minute: minute, Price: market.FromDollars(dollars)})
+	}
+	set := NewSet(it, start, end)
+	zones := make([]string, 0, len(byZone))
+	for z := range byZone {
+		zones = append(zones, z)
+	}
+	sort.Strings(zones)
+	for _, z := range zones {
+		pts := byZone[z]
+		sort.Slice(pts, func(a, b int) bool { return pts[a].Minute < pts[b].Minute })
+		t := &Trace{Zone: z, Type: it, Start: start, End: end, Points: pts}
+		if err := set.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
+}
+
+// jsonSet mirrors Set for encoding/json with explicit field names.
+type jsonSet struct {
+	Type   market.InstanceType `json:"type"`
+	Start  int64               `json:"start"`
+	End    int64               `json:"end"`
+	Traces []jsonTrace         `json:"traces"`
+}
+
+type jsonTrace struct {
+	Zone   string      `json:"zone"`
+	Points []jsonPoint `json:"points"`
+}
+
+type jsonPoint struct {
+	Minute int64 `json:"minute"`
+	Micro  int64 `json:"price_micro_usd"`
+}
+
+// WriteJSON serializes the set as JSON with prices in micro-dollars.
+func (s *Set) WriteJSON(w io.Writer) error {
+	js := jsonSet{Type: s.Type, Start: s.Start, End: s.End}
+	for _, zone := range s.Zones() {
+		t := s.ByZone[zone]
+		jt := jsonTrace{Zone: zone}
+		for _, p := range t.Points {
+			jt.Points = append(jt.Points, jsonPoint{Minute: p.Minute, Micro: int64(p.Price)})
+		}
+		js.Traces = append(js.Traces, jt)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(js)
+}
+
+// ReadJSON parses a set written by WriteJSON.
+func ReadJSON(r io.Reader) (*Set, error) {
+	var js jsonSet
+	if err := json.NewDecoder(r).Decode(&js); err != nil {
+		return nil, fmt.Errorf("trace: reading JSON: %w", err)
+	}
+	set := NewSet(js.Type, js.Start, js.End)
+	for _, jt := range js.Traces {
+		t := &Trace{Zone: jt.Zone, Type: js.Type, Start: js.Start, End: js.End}
+		for _, p := range jt.Points {
+			t.Points = append(t.Points, PricePoint{Minute: p.Minute, Price: market.Money(p.Micro)})
+		}
+		if err := set.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
+}

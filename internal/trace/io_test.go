@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/market"
+)
+
+func genSmallSet(t *testing.T) *Set {
+	t.Helper()
+	s, err := Generate(GenConfig{
+		Seed: 4, Type: market.M1Small,
+		Zones: []string{"us-east-1a", "eu-west-1b"},
+		Start: 0, End: 24 * 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func setsEqual(t *testing.T, a, b *Set) {
+	t.Helper()
+	if a.Type != b.Type || a.Start != b.Start || a.End != b.End {
+		t.Fatalf("set metadata differs: %v/%d/%d vs %v/%d/%d", a.Type, a.Start, a.End, b.Type, b.Start, b.End)
+	}
+	if len(a.ByZone) != len(b.ByZone) {
+		t.Fatalf("zone counts differ: %d vs %d", len(a.ByZone), len(b.ByZone))
+	}
+	for z, ta := range a.ByZone {
+		tb, ok := b.ByZone[z]
+		if !ok {
+			t.Fatalf("zone %s missing", z)
+		}
+		if len(ta.Points) != len(tb.Points) {
+			t.Fatalf("zone %s point counts differ: %d vs %d", z, len(ta.Points), len(tb.Points))
+		}
+		for i := range ta.Points {
+			if ta.Points[i] != tb.Points[i] {
+				t.Fatalf("zone %s point %d: %+v vs %+v", z, i, ta.Points[i], tb.Points[i])
+			}
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := genSmallSet(t)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, market.M1Small, s.Start, s.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setsEqual(t, s, got)
+}
+
+func TestCSVHeaderCheck(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader("a,b\n1,2\n"), market.M1Small, 0, 10)
+	if err == nil {
+		t.Fatal("bad header accepted")
+	}
+}
+
+func TestCSVTypeMismatch(t *testing.T) {
+	s := genSmallSet(t)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCSV(&buf, market.M3Large, s.Start, s.End); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+}
+
+func TestCSVEmpty(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), market.M1Small, 0, 10); err == nil {
+		t.Fatal("empty CSV accepted")
+	}
+}
+
+func TestCSVBadRows(t *testing.T) {
+	bad := []string{
+		"zone,type,minute,price_usd\nus-east-1a,m1.small,xyz,0.01\n",
+		"zone,type,minute,price_usd\nus-east-1a,m1.small,0,abc\n",
+	}
+	for _, csvText := range bad {
+		if _, err := ReadCSV(strings.NewReader(csvText), market.M1Small, 0, 10); err == nil {
+			t.Fatalf("bad CSV accepted: %q", csvText)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := genSmallSet(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setsEqual(t, s, got)
+}
+
+func TestJSONGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage JSON accepted")
+	}
+}

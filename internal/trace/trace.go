@@ -1,0 +1,239 @@
+// Package trace represents spot-price histories: per-availability-zone
+// sequences of (minute, price) change points, with piecewise-constant
+// interpolation, windowing, and CSV/JSON serialization.
+//
+// It also provides a calibrated synthetic generator (gen.go) that stands
+// in for the proprietary 2014 Amazon EC2 price history the paper trained
+// and replayed on; see DESIGN.md §4 for the substitution rationale.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/market"
+)
+
+// PricePoint is one spot-price change: the price becomes Price at Minute
+// and holds until the next point.
+type PricePoint struct {
+	Minute int64
+	Price  market.Money
+}
+
+// Trace is the spot-price history of one (zone, instance type) pair over
+// [Start, End). Points are sorted by minute; the first point must be at
+// Start so the price is defined over the whole span.
+type Trace struct {
+	Zone   string
+	Type   market.InstanceType
+	Start  int64 // inclusive
+	End    int64 // exclusive
+	Points []PricePoint
+}
+
+// Validate checks the structural invariants of the trace.
+func (t *Trace) Validate() error {
+	if t.End < t.Start {
+		return fmt.Errorf("trace %s/%s: end %d before start %d", t.Zone, t.Type, t.End, t.Start)
+	}
+	if len(t.Points) == 0 {
+		if t.End > t.Start {
+			return fmt.Errorf("trace %s/%s: non-empty span with no points", t.Zone, t.Type)
+		}
+		return nil
+	}
+	if t.Points[0].Minute != t.Start {
+		return fmt.Errorf("trace %s/%s: first point at %d, want start %d", t.Zone, t.Type, t.Points[0].Minute, t.Start)
+	}
+	for i := 1; i < len(t.Points); i++ {
+		if t.Points[i].Minute <= t.Points[i-1].Minute {
+			return fmt.Errorf("trace %s/%s: points not strictly increasing at index %d", t.Zone, t.Type, i)
+		}
+	}
+	if last := t.Points[len(t.Points)-1].Minute; last >= t.End {
+		return fmt.Errorf("trace %s/%s: last point %d at or beyond end %d", t.Zone, t.Type, last, t.End)
+	}
+	for _, p := range t.Points {
+		if p.Price < 0 {
+			return fmt.Errorf("trace %s/%s: negative price at minute %d", t.Zone, t.Type, p.Minute)
+		}
+	}
+	return nil
+}
+
+// PriceAt returns the price in effect at the given minute. It panics if
+// the minute is outside [Start, End).
+func (t *Trace) PriceAt(minute int64) market.Money {
+	if minute < t.Start || minute >= t.End {
+		panic(fmt.Sprintf("trace: minute %d outside [%d, %d)", minute, t.Start, t.End))
+	}
+	// Index of the last point at or before minute.
+	i := sort.Search(len(t.Points), func(i int) bool {
+		return t.Points[i].Minute > minute
+	}) - 1
+	return t.Points[i].Price
+}
+
+// PriceFunc adapts the trace to the billing engine's PriceFunc.
+func (t *Trace) PriceFunc() market.PriceFunc {
+	return t.PriceAt
+}
+
+// AgeAt returns how many minutes the price in effect at the given
+// minute has held, merging adjacent points with equal price. It panics
+// outside [Start, End).
+func (t *Trace) AgeAt(minute int64) int64 {
+	if minute < t.Start || minute >= t.End {
+		panic(fmt.Sprintf("trace: minute %d outside [%d, %d)", minute, t.Start, t.End))
+	}
+	i := sort.Search(len(t.Points), func(i int) bool {
+		return t.Points[i].Minute > minute
+	}) - 1
+	cur := t.Points[i].Price
+	start := t.Points[i].Minute
+	for i > 0 && t.Points[i-1].Price == cur {
+		i--
+		start = t.Points[i].Minute
+	}
+	return minute - start + 1
+}
+
+// Window returns the sub-trace over [lo, hi). The result owns fresh
+// point storage. It panics if [lo, hi) is not within [Start, End).
+func (t *Trace) Window(lo, hi int64) *Trace {
+	if lo < t.Start || hi > t.End || lo > hi {
+		panic(fmt.Sprintf("trace: window [%d, %d) outside [%d, %d)", lo, hi, t.Start, t.End))
+	}
+	w := &Trace{Zone: t.Zone, Type: t.Type, Start: lo, End: hi}
+	if lo == hi {
+		return w
+	}
+	// First point covering lo.
+	i := sort.Search(len(t.Points), func(i int) bool {
+		return t.Points[i].Minute > lo
+	}) - 1
+	w.Points = append(w.Points, PricePoint{Minute: lo, Price: t.Points[i].Price})
+	for j := i + 1; j < len(t.Points) && t.Points[j].Minute < hi; j++ {
+		w.Points = append(w.Points, t.Points[j])
+	}
+	return w
+}
+
+// Sojourns returns the observed (price, duration-in-minutes) runs of the
+// trace, merging adjacent points with equal price. The final run is
+// truncated at End.
+func (t *Trace) Sojourns() []Sojourn {
+	if len(t.Points) == 0 {
+		return nil
+	}
+	var runs []Sojourn
+	cur := Sojourn{Price: t.Points[0].Price}
+	curStart := t.Points[0].Minute
+	for _, p := range t.Points[1:] {
+		if p.Price == cur.Price {
+			continue
+		}
+		cur.Minutes = p.Minute - curStart
+		runs = append(runs, cur)
+		cur = Sojourn{Price: p.Price}
+		curStart = p.Minute
+	}
+	cur.Minutes = t.End - curStart
+	runs = append(runs, cur)
+	return runs
+}
+
+// Sojourn is a maximal run of constant price.
+type Sojourn struct {
+	Price   market.Money
+	Minutes int64
+}
+
+// MeanPrice returns the time-weighted mean price over the trace span, or
+// zero for an empty span.
+func (t *Trace) MeanPrice() market.Money {
+	if t.End <= t.Start {
+		return 0
+	}
+	var weighted int64
+	for _, s := range t.Sojourns() {
+		weighted += int64(s.Price) * s.Minutes
+	}
+	return market.Money(weighted / (t.End - t.Start))
+}
+
+// MaxPrice returns the maximum price observed, or zero for an empty trace.
+func (t *Trace) MaxPrice() market.Money {
+	var max market.Money
+	for _, p := range t.Points {
+		if p.Price > max {
+			max = p.Price
+		}
+	}
+	return max
+}
+
+// FractionAbove returns the fraction of the span during which the price
+// strictly exceeds the threshold — the out-of-bid fraction under bid =
+// threshold. Returns 0 for an empty span.
+func (t *Trace) FractionAbove(threshold market.Money) float64 {
+	if t.End <= t.Start {
+		return 0
+	}
+	var above int64
+	for _, s := range t.Sojourns() {
+		if s.Price > threshold {
+			above += s.Minutes
+		}
+	}
+	return float64(above) / float64(t.End-t.Start)
+}
+
+// Set is a collection of traces keyed by zone, all for the same
+// instance type and time span.
+type Set struct {
+	Type   market.InstanceType
+	Start  int64
+	End    int64
+	ByZone map[string]*Trace
+}
+
+// NewSet creates an empty trace set.
+func NewSet(it market.InstanceType, start, end int64) *Set {
+	return &Set{Type: it, Start: start, End: end, ByZone: make(map[string]*Trace)}
+}
+
+// Add inserts a trace, validating span and type consistency.
+func (s *Set) Add(t *Trace) error {
+	if t.Type != s.Type {
+		return fmt.Errorf("trace: set type %s, trace type %s", s.Type, t.Type)
+	}
+	if t.Start != s.Start || t.End != s.End {
+		return fmt.Errorf("trace: set span [%d,%d), trace span [%d,%d)", s.Start, s.End, t.Start, t.End)
+	}
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	s.ByZone[t.Zone] = t
+	return nil
+}
+
+// Zones returns the zone names present, sorted.
+func (s *Set) Zones() []string {
+	zs := make([]string, 0, len(s.ByZone))
+	for z := range s.ByZone {
+		zs = append(zs, z)
+	}
+	sort.Strings(zs)
+	return zs
+}
+
+// Window returns the set restricted to [lo, hi).
+func (s *Set) Window(lo, hi int64) *Set {
+	w := NewSet(s.Type, lo, hi)
+	for z, t := range s.ByZone {
+		w.ByZone[z] = t.Window(lo, hi)
+	}
+	return w
+}

@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/market"
+)
+
+func mkTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr := &Trace{
+		Zone:  "us-east-1a",
+		Type:  market.M1Small,
+		Start: 0,
+		End:   100,
+		Points: []PricePoint{
+			{0, market.FromDollars(0.0071)},
+			{30, market.FromDollars(0.0081)},
+			{60, market.FromDollars(0.0117)},
+			{90, market.FromDollars(0.0071)},
+		},
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestPriceAt(t *testing.T) {
+	tr := mkTrace(t)
+	cases := []struct {
+		min  int64
+		want market.Money
+	}{
+		{0, market.FromDollars(0.0071)},
+		{29, market.FromDollars(0.0071)},
+		{30, market.FromDollars(0.0081)},
+		{59, market.FromDollars(0.0081)},
+		{60, market.FromDollars(0.0117)},
+		{99, market.FromDollars(0.0071)},
+	}
+	for _, c := range cases {
+		if got := tr.PriceAt(c.min); got != c.want {
+			t.Errorf("PriceAt(%d) = %v, want %v", c.min, got, c.want)
+		}
+	}
+}
+
+func TestPriceAtOutOfRangePanics(t *testing.T) {
+	tr := mkTrace(t)
+	for _, min := range []int64{-1, 100, 200} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PriceAt(%d) did not panic", min)
+				}
+			}()
+			tr.PriceAt(min)
+		}()
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := mkTrace(t)
+	bad := []*Trace{
+		{Zone: "z", Start: 10, End: 5},
+		{Zone: "z", Start: 0, End: 10},                                        // no points over non-empty span
+		{Zone: "z", Start: 0, End: 10, Points: []PricePoint{{5, 1}}},          // first point after start
+		{Zone: "z", Start: 0, End: 10, Points: []PricePoint{{0, 1}, {0, 2}}},  // not increasing
+		{Zone: "z", Start: 0, End: 10, Points: []PricePoint{{0, 1}, {10, 2}}}, // point at end
+		{Zone: "z", Start: 0, End: 10, Points: []PricePoint{{0, -5}}},         // negative price
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("bad trace %d validated", i)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("good trace rejected: %v", err)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := mkTrace(t)
+	w := tr.Window(45, 95)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.PriceAt(45) != market.FromDollars(0.0081) {
+		t.Errorf("window start price = %v", w.PriceAt(45))
+	}
+	if w.PriceAt(94) != market.FromDollars(0.0071) {
+		t.Errorf("window end price = %v", w.PriceAt(94))
+	}
+	if len(w.Points) != 3 {
+		t.Errorf("window has %d points, want 3", len(w.Points))
+	}
+}
+
+func TestWindowEmpty(t *testing.T) {
+	tr := mkTrace(t)
+	w := tr.Window(50, 50)
+	if len(w.Points) != 0 {
+		t.Fatalf("empty window has points")
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSojourns(t *testing.T) {
+	tr := mkTrace(t)
+	runs := tr.Sojourns()
+	if len(runs) != 4 {
+		t.Fatalf("got %d sojourns, want 4", len(runs))
+	}
+	wantMinutes := []int64{30, 30, 30, 10}
+	for i, r := range runs {
+		if r.Minutes != wantMinutes[i] {
+			t.Errorf("sojourn %d = %d min, want %d", i, r.Minutes, wantMinutes[i])
+		}
+	}
+}
+
+func TestSojournsMergeEqualPrices(t *testing.T) {
+	tr := &Trace{
+		Zone: "z", Type: market.M1Small, Start: 0, End: 30,
+		Points: []PricePoint{{0, 100}, {10, 100}, {20, 200}},
+	}
+	runs := tr.Sojourns()
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs, want 2 (equal prices merged)", len(runs))
+	}
+	if runs[0].Minutes != 20 || runs[1].Minutes != 10 {
+		t.Fatalf("runs = %+v", runs)
+	}
+}
+
+func TestMeanMaxFraction(t *testing.T) {
+	tr := mkTrace(t)
+	if got := tr.MaxPrice(); got != market.FromDollars(0.0117) {
+		t.Errorf("MaxPrice = %v", got)
+	}
+	// 40 min at 0.0071, 30 at 0.0081, 30 at 0.0117
+	wantMean := market.Money((40*7100 + 30*8100 + 30*11700) / 100)
+	if got := tr.MeanPrice(); got != wantMean {
+		t.Errorf("MeanPrice = %v, want %v", got, wantMean)
+	}
+	if got := tr.FractionAbove(market.FromDollars(0.0081)); got != 0.3 {
+		t.Errorf("FractionAbove(0.0081) = %v, want 0.3", got)
+	}
+	if got := tr.FractionAbove(market.FromDollars(1)); got != 0 {
+		t.Errorf("FractionAbove(high) = %v, want 0", got)
+	}
+	if got := tr.FractionAbove(0); got != 1.0 {
+		t.Errorf("FractionAbove(0) = %v, want 1", got)
+	}
+}
+
+func TestSetAddValidation(t *testing.T) {
+	s := NewSet(market.M1Small, 0, 100)
+	if err := s.Add(mkTrace(t)); err != nil {
+		t.Fatal(err)
+	}
+	wrongType := mkTrace(t)
+	wrongType.Type = market.M3Large
+	if err := s.Add(wrongType); err == nil {
+		t.Error("wrong-type trace accepted")
+	}
+	wrongSpan := mkTrace(t)
+	wrongSpan.End = 50
+	wrongSpan.Points = wrongSpan.Points[:2]
+	if err := s.Add(wrongSpan); err == nil {
+		t.Error("wrong-span trace accepted")
+	}
+}
+
+func TestSetZonesSorted(t *testing.T) {
+	s := NewSet(market.M1Small, 0, 100)
+	for _, z := range []string{"us-west-2b", "ap-northeast-1a", "eu-west-1c"} {
+		tr := mkTrace(t)
+		tr.Zone = z
+		if err := s.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	zones := s.Zones()
+	want := []string{"ap-northeast-1a", "eu-west-1c", "us-west-2b"}
+	for i := range want {
+		if zones[i] != want[i] {
+			t.Fatalf("Zones() = %v, want %v", zones, want)
+		}
+	}
+}
+
+func TestSetWindow(t *testing.T) {
+	s := NewSet(market.M1Small, 0, 100)
+	if err := s.Add(mkTrace(t)); err != nil {
+		t.Fatal(err)
+	}
+	w := s.Window(20, 80)
+	if w.Start != 20 || w.End != 80 {
+		t.Fatalf("window span [%d, %d)", w.Start, w.End)
+	}
+	if w.ByZone["us-east-1a"].PriceAt(20) != market.FromDollars(0.0071) {
+		t.Fatal("window price mismatch")
+	}
+}
