@@ -11,6 +11,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/market"
 	"repro/internal/quorum"
+	"repro/internal/replay"
+	"repro/internal/strategy"
 	"repro/internal/trace"
 )
 
@@ -204,6 +206,55 @@ func BenchmarkTraceGeneration(b *testing.B) {
 		})
 		if err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayKernel compares the discrete-event replay kernel
+// against the legacy minute-polling loop on the paper's 11-week
+// lock-service replay (the Figures 6/7 workload: 13 training weeks,
+// 11 accounted weeks, failure injection on). The headline metric is
+// simulated minutes per second of wall clock.
+func BenchmarkReplayKernel(b *testing.B) {
+	env := experiments.DefaultEnv()
+	set, err := env.Traces(market.M1Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := experiments.LockSpec()
+	for _, k := range []struct {
+		name   string
+		kernel replay.Kernel
+	}{
+		{"Event", replay.KernelEvent},
+		{"Polling", replay.KernelPolling},
+	} {
+		// Injected is the paper workload: the FP'=0.01 failure model's
+		// per-minute Bernoulli draws are part of the semantics, so even
+		// the event kernel steps draw-eligible minutes individually.
+		// Clean shows the pure jump advantage on a failure-free market.
+		for _, inject := range []struct {
+			name string
+			on   bool
+		}{{"Injected", true}, {"Clean", false}} {
+			b.Run(k.name+"/"+inject.name, func(b *testing.B) {
+				var minutes int64
+				for i := 0; i < b.N; i++ {
+					res, err := replay.Run(replay.Config{
+						Traces: set, Start: env.TrainWeeks * experiments.Week,
+						Spec:            spec,
+						Strategy:        strategy.Extra{ExtraNodes: 2, Portion: 0.2},
+						IntervalMinutes: 3 * 60, Seed: env.Seed,
+						InjectHardwareFailures: inject.on,
+						Kernel:                 k.kernel,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					minutes += res.TotalMinutes
+				}
+				b.ReportMetric(float64(minutes)/b.Elapsed().Seconds(), "sim-min/s")
+			})
 		}
 	}
 }

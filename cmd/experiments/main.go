@@ -4,13 +4,14 @@
 //
 // Usage:
 //
-//	experiments [-run all|table1|fig1|fig4|fig5|fig6|fig7|fig8|fig9|headline|example3] [-seed N] [-weeks N]
+//	experiments [-run all|table1|fig1|fig4|fig5|fig6|fig7|fig8|fig9|headline|example3] [-seed N] [-weeks N] [-j N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
 )
@@ -21,9 +22,10 @@ func main() {
 	weeks := flag.Int64("weeks", 11, "replay length in weeks (paper: 11)")
 	train := flag.Int64("train", 13, "training prefix in weeks (paper: ~13)")
 	csvOut := flag.String("csv", "", "also write sweep rows (figs 6-9) as CSV to this file")
+	jobs := flag.Int("j", runtime.NumCPU(), "worker-pool width for sweep cells (1 = sequential; results are identical either way)")
 	flag.Parse()
 
-	env := experiments.Env{Seed: *seed, TrainWeeks: *train, ReplayWeeks: *weeks}
+	env := experiments.Env{Seed: *seed, TrainWeeks: *train, ReplayWeeks: *weeks, Jobs: *jobs}
 	if err := run(env, *runFlag, *csvOut); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

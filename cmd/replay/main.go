@@ -1,14 +1,17 @@
-// Command replay runs a single bidding strategy over a spot-price
-// trace and reports cost and availability — one cell of the paper's
-// Figures 6–9 at a time.
+// Command replay runs a bidding strategy over a spot-price trace and
+// reports cost and availability — one cell of the paper's Figures 6–9
+// at a time, or a sweep of intervals in one go.
 //
 // Usage:
 //
 //	replay [-strategy jupiter|baseline|extra] [-extra-nodes N] [-extra-portion P]
-//	       [-service lock|storage] [-interval H] [-weeks N] [-train N] [-seed N]
-//	       [-trace file.csv]
+//	       [-service lock|storage] [-interval H[,H...]] [-weeks N] [-train N] [-seed N]
+//	       [-trace file.csv] [-j N]
 //
 // Without -trace, a synthetic trace set is generated from the seed.
+// With several comma-separated intervals, the cells replay on a worker
+// pool of -j goroutines and a summary table is printed; a single
+// interval keeps the detailed report.
 package main
 
 import (
@@ -16,6 +19,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -29,21 +36,34 @@ func main() {
 	extraNodes := flag.Int("extra-nodes", 0, "m of Extra(m, p)")
 	extraPortion := flag.Float64("extra-portion", 0.2, "p of Extra(m, p)")
 	service := flag.String("service", "lock", "lock or storage")
-	interval := flag.Int64("interval", 1, "bidding interval in hours")
+	interval := flag.String("interval", "1", "bidding interval in hours; comma-separate several to sweep them")
 	weeks := flag.Int64("weeks", 11, "replay length in weeks")
 	train := flag.Int64("train", 13, "training prefix in weeks")
 	seed := flag.Uint64("seed", 2014, "seed")
 	traceFile := flag.String("trace", "", "CSV trace file (default: synthetic)")
-	seriesOut := flag.String("series", "", "write per-interval downtime series CSV to this file ('-' = stdout)")
+	seriesOut := flag.String("series", "", "write per-interval downtime series CSV to this file ('-' = stdout); single interval only")
+	jobs := flag.Int("j", runtime.NumCPU(), "worker-pool width for an interval sweep (1 = sequential; results are identical either way)")
 	flag.Parse()
 
-	if err := run(*stratName, *extraNodes, *extraPortion, *service, *interval, *weeks, *train, *seed, *traceFile, *seriesOut); err != nil {
+	if err := run(*stratName, *extraNodes, *extraPortion, *service, *interval, *weeks, *train, *seed, *traceFile, *seriesOut, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "replay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(stratName string, extraNodes int, extraPortion float64, service string, interval, weeks, train int64, seed uint64, traceFile, seriesOut string) error {
+func parseIntervals(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		h, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil || h <= 0 {
+			return nil, fmt.Errorf("bad interval %q (want positive hours)", part)
+		}
+		out = append(out, h)
+	}
+	return out, nil
+}
+
+func run(stratName string, extraNodes int, extraPortion float64, service, intervalSpec string, weeks, train int64, seed uint64, traceFile, seriesOut string, jobs int) error {
 	var spec strategy.ServiceSpec
 	switch service {
 	case "lock":
@@ -54,20 +74,32 @@ func run(stratName string, extraNodes int, extraPortion float64, service string,
 		return fmt.Errorf("unknown service %q", service)
 	}
 
-	var strat strategy.Strategy
-	switch stratName {
-	case "jupiter":
-		strat = core.New()
-	case "baseline":
-		strat = strategy.OnDemand{}
-	case "extra":
-		strat = strategy.Extra{ExtraNodes: extraNodes, Portion: extraPortion}
-	default:
-		return fmt.Errorf("unknown strategy %q", stratName)
+	// Strategies may cache model state, so each replay builds its own.
+	mkStrat := func() (strategy.Strategy, error) {
+		switch stratName {
+		case "jupiter":
+			return core.New(), nil
+		case "baseline":
+			return strategy.OnDemand{}, nil
+		case "extra":
+			return strategy.Extra{ExtraNodes: extraNodes, Portion: extraPortion}, nil
+		default:
+			return nil, fmt.Errorf("unknown strategy %q", stratName)
+		}
+	}
+	if _, err := mkStrat(); err != nil {
+		return err
+	}
+
+	intervals, err := parseIntervals(intervalSpec)
+	if err != nil {
+		return err
+	}
+	if len(intervals) > 1 && seriesOut != "" {
+		return fmt.Errorf("-series needs a single -interval")
 	}
 
 	var set *trace.Set
-	var err error
 	if traceFile != "" {
 		f, ferr := os.Open(traceFile)
 		if ferr != nil {
@@ -83,19 +115,72 @@ func run(stratName string, extraNodes int, extraPortion float64, service string,
 		return err
 	}
 
-	res, err := replay.Run(replay.Config{
-		Traces:                 set,
-		Start:                  train * experiments.Week,
-		Spec:                   spec,
-		Strategy:               strat,
-		IntervalMinutes:        interval * 60,
-		Seed:                   seed,
-		InjectHardwareFailures: true,
-	})
-	if err != nil {
-		return err
+	replayOne := func(hours int64) (*replay.Result, error) {
+		strat, err := mkStrat()
+		if err != nil {
+			return nil, err
+		}
+		return replay.Run(replay.Config{
+			Traces:                 set,
+			Start:                  train * experiments.Week,
+			Spec:                   spec,
+			Strategy:               strat,
+			IntervalMinutes:        hours * 60,
+			Seed:                   seed,
+			InjectHardwareFailures: true,
+		})
 	}
 
+	if len(intervals) == 1 {
+		res, err := replayOne(intervals[0])
+		if err != nil {
+			return err
+		}
+		return report(res, spec, service, intervals[0], seriesOut)
+	}
+
+	// Interval sweep: independent cells on a worker pool, results kept
+	// in input order.
+	if jobs < 1 {
+		jobs = 1
+	}
+	if jobs > len(intervals) {
+		jobs = len(intervals)
+	}
+	results := make([]*replay.Result, len(intervals))
+	errs := make([]error, len(intervals))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i], errs[i] = replayOne(intervals[i])
+			}
+		}()
+	}
+	for i := range intervals {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("strategy %s, service %s (%d nodes base, m=%d)\n", stratName, service, spec.BaseNodes, spec.DataShards)
+	fmt.Printf("%8s  %14s  %12s  %10s  %9s  %8s\n", "interval", "cost", "availability", "decisions", "out-of-bid", "max-grp")
+	for i, res := range results {
+		fmt.Printf("%7dh  %14s  %12.6f  %10d  %9d  %8d\n",
+			intervals[i], res.Cost, res.Availability, res.Decisions, res.OutOfBid, res.MaxGroupSize)
+	}
+	return nil
+}
+
+func report(res *replay.Result, spec strategy.ServiceSpec, service string, interval int64, seriesOut string) error {
 	fmt.Printf("strategy:         %s\n", res.Strategy)
 	fmt.Printf("service:          %s (%d nodes base, m=%d, quorum %d-of-n)\n",
 		service, spec.BaseNodes, spec.DataShards, spec.QuorumSize(spec.BaseNodes))

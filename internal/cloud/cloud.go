@@ -7,11 +7,26 @@
 //
 // Time is in minutes (the semi-Markov model's unit) and advances only
 // through AdvanceTo, making every replay deterministic.
+//
+// Internally the provider is a discrete-event simulator on the
+// internal/engine kernel: every future state transition — startup
+// completion, out-of-bid reclaim (computed from the price trace's
+// change points), outage healing, persistent-request relaunch — is a
+// scheduled timer, and AdvanceTo jumps from event to event instead of
+// scanning every minute. The only minute-granular work left is the
+// hardware-failure model, whose per-minute Bernoulli draws are the
+// model itself: they are preserved exactly (same RNG consumption, in
+// instance-creation order) so that results are bit-identical to the
+// original minute-stepping implementation. Observers subscribed via
+// Subscribe receive a typed event at the exact simulated minute of
+// every transition.
 package cloud
 
 import (
 	"fmt"
+	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/market"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -63,6 +78,36 @@ type Instance struct {
 	// downUntil > minute means a hardware/software outage is in
 	// progress (the SLA failure model), independent of billing.
 	downUntil int64
+
+	// outAt is the precomputed minute the market first leaves the bid
+	// behind (engine.NoMinute if never within the trace): the price is
+	// piecewise-constant, so the out-of-bid transition can only happen
+	// at a change point and is known the moment the bid is placed.
+	outAt int64
+	// req is the owning persistent spot request, nil for one-shot
+	// launches.
+	req *spotRequest
+}
+
+// timer kinds for the provider's transition queue. Priorities encode
+// the original per-minute processing order within a minute: an
+// out-of-bid reclaim is checked before a startup completion (a pending
+// request whose bid the market left at its startup minute never runs),
+// and both precede outage healing.
+type timerKind uint8
+
+const (
+	tOutOfBid timerKind = iota
+	tPromote
+	tOutageEnd
+)
+
+type timer struct {
+	kind timerKind
+	inst *Instance
+	// until validates tOutageEnd: the timer is stale if the instance's
+	// downUntil has moved since it was scheduled.
+	until int64
 }
 
 // Provider is the simulated control plane over a fixed price trace set.
@@ -73,13 +118,23 @@ type Provider struct {
 	nextID int64
 
 	instances map[InstanceID]*Instance
-	// active holds non-terminated instance IDs in sorted order so the
-	// per-minute step touches only live machines, deterministically.
-	active []InstanceID
+	// active holds non-terminated instances in creation order, which is
+	// also ID order — the deterministic iteration order for hazard
+	// draws and LiveInstances.
+	active      []*Instance
+	activeDirty bool
+
+	// timers holds every scheduled future transition.
+	timers engine.Queue[timer]
 
 	// Persistent spot requests (requests.go), in creation order.
 	requests     map[RequestID]*spotRequest
 	requestOrder []RequestID
+	// refulfilNext is the earliest minute any unfulfilled persistent
+	// request could relaunch (engine.NoMinute when none is waiting).
+	refulfilNext int64
+
+	observers engine.Fanout
 
 	// Hardware failure injection (FP' model). Disabled when hazard = 0.
 	hazardPerMinute float64
@@ -105,16 +160,25 @@ const (
 // starts at the set's start minute.
 func NewProvider(traces *trace.Set, cfg Config) *Provider {
 	p := &Provider{
-		traces:    traces,
-		now:       traces.Start,
-		rng:       stats.NewRNG(cfg.Seed),
-		instances: make(map[InstanceID]*Instance),
+		traces:       traces,
+		now:          traces.Start,
+		rng:          stats.NewRNG(cfg.Seed),
+		instances:    make(map[InstanceID]*Instance),
+		refulfilNext: engine.NoMinute,
 	}
 	if cfg.InjectHardwareFailures {
 		p.hazardPerMinute = defaultHazard
 		p.mttrMinutes = defaultMTTR
 	}
 	return p
+}
+
+// Subscribe registers an observer for the provider's event stream:
+// instance lifecycle, out-of-bid reclaims, outages, request
+// fulfilments, and billing closures, delivered synchronously at the
+// exact simulated minute of each transition.
+func (p *Provider) Subscribe(o engine.Observer) {
+	p.observers = append(p.observers, o)
 }
 
 // Now returns the current simulated minute.
@@ -174,6 +238,98 @@ func (p *Provider) startupDelay(zone string) int64 {
 	return base + p.rng.Int63n(4) // 4..12 minutes ≈ 240..720 s
 }
 
+// nextMinuteAbove returns the first minute >= from at which the zone's
+// price strictly exceeds the threshold, or engine.NoMinute if it never
+// does within the trace.
+func (p *Provider) nextMinuteAbove(zone string, threshold market.Money, from int64) int64 {
+	return nextMinuteWhere(p.traces.ByZone[zone], from, func(price market.Money) bool {
+		return price > threshold
+	})
+}
+
+// nextMinuteAtOrBelow returns the first minute >= from at which the
+// zone's price is at or below the threshold, or engine.NoMinute.
+func (p *Provider) nextMinuteAtOrBelow(zone string, threshold market.Money, from int64) int64 {
+	return nextMinuteWhere(p.traces.ByZone[zone], from, func(price market.Money) bool {
+		return price <= threshold
+	})
+}
+
+// nextMinuteWhere scans the trace's change points for the first minute
+// >= from whose price satisfies the predicate. The price is piecewise
+// constant, so only the point covering from and the points after it
+// need be examined.
+func nextMinuteWhere(t *trace.Trace, from int64, pred func(market.Money) bool) int64 {
+	if from >= t.End {
+		return engine.NoMinute
+	}
+	if from < t.Start {
+		from = t.Start
+	}
+	// Index of the last point at or before from.
+	i := sort.Search(len(t.Points), func(i int) bool {
+		return t.Points[i].Minute > from
+	}) - 1
+	if pred(t.Points[i].Price) {
+		return from
+	}
+	for j := i + 1; j < len(t.Points); j++ {
+		if pred(t.Points[j].Price) {
+			return t.Points[j].Minute
+		}
+	}
+	return engine.NoMinute
+}
+
+// launch creates an instance at the current minute, schedules its
+// startup completion and (for spot) its out-of-bid reclaim, and
+// publishes the launch event. req is non-nil for persistent-request
+// fulfilments.
+func (p *Provider) launch(zone string, it market.InstanceType, spot bool, bid market.Money, req *spotRequest) *Instance {
+	kind := "od"
+	if spot {
+		kind = "spot"
+	}
+	inst := &Instance{
+		ID:          p.newID(kind),
+		Zone:        zone,
+		Type:        it,
+		Spot:        spot,
+		Bid:         bid,
+		State:       Pending,
+		RequestedAt: p.now,
+		outAt:       engine.NoMinute,
+		req:         req,
+	}
+	inst.RunningAt = p.now + p.startupDelay(zone)
+	p.instances[inst.ID] = inst
+	p.active = append(p.active, inst)
+	if spot {
+		// The original per-minute loop checked the price against the
+		// bid from the minute after the request onward.
+		inst.outAt = p.nextMinuteAbove(zone, bid, p.now+1)
+		if inst.outAt != engine.NoMinute {
+			p.timers.Schedule(inst.outAt, int(tOutOfBid), timer{kind: tOutOfBid, inst: inst})
+		}
+	}
+	p.timers.Schedule(inst.RunningAt, int(tPromote), timer{kind: tPromote, inst: inst})
+	if p.observers.Active() {
+		p.observers.Publish(engine.Event{
+			Minute: p.now, Kind: engine.KindInstanceLaunched,
+			Instance: string(inst.ID), Zone: zone, Spot: spot, Amount: bid,
+			Request: reqID(req),
+		})
+	}
+	return inst
+}
+
+func reqID(req *spotRequest) string {
+	if req == nil {
+		return ""
+	}
+	return string(req.ID)
+}
+
 // RequestSpot places a spot request. Per EC2 rules the bid may not
 // exceed 4x the on-demand price; per the paper's framework callers cap
 // bids at the on-demand price themselves. The request fails immediately
@@ -196,19 +352,7 @@ func (p *Provider) RequestSpot(zone string, it market.InstanceType, bid market.M
 	if bid < price {
 		return "", fmt.Errorf("cloud: bid %v below spot price %v in %s", bid, price, zone)
 	}
-	inst := &Instance{
-		ID:          p.newID("spot"),
-		Zone:        zone,
-		Type:        it,
-		Spot:        true,
-		Bid:         bid,
-		State:       Pending,
-		RequestedAt: p.now,
-	}
-	inst.RunningAt = p.now + p.startupDelay(zone)
-	p.instances[inst.ID] = inst
-	p.active = append(p.active, inst.ID) // IDs are monotonic: stays sorted
-	return inst.ID, nil
+	return p.launch(zone, it, true, bid, nil).ID, nil
 }
 
 // RequestOnDemand launches an on-demand instance.
@@ -216,22 +360,47 @@ func (p *Provider) RequestOnDemand(zone string, it market.InstanceType) (Instanc
 	if _, err := market.OnDemandPrice(zone, it); err != nil {
 		return "", err
 	}
-	inst := &Instance{
-		ID:          p.newID("od"),
-		Zone:        zone,
-		Type:        it,
-		State:       Pending,
-		RequestedAt: p.now,
-	}
-	inst.RunningAt = p.now + p.startupDelay(zone)
-	p.instances[inst.ID] = inst
-	p.active = append(p.active, inst.ID)
-	return inst.ID, nil
+	return p.launch(zone, it, false, 0, nil).ID, nil
 }
 
 func (p *Provider) newID(kind string) InstanceID {
 	p.nextID++
 	return InstanceID(fmt.Sprintf("i-%s-%06d", kind, p.nextID))
+}
+
+// terminate ends an instance's life at the current minute. refulfilFrom
+// is the first minute the owning persistent request (if any, and not
+// cancelled) may relaunch.
+func (p *Provider) terminate(inst *Instance, cause market.Termination, refulfilFrom int64) {
+	wasPending := inst.State == Pending
+	inst.State = Terminated
+	inst.TerminatedAt = p.now
+	inst.Cause = cause
+	if wasPending && cause == market.TerminatedByProvider {
+		inst.RunningAt = p.now // never ran
+	}
+	p.activeDirty = true
+	if p.observers.Active() {
+		p.observers.Publish(engine.Event{
+			Minute: p.now, Kind: engine.KindInstanceTerminated,
+			Instance: string(inst.ID), Zone: inst.Zone, Spot: inst.Spot,
+			Cause: cause, Request: reqID(inst.req),
+		})
+		if charge, err := p.Charge(inst.ID); err == nil {
+			p.observers.Publish(engine.Event{
+				Minute: p.now, Kind: engine.KindBillingClose,
+				Instance: string(inst.ID), Zone: inst.Zone, Spot: inst.Spot,
+				Amount: charge, Request: reqID(inst.req),
+			})
+		}
+	}
+	if req := inst.req; req != nil && !req.Cancelled && req.Current == inst.ID {
+		// The original implementation noticed the dead instance on its
+		// per-minute request scan and relaunched at the first
+		// subsequent minute with the price back at or under the bid.
+		req.Current = ""
+		p.scheduleRefulfil(req, refulfilFrom)
+	}
 }
 
 // Terminate shuts an instance down at the current minute on the user's
@@ -244,9 +413,10 @@ func (p *Provider) Terminate(id InstanceID) error {
 	if inst.State == Terminated {
 		return nil
 	}
-	inst.State = Terminated
-	inst.TerminatedAt = p.now
-	inst.Cause = market.TerminatedByUser
+	// A persistent request whose instance is shut down by the user
+	// could only relaunch from the next minute (the request scan of the
+	// current minute has already run).
+	p.terminate(inst, market.TerminatedByUser, p.now+1)
 	return nil
 }
 
@@ -269,9 +439,16 @@ func (p *Provider) Alive(id InstanceID) bool {
 	return inst.downUntil <= p.now
 }
 
-// AdvanceTo steps simulated time forward minute by minute, processing
-// startups, out-of-bid terminations, and hardware outages. It panics on
-// attempts to move backwards or beyond the trace span.
+// AdvanceTo moves simulated time forward, processing startups,
+// out-of-bid terminations, outages, and request relaunches at their
+// exact minutes. It panics on attempts to move backwards or beyond the
+// trace span.
+//
+// With hardware-failure injection off, time jumps straight between
+// scheduled transitions. With it on, minutes at which at least one
+// instance is draw-eligible are stepped individually so the per-minute
+// Bernoulli draws consume the RNG stream exactly as the original
+// implementation did.
 func (p *Provider) AdvanceTo(minute int64) {
 	if minute < p.now {
 		panic(fmt.Sprintf("cloud: time moving backwards (%d -> %d)", p.now, minute))
@@ -279,73 +456,128 @@ func (p *Provider) AdvanceTo(minute int64) {
 	if minute >= p.traces.End {
 		panic(fmt.Sprintf("cloud: minute %d beyond trace end %d", minute, p.traces.End))
 	}
-	for m := p.now + 1; m <= minute; m++ {
-		p.now = m
-		p.step()
-		p.stepRequests()
+	for p.now < minute {
+		next := minute
+		if p.hazardPerMinute > 0 && p.drawEligibleNextMinute() {
+			next = p.now + 1
+		} else {
+			if t := p.timers.NextMinute(); t < next {
+				next = t
+			}
+			if p.refulfilNext < next {
+				next = p.refulfilNext
+			}
+			if next <= p.now {
+				next = p.now + 1
+			}
+		}
+		p.now = next
+		p.processMinute()
 	}
 }
 
-func (p *Provider) step() {
-	if len(p.active) == 0 {
-		return
-	}
-	var retired []InstanceID
-	for _, id := range p.active {
-		inst := p.instances[id]
-		if inst.State == Terminated {
-			retired = append(retired, id)
-			continue
+// drawEligibleNextMinute reports whether any instance will take a
+// hazard draw at minute now+1: Running (so promoted at or before now)
+// and not in an outage extending past now+1.
+func (p *Provider) drawEligibleNextMinute() bool {
+	for _, inst := range p.active {
+		if inst.State == Running && inst.downUntil <= p.now+1 {
+			return true
 		}
-		switch inst.State {
-		case Pending:
-			if inst.Spot {
-				// A request whose bid the market has left behind never
-				// launches.
-				price := p.traces.ByZone[inst.Zone].PriceAt(p.now)
-				if price > inst.Bid {
-					inst.State = Terminated
-					inst.TerminatedAt = p.now
-					inst.RunningAt = p.now // never ran
-					inst.Cause = market.TerminatedByProvider
-					continue
-				}
-			}
-			if p.now >= inst.RunningAt {
-				inst.State = Running
-			}
-		case Running:
-			if inst.Spot {
-				price := p.traces.ByZone[inst.Zone].PriceAt(p.now)
-				if price > inst.Bid {
-					inst.State = Terminated
-					inst.TerminatedAt = p.now
-					inst.Cause = market.TerminatedByProvider
-					continue
-				}
-			}
-			if p.hazardPerMinute > 0 && inst.downUntil <= p.now {
+	}
+	return false
+}
+
+// processMinute applies everything that happens at minute p.now, in the
+// order of the original per-minute loop: state transitions, then hazard
+// draws over instances in creation order, then the persistent-request
+// relaunch scan.
+func (p *Provider) processMinute() {
+	m := p.now
+	for {
+		tm, ok := p.timers.PopDue(m)
+		if !ok {
+			break
+		}
+		p.applyTimer(tm.Payload)
+	}
+	if p.hazardPerMinute > 0 {
+		for _, inst := range p.active {
+			// Draw-eligible: running since before this minute and not in
+			// an outage. Instances promoted or reclaimed at this minute
+			// were already handled by their timers above.
+			if inst.State == Running && inst.RunningAt < m && inst.downUntil <= m {
 				if p.rng.Bool(p.hazardPerMinute) {
-					inst.downUntil = p.now + 1 + p.rng.Int63n(2*p.mttrMinutes)
+					inst.downUntil = m + 1 + p.rng.Int63n(2*p.mttrMinutes)
+					p.timers.Schedule(inst.downUntil, int(tOutageEnd), timer{
+						kind: tOutageEnd, inst: inst, until: inst.downUntil,
+					})
+					if p.observers.Active() {
+						p.observers.Publish(engine.Event{
+							Minute: m, Kind: engine.KindOutageStart,
+							Instance: string(inst.ID), Zone: inst.Zone, Spot: inst.Spot,
+							Until: inst.downUntil, Request: reqID(inst.req),
+						})
+					}
 				}
 			}
 		}
 	}
-	if len(retired) > 0 {
+	if p.refulfilNext <= m {
+		p.stepRequests()
+	}
+	if p.activeDirty {
 		live := p.active[:0]
-		for _, id := range p.active {
-			keep := true
-			for _, r := range retired {
-				if id == r {
-					keep = false
-					break
-				}
+		for _, inst := range p.active {
+			if inst.State != Terminated {
+				live = append(live, inst)
 			}
-			if keep {
-				live = append(live, id)
-			}
+		}
+		// Drop trailing pointers so terminated instances can be
+		// collected... they stay in p.instances anyway for billing.
+		for i := len(live); i < len(p.active); i++ {
+			p.active[i] = nil
 		}
 		p.active = live
+		p.activeDirty = false
+	}
+}
+
+// applyTimer fires one scheduled transition, skipping stale timers
+// (instances terminated in the meantime, outages that were rescheduled).
+func (p *Provider) applyTimer(t timer) {
+	inst := t.inst
+	switch t.kind {
+	case tOutOfBid:
+		if inst.State == Terminated {
+			return
+		}
+		// Fires at the first minute the price exceeds the bid; a
+		// pending instance is reclaimed before it ever runs.
+		p.terminate(inst, market.TerminatedByProvider, p.now)
+	case tPromote:
+		if inst.State != Pending {
+			return
+		}
+		inst.State = Running
+		if p.observers.Active() {
+			p.observers.Publish(engine.Event{
+				Minute: p.now, Kind: engine.KindInstanceRunning,
+				Instance: string(inst.ID), Zone: inst.Zone, Spot: inst.Spot,
+				Request: reqID(inst.req),
+			})
+		}
+	case tOutageEnd:
+		if inst.State != Running || inst.downUntil != t.until {
+			return
+		}
+		if p.observers.Active() {
+			p.observers.Publish(engine.Event{
+				Minute: p.now, Kind: engine.KindOutageEnd,
+				Instance: string(inst.ID), Zone: inst.Zone, Spot: inst.Spot,
+				Request: reqID(inst.req),
+			})
+		}
 	}
 }
 
@@ -384,9 +616,9 @@ func (p *Provider) Charge(id InstanceID) (market.Money, error) {
 // determinism.
 func (p *Provider) LiveInstances() []InstanceID {
 	var out []InstanceID
-	for _, id := range p.active {
-		if p.instances[id].State != Terminated {
-			out = append(out, id)
+	for _, inst := range p.active {
+		if inst.State != Terminated {
+			out = append(out, inst.ID)
 		}
 	}
 	return out

@@ -3,6 +3,7 @@ package cloud
 import (
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/market"
 )
 
@@ -21,6 +22,12 @@ type spotRequest struct {
 	Cancelled bool
 	Current   InstanceID   // live or starting instance, "" when none
 	History   []InstanceID // every instance ever launched by it
+
+	// refulfilAt is the next minute the request may relaunch
+	// (engine.NoMinute when fulfilled, cancelled, or the price never
+	// returns to the bid). The price is piecewise-constant, so the
+	// relaunch minute is known as soon as the instance dies.
+	refulfilAt int64
 }
 
 // RequestSpotPersistent opens a persistent spot request. The first
@@ -44,6 +51,7 @@ func (p *Provider) RequestSpotPersistent(zone string, it market.InstanceType, bi
 	req := &spotRequest{
 		ID:   RequestID(fmt.Sprintf("sir-%06d", p.nextID)),
 		Zone: zone, Type: it, Bid: bid,
+		refulfilAt: engine.NoMinute,
 	}
 	if p.requests == nil {
 		p.requests = make(map[RequestID]*spotRequest)
@@ -54,46 +62,59 @@ func (p *Provider) RequestSpotPersistent(zone string, it market.InstanceType, bi
 	return req.ID, nil
 }
 
-// fulfil launches an instance for a request when the market allows.
+// fulfil launches an instance for a request when the market allows,
+// otherwise schedules the retry for the next affordable minute.
 func (p *Provider) fulfil(req *spotRequest) {
 	if req.Cancelled || req.Current != "" {
 		return
 	}
 	price := p.traces.ByZone[req.Zone].PriceAt(p.now)
 	if price > req.Bid {
+		p.scheduleRefulfil(req, p.now)
 		return
 	}
-	inst := &Instance{
-		ID:          p.newID("spot"),
-		Zone:        req.Zone,
-		Type:        req.Type,
-		Spot:        true,
-		Bid:         req.Bid,
-		State:       Pending,
-		RequestedAt: p.now,
-	}
-	inst.RunningAt = p.now + p.startupDelay(req.Zone)
-	p.instances[inst.ID] = inst
-	p.active = append(p.active, inst.ID)
+	inst := p.launch(req.Zone, req.Type, true, req.Bid, req)
 	req.Current = inst.ID
 	req.History = append(req.History, inst.ID)
+	req.refulfilAt = engine.NoMinute
+	if p.observers.Active() {
+		p.observers.Publish(engine.Event{
+			Minute: p.now, Kind: engine.KindRequestFulfilled,
+			Instance: string(inst.ID), Request: string(req.ID),
+			Zone: req.Zone, Spot: true, Amount: req.Bid,
+		})
+	}
 }
 
-// stepRequests runs after instance state transitions each minute:
-// requests whose instance died try to relaunch.
+// scheduleRefulfil records the first minute >= from the request could
+// relaunch and folds it into the provider's wakeup horizon.
+func (p *Provider) scheduleRefulfil(req *spotRequest, from int64) {
+	req.refulfilAt = p.nextMinuteAtOrBelow(req.Zone, req.Bid, from)
+	if req.refulfilAt < p.refulfilNext {
+		p.refulfilNext = req.refulfilAt
+	}
+}
+
+// stepRequests runs after instance state transitions at a minute some
+// request is due to relaunch. Requests are scanned in creation order —
+// the same order the original per-minute loop used — so relaunch RNG
+// draws replay identically.
 func (p *Provider) stepRequests() {
+	m := p.now
+	next := engine.NoMinute
 	for _, id := range p.requestOrder {
 		req := p.requests[id]
-		if req.Cancelled {
+		if req.Cancelled || req.Current != "" {
 			continue
 		}
-		if req.Current != "" {
-			if inst := p.instances[req.Current]; inst != nil && inst.State == Terminated {
-				req.Current = ""
-			}
+		if req.refulfilAt <= m {
+			p.fulfil(req)
 		}
-		p.fulfil(req)
+		if req.Current == "" && req.refulfilAt < next {
+			next = req.refulfilAt
+		}
 	}
+	p.refulfilNext = next
 }
 
 // CancelSpotRequest closes a persistent request. When terminate is
@@ -104,6 +125,7 @@ func (p *Provider) CancelSpotRequest(id RequestID, terminate bool) error {
 		return fmt.Errorf("cloud: unknown spot request %s", id)
 	}
 	req.Cancelled = true
+	req.refulfilAt = engine.NoMinute
 	if terminate && req.Current != "" {
 		if err := p.Terminate(req.Current); err != nil {
 			return err

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/market"
+)
+
+func TestDispatchRouting(t *testing.T) {
+	var got []string
+	h := &Hooks{
+		Instance: func(e Event) { got = append(got, "instance:"+e.Kind.String()) },
+		OutOfBid: func(e Event) { got = append(got, "outofbid") },
+		Decision: func(e Event) { got = append(got, "decision") },
+		Billing:  func(e Event) { got = append(got, "billing") },
+		Quorum:   func(e Event) { got = append(got, "quorum:"+e.Kind.String()) },
+	}
+	events := []Event{
+		{Kind: KindInstanceLaunched},
+		{Kind: KindInstanceRunning},
+		{Kind: KindInstanceTerminated, Cause: market.TerminatedByProvider},
+		{Kind: KindInstanceTerminated, Cause: market.TerminatedByUser},
+		{Kind: KindOutageStart},
+		{Kind: KindOutageEnd},
+		{Kind: KindRequestFulfilled},
+		{Kind: KindBillingClose},
+		{Kind: KindDecision},
+		{Kind: KindQuorumUp},
+		{Kind: KindQuorumDown},
+	}
+	for _, e := range events {
+		Dispatch(h, e)
+	}
+	want := []string{
+		"instance:instance-launched",
+		"instance:instance-running",
+		"instance:instance-terminated", "outofbid", // provider reclaim hits both hooks
+		"instance:instance-terminated", // user shutdown: lifecycle only
+		"instance:outage-start",
+		"instance:outage-end",
+		"instance:request-fulfilled",
+		"billing",
+		"decision",
+		"quorum:quorum-up",
+		"quorum:quorum-down",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %d hook calls, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("call %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHooksNilSafe(t *testing.T) {
+	h := &Hooks{}
+	for k := KindInstanceLaunched; k <= KindQuorumDown; k++ {
+		Dispatch(h, Event{Kind: k}) // must not panic
+	}
+}
+
+func TestFanoutOrderAndActive(t *testing.T) {
+	var f Fanout
+	if f.Active() {
+		t.Fatal("empty fanout active")
+	}
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		f = append(f, &Hooks{Decision: func(Event) { order = append(order, i) }})
+	}
+	if !f.Active() {
+		t.Fatal("fanout with observers not active")
+	}
+	f.Publish(Event{Kind: KindDecision})
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("publish order %v, want [0 1 2]", order)
+	}
+}
+
+func TestBaseObserverImplementsObserver(t *testing.T) {
+	var o Observer = BaseObserver{}
+	Dispatch(o, Event{Kind: KindQuorumDown}) // must not panic
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindInstanceLaunched; k <= KindQuorumDown; k++ {
+		if k.String() == "event(?)" {
+			t.Fatalf("kind %d has no name", int(k))
+		}
+	}
+	if Kind(99).String() != "event(?)" {
+		t.Fatal("unknown kind not flagged")
+	}
+}

@@ -14,6 +14,8 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/market"
@@ -34,6 +36,11 @@ type Env struct {
 	TrainWeeks int64
 	// ReplayWeeks is the accounted span (11 in the paper's §5.5).
 	ReplayWeeks int64
+	// Jobs is the worker-pool width for sweeps: independent
+	// (strategy, interval) cells replay concurrently. Zero or one means
+	// sequential. Every cell seeds its own provider RNG, so results are
+	// identical at any parallelism.
+	Jobs int
 }
 
 // DefaultEnv matches the paper's scale.
@@ -109,31 +116,89 @@ func sweepStrategies() []func() strategy.Strategy {
 	}
 }
 
+// forEachCell runs fn for every index in [0, n) on a pool of jobs
+// workers. Output slots are indexed, and the first error by index wins
+// regardless of completion order, so a parallel run returns exactly
+// what the sequential one would.
+func forEachCell(n, jobs int, fn func(i int) error) error {
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Sweep reproduces one service's cost/availability matrices (Figures
-// 6/7 for the lock service, 8/9 for storage).
+// 6/7 for the lock service, 8/9 for storage). Cells — one replay per
+// (interval, strategy) pair — are independent: each builds its own
+// strategy and provider over the shared read-only trace set, so with
+// Env.Jobs > 1 they run concurrently and still produce the rows of the
+// sequential interval-major order.
 func (e Env) Sweep(spec strategy.ServiceSpec, serviceName string) ([]SweepRow, error) {
 	set, err := e.Traces(spec.Type)
 	if err != nil {
 		return nil, err
 	}
-	var rows []SweepRow
+	type cell struct {
+		hours int64
+		mk    func() strategy.Strategy
+	}
+	var cells []cell
 	for _, hours := range SweepIntervals {
 		for _, mk := range sweepStrategies() {
-			strat := mk()
-			res, err := e.replayOne(set, spec, strat, hours)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s/%s/%dh: %w", serviceName, strat.Name(), hours, err)
-			}
-			rows = append(rows, SweepRow{
-				Service:       serviceName,
-				Strategy:      strat.Name(),
-				IntervalHours: hours,
-				Cost:          res.Cost,
-				Availability:  res.Availability,
-				OutOfBid:      res.OutOfBid,
-				MeanGroupSize: res.MeanGroupSize,
-			})
+			cells = append(cells, cell{hours: hours, mk: mk})
 		}
+	}
+	rows := make([]SweepRow, len(cells))
+	err = forEachCell(len(cells), e.Jobs, func(i int) error {
+		strat := cells[i].mk()
+		res, err := e.replayOne(set, spec, strat, cells[i].hours)
+		if err != nil {
+			return fmt.Errorf("experiments: %s/%s/%dh: %w", serviceName, strat.Name(), cells[i].hours, err)
+		}
+		rows[i] = SweepRow{
+			Service:       serviceName,
+			Strategy:      strat.Name(),
+			IntervalHours: cells[i].hours,
+			Cost:          res.Cost,
+			Availability:  res.Availability,
+			OutOfBid:      res.OutOfBid,
+			MeanGroupSize: res.MeanGroupSize,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSweepParallelMatchesSequential is the determinism regression test
+// for the worker-pool runner: the same Env swept sequentially and at
+// Jobs >= 4 must produce identical rows in identical order, because
+// every cell seeds its own provider and shares only the read-only trace
+// set. Run under -race this also exercises the pool for data races.
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	seq := QuickEnv()
+	seq.Jobs = 1
+	par := QuickEnv()
+	par.Jobs = 6
+
+	a, err := seq.Sweep(LockSpec(), "lock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Sweep(LockSpec(), "lock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("parallel sweep diverges from sequential:\nseq: %+v\npar: %+v", a, b)
+	}
+	if len(a) != len(SweepIntervals)*4 {
+		t.Fatalf("sweep produced %d rows, want %d", len(a), len(SweepIntervals)*4)
+	}
+}
+
+func TestForEachCellPreservesOrderAndErrors(t *testing.T) {
+	for _, jobs := range []int{1, 3, 16} {
+		out := make([]int, 50)
+		if err := forEachCell(len(out), jobs, func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("jobs=%d: slot %d = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+
+	// The FIRST error by index wins, regardless of which worker finishes
+	// first — parallel failures must look like sequential ones.
+	sentinel3 := errors.New("cell 3")
+	sentinel7 := errors.New("cell 7")
+	err := forEachCell(10, 4, func(i int) error {
+		switch i {
+		case 3:
+			return sentinel3
+		case 7:
+			return sentinel7
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel3) {
+		t.Fatalf("got %v, want first-by-index error %v", err, sentinel3)
+	}
+
+	// Zero cells and jobs beyond n are fine.
+	var calls atomic.Int64
+	if err := forEachCell(0, 8, func(int) error { calls.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := forEachCell(2, 100, func(int) error { calls.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("ran %d cells, want 2", calls.Load())
+	}
+}

@@ -1,0 +1,86 @@
+package replay
+
+// runPolling is the original minute-by-minute replay loop, kept as the
+// reference implementation: the provider steps every minute and the
+// loop polls quorum status at each one. The event kernel is verified
+// against it bit for bit (TestKernelsAgree); it also serves as the
+// baseline in BenchmarkReplayKernel.
+func (r *run) runPolling() error {
+	for _, o := range r.cfg.Observers {
+		r.provider.Subscribe(o)
+	}
+
+	// Pre-roll to the first decision point.
+	r.provider.AdvanceTo(r.cfg.Start - r.lead)
+	intervalLen, err := r.decideAndLaunch()
+	if err != nil {
+		return err
+	}
+
+	end := r.end
+	res := r.res
+	nextBoundary := r.cfg.Start + intervalLen
+	nextDecision := nextBoundary - r.lead
+	boundaryPending := true // install the first fleet at Start
+	intervalStart := r.cfg.Start
+	intervalDown := int64(0)
+	prevDown := false
+	flushInterval := func(endMinute int64) {
+		res.Series = append(res.Series, IntervalStats{
+			StartMinute:     intervalStart,
+			IntervalMinutes: endMinute - intervalStart,
+			GroupSize:       len(r.fleet),
+			DownMinutes:     intervalDown,
+		})
+		intervalStart = endMinute
+		intervalDown = 0
+	}
+	for minute := r.cfg.Start; minute < end; minute++ {
+		r.provider.AdvanceTo(minute)
+		if boundaryPending {
+			r.fleet = r.pending
+			r.pending = nil
+			if err := r.retire(); err != nil {
+				return err
+			}
+			boundaryPending = false
+		}
+		// Availability: a live quorum of the configured group.
+		n := len(r.fleet)
+		alive := 0
+		for _, mb := range r.fleet {
+			switch {
+			case mb.reqID != "" && r.provider.RequestAlive(mb.reqID):
+				alive++
+			case mb.id != "" && r.provider.Alive(mb.id):
+				alive++
+			}
+		}
+		res.TotalMinutes++
+		down := n == 0 || alive < r.cfg.Spec.QuorumSize(n)
+		if down {
+			res.DownMinutes++
+			intervalDown++
+		}
+		if down != prevDown {
+			r.emitQuorum(minute, down, alive)
+			prevDown = down
+		}
+		// Interval machinery.
+		if minute == nextDecision {
+			if intervalLen, err = r.decideAndLaunch(); err != nil {
+				return err
+			}
+		}
+		if minute+1 == nextBoundary {
+			flushInterval(minute + 1)
+			boundaryPending = true
+			nextBoundary += intervalLen
+			nextDecision = nextBoundary - r.lead
+		}
+	}
+	if intervalStart < end {
+		flushInterval(end)
+	}
+	return nil
+}

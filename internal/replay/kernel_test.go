@@ -1,0 +1,185 @@
+package replay
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/market"
+	"repro/internal/strategy"
+)
+
+// kernelCases spans the semantic corners of a replay: the semi-Markov
+// bidder, persistent requests with failure injection, the on-demand
+// baseline, and a thin-margin bidder with heavy out-of-bid churn.
+func kernelCases() []struct {
+	name string
+	mk   func() strategy.Strategy
+	pers bool
+	inj  bool
+} {
+	return []struct {
+		name string
+		mk   func() strategy.Strategy
+		pers bool
+		inj  bool
+	}{
+		{"jupiter-injected", func() strategy.Strategy { return core.New() }, false, true},
+		{"extra-persistent-injected", func() strategy.Strategy { return strategy.Extra{ExtraNodes: 1, Portion: 0.15} }, true, true},
+		{"baseline-clean", func() strategy.Strategy { return strategy.OnDemand{} }, false, false},
+		{"extra-thin-clean", func() strategy.Strategy { return strategy.Extra{ExtraNodes: 0, Portion: 0.2} }, false, false},
+	}
+}
+
+// TestKernelsAgree verifies the discrete-event kernel against the
+// minute-polling reference implementation: same Config (same seed) must
+// produce a deeply equal Result — cost, availability, launch counters,
+// and the full per-interval Series — for every semantic corner.
+func TestKernelsAgree(t *testing.T) {
+	set := genTraces(t, 42, 2, market.M1Small)
+	for _, tc := range kernelCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			var results [2]*Result
+			for i, k := range []Kernel{KernelEvent, KernelPolling} {
+				res, err := Run(Config{
+					Traces: set, Start: 13 * week,
+					Spec: lockSpec(), Strategy: tc.mk(),
+					IntervalMinutes: 180, Seed: 42,
+					InjectHardwareFailures: tc.inj, PersistentRequests: tc.pers,
+					Kernel: k,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				results[i] = res
+			}
+			if !reflect.DeepEqual(results[0], results[1]) {
+				t.Fatalf("kernels diverge:\nevent:   %+v\npolling: %+v", results[0], results[1])
+			}
+		})
+	}
+}
+
+// TestKernelSeedDeterminism replays the same seed twice per kernel and
+// demands deeply equal Results.
+func TestKernelSeedDeterminism(t *testing.T) {
+	set := genTraces(t, 9, 1, market.M1Small)
+	for _, k := range []Kernel{KernelEvent, KernelPolling} {
+		run := func() *Result {
+			res, err := Run(Config{
+				Traces: set, Start: 13 * week,
+				Spec: lockSpec(), Strategy: strategy.Extra{ExtraNodes: 1, Portion: 0.2},
+				IntervalMinutes: 120, Seed: 9,
+				InjectHardwareFailures: true, Kernel: k,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+			t.Fatalf("kernel %d not deterministic: %+v vs %+v", k, a, b)
+		}
+	}
+}
+
+// TestEndDefaultsAndValidation pins the Config.End contract: zero means
+// "trace end - 1" (the last simulable minute), and ends at or before
+// Start, negative, or beyond the trace are errors — not panics, and
+// never a silent TotalMinutes == 0.
+func TestEndDefaultsAndValidation(t *testing.T) {
+	set := genTraces(t, 5, 1, market.M1Small)
+	base := Config{
+		Traces: set, Start: 13 * week,
+		Spec: lockSpec(), Strategy: strategy.OnDemand{},
+		IntervalMinutes: 60, Seed: 5,
+	}
+
+	res, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := set.End - 1 - base.Start; res.TotalMinutes != want {
+		t.Fatalf("default end accounted %d minutes, want %d (= trace end - 1 - start)", res.TotalMinutes, want)
+	}
+
+	explicit := base
+	explicit.End = set.End - 1
+	if res2, err := Run(explicit); err != nil {
+		t.Fatalf("explicit end at trace end - 1 rejected: %v", err)
+	} else if res2.TotalMinutes != res.TotalMinutes {
+		t.Fatalf("explicit end accounted %d minutes, default %d", res2.TotalMinutes, res.TotalMinutes)
+	}
+
+	for name, end := range map[string]int64{
+		"end at start":     base.Start,
+		"end before start": base.Start - 60,
+		"negative end":     -1,
+		"end at trace end": set.End,
+		"end beyond trace": set.End + week,
+	} {
+		bad := base
+		bad.End = end
+		if _, err := Run(bad); err == nil {
+			t.Errorf("%s (End=%d) accepted", name, end)
+		}
+	}
+}
+
+// TestEventObserverStream checks the observer surface: decision events
+// match the decision count, quorum transitions integrate exactly to the
+// reported down minutes, and lifecycle events cover every launch.
+func TestEventObserverStream(t *testing.T) {
+	set := genTraces(t, 11, 1, market.M1Small)
+	var decisions, launches int
+	var downSince int64 = -1
+	var downTotal int64
+	obs := &engine.Hooks{
+		Decision: func(e engine.Event) { decisions++ },
+		Instance: func(e engine.Event) {
+			if e.Kind == engine.KindInstanceLaunched {
+				launches++
+			}
+		},
+		Quorum: func(e engine.Event) {
+			switch e.Kind {
+			case engine.KindQuorumDown:
+				downSince = e.Minute
+			case engine.KindQuorumUp:
+				if downSince < 0 {
+					t.Errorf("quorum-up at %d without a preceding quorum-down", e.Minute)
+					return
+				}
+				downTotal += e.Minute - downSince
+				downSince = -1
+			}
+		},
+	}
+	end := set.End - 1
+	res, err := Run(Config{
+		Traces: set, Start: 13 * week,
+		Spec: lockSpec(), Strategy: strategy.Extra{ExtraNodes: 0, Portion: 0.2},
+		IntervalMinutes: 120, Seed: 11,
+		Observers: []engine.Observer{obs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if downSince >= 0 { // still down at the end of accounting
+		downTotal += end - downSince
+	}
+	if decisions != res.Decisions {
+		t.Fatalf("observed %d decision events, result says %d", decisions, res.Decisions)
+	}
+	if launches != res.SpotLaunch+res.OnDemandLaunch {
+		t.Fatalf("observed %d launches, result says %d spot + %d on-demand",
+			launches, res.SpotLaunch, res.OnDemandLaunch)
+	}
+	if downTotal != res.DownMinutes {
+		t.Fatalf("quorum events integrate to %d down minutes, result says %d", downTotal, res.DownMinutes)
+	}
+	if res.OutOfBid == 0 {
+		t.Fatal("thin-margin case produced no out-of-bid churn; test is vacuous")
+	}
+}

@@ -5,15 +5,38 @@
 // methodology: "as cost and availability of a spot instance are
 // certained with the given spot prices data, the result is the same as
 // real running the bidding framework".
+//
+// Two interchangeable kernels drive a replay. The event kernel (the
+// default) subscribes to the provider's discrete-event stream and only
+// wakes at interesting minutes — decision points, interval boundaries,
+// and the end of accounting — integrating availability from quorum
+// up/down transitions instead of polling every minute. The polling
+// kernel is the original minute-by-minute loop, kept as the reference
+// implementation and benchmark baseline. Both produce bit-identical
+// Results for the same Config.
 package replay
 
 import (
 	"fmt"
 
 	"repro/internal/cloud"
+	"repro/internal/engine"
 	"repro/internal/market"
 	"repro/internal/strategy"
 	"repro/internal/trace"
+)
+
+// Kernel selects the replay engine.
+type Kernel int
+
+const (
+	// KernelEvent is the discrete-event kernel: wakes only at decision
+	// points and interval boundaries, tracking availability through the
+	// provider's event stream. The default.
+	KernelEvent Kernel = iota
+	// KernelPolling is the original minute-by-minute loop, kept as the
+	// reference implementation the event kernel is verified against.
+	KernelPolling
 )
 
 // Config parameterizes one replay run.
@@ -24,7 +47,12 @@ type Config struct {
 	// Start is the minute the replayed service goes live. History in
 	// [Traces.Start, Start) is visible to the strategy for training.
 	Start int64
-	// End is the exclusive end of accounting (default: trace end - 1).
+	// End is the exclusive end of accounting. Zero means the default,
+	// Traces.End - 1: the last minute the provider can simulate, since
+	// prices are defined over [Traces.Start, Traces.End) and the replay
+	// evaluates the final accounted minute End-1 inside that span.
+	// Explicit values must satisfy Start < End <= Traces.End - 1;
+	// anything else is rejected by Run.
 	End int64
 	// Spec describes the hosted service.
 	Spec strategy.ServiceSpec
@@ -46,6 +74,14 @@ type Config struct {
 	// relaunches automatically when the price returns below the bid
 	// (auto-heal ablation; the paper's framework uses one-shot bids).
 	PersistentRequests bool
+	// Kernel selects the replay engine (default KernelEvent).
+	Kernel Kernel
+	// Observers receive the simulation event stream: instance
+	// lifecycle, out-of-bid reclaims, outages, billing closures from
+	// the provider, plus the replay's own bidding decisions and service
+	// quorum up/down transitions. Hooks run synchronously at the exact
+	// simulated minute; they must not mutate the run.
+	Observers []engine.Observer
 }
 
 // Result is the outcome of a replay.
@@ -107,6 +143,29 @@ type member struct {
 	reqID    cloud.RequestID  // persistent-request mode only
 }
 
+// run is the shared state of one replay, manipulated by either kernel.
+type run struct {
+	cfg      Config
+	lead     int64
+	end      int64
+	provider *cloud.Provider
+	view     marketView
+	res      *Result
+
+	fleet        []member // membership being served and accounted now
+	pending      []member // next interval's membership (launched early)
+	retiring     []cloud.InstanceID
+	retiringReqs []cloud.RequestID
+	allInstances []cloud.InstanceID
+	allRequests  []cloud.RequestID
+	groupSizeSum int
+
+	// userObs carries the replay-level events (decisions, quorum
+	// transitions) to the configured observers; provider-level events
+	// reach them through Provider.Subscribe.
+	userObs engine.Fanout
+}
+
 // Run executes the replay.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Traces == nil || cfg.Strategy == nil {
@@ -120,8 +179,17 @@ func Run(cfg Config) (*Result, error) {
 		lead = 15
 	}
 	end := cfg.End
-	if end == 0 {
+	switch {
+	case end == 0:
+		// Default: the last simulable minute. The final accounted
+		// minute is end-1, which must stay inside the trace span
+		// [Traces.Start, Traces.End).
 		end = cfg.Traces.End - 1
+	case end < 0:
+		return nil, fmt.Errorf("replay: negative end %d", end)
+	case end > cfg.Traces.End-1:
+		return nil, fmt.Errorf("replay: end %d beyond last simulable minute %d (trace ends at %d)",
+			end, cfg.Traces.End-1, cfg.Traces.End)
 	}
 	if cfg.Start-lead < cfg.Traces.Start {
 		return nil, fmt.Errorf("replay: start %d leaves no room for lead %d", cfg.Start, lead)
@@ -134,241 +202,206 @@ func Run(cfg Config) (*Result, error) {
 		Seed:                   cfg.Seed,
 		InjectHardwareFailures: cfg.InjectHardwareFailures,
 	})
-	view := marketView{p: provider}
-	res := &Result{Strategy: cfg.Strategy.Name(), IntervalMinutes: cfg.IntervalMinutes}
-
-	var fleet []member   // membership being served and accounted now
-	var pending []member // next interval's membership (launched early)
-	var retiring []cloud.InstanceID
-	var retiringReqs []cloud.RequestID
-	var allInstances []cloud.InstanceID
-	var allRequests []cloud.RequestID
-	groupSizeSum := 0
-
-	// chooseInterval consults the strategy when it adapts its own
-	// bidding interval (the §5.5 extension), else uses the configured
-	// one.
-	chooseInterval := func() int64 {
-		if ic, ok := cfg.Strategy.(strategy.IntervalChooser); ok {
-			// Intervals shorter than twice the decision lead cannot be
-			// scheduled; fall back to the configured one then.
-			if iv := ic.ChooseInterval(view, cfg.Spec); iv > 2*lead {
-				return iv
-			}
-		}
-		return cfg.IntervalMinutes
+	r := &run{
+		cfg:      cfg,
+		lead:     lead,
+		end:      end,
+		provider: provider,
+		view:     marketView{p: provider},
+		res:      &Result{Strategy: cfg.Strategy.Name(), IntervalMinutes: cfg.IntervalMinutes},
+		userObs:  engine.Fanout(cfg.Observers),
 	}
 
-	// decideAndLaunch plans the next interval (make-before-break): new
-	// instances launch immediately so they are running by the boundary,
-	// but the service keeps running on the current fleet until then.
-	// It returns the length of the interval the decision covers.
-	decideAndLaunch := func() (int64, error) {
-		interval := chooseInterval()
-		decision, err := cfg.Strategy.Decide(view, cfg.Spec, interval)
-		if err != nil {
-			return 0, err
-		}
-		res.Decisions++
-		// Index current live instances by zone for reuse.
-		current := map[string]member{}
-		for _, mb := range fleet {
-			current[mb.zone] = mb
-		}
-		var next []member
-		keep := map[cloud.InstanceID]bool{}
-		launch := func(mb member) member {
-			if mb.onDemand {
-				id, err := provider.RequestOnDemand(mb.zone, cfg.Spec.Type)
-				if err == nil {
-					mb.id = id
-					allInstances = append(allInstances, id)
-					res.OnDemandLaunch++
-				}
-				return mb
-			}
-			if cfg.PersistentRequests {
-				reqID, err := provider.RequestSpotPersistent(mb.zone, cfg.Spec.Type, mb.bid)
-				if err != nil {
-					res.FailedRequests++
-					return mb
-				}
-				mb.reqID = reqID
-				allRequests = append(allRequests, reqID)
-				res.SpotLaunch++
-				return mb
-			}
-			id, err := provider.RequestSpot(mb.zone, cfg.Spec.Type, mb.bid)
-			if err != nil {
-				res.FailedRequests++
-				mb.id = ""
-				return mb
-			}
-			mb.id = id
-			allInstances = append(allInstances, id)
-			res.SpotLaunch++
-			return mb
-		}
-		keepReq := map[cloud.RequestID]bool{}
-		for _, b := range decision.Bids {
-			mb := member{zone: b.Zone, bid: b.Price}
-			// An existing instance is kept when its bid already covers
-			// the new decision: spot charges follow the market price,
-			// not the bid, so a higher standing bid costs nothing extra
-			// and only replacement-worthy changes force a relaunch.
-			cur, ok := current[b.Zone]
-			switch {
-			case ok && !cur.onDemand && cur.reqID != "" && cur.bid >= b.Price:
-				// A persistent request auto-heals; keep it even if its
-				// instance is momentarily out of bid.
-				mb.reqID = cur.reqID
-				mb.bid = cur.bid
-				keepReq[cur.reqID] = true
-			case ok && !cur.onDemand && cur.reqID == "" && cur.bid >= b.Price && cur.id != "" && provider.Alive(cur.id):
-				mb.id = cur.id
-				mb.bid = cur.bid
-				keep[cur.id] = true
-			default:
-				mb = launch(mb)
-			}
-			next = append(next, mb)
-		}
-		for _, z := range decision.OnDemand {
-			mb := member{zone: z, onDemand: true}
-			if cur, ok := current[z]; ok && cur.onDemand && cur.id != "" {
-				inst, ierr := provider.Instance(cur.id)
-				if ierr == nil && inst.State != cloud.Terminated {
-					mb.id = cur.id
-					keep[cur.id] = true
-				} else {
-					mb = launch(mb)
-				}
-			} else {
-				mb = launch(mb)
-			}
-			next = append(next, mb)
-		}
-		// Instances not carried forward retire at the interval boundary.
-		retiring = retiring[:0]
-		retiringReqs = retiringReqs[:0]
-		for _, mb := range fleet {
-			if mb.reqID != "" && !keepReq[mb.reqID] {
-				retiringReqs = append(retiringReqs, mb.reqID)
-				continue
-			}
-			if mb.id != "" && !keep[mb.id] {
-				retiring = append(retiring, mb.id)
-			}
-		}
-		pending = next
-		groupSizeSum += len(next)
-		if len(next) > res.MaxGroupSize {
-			res.MaxGroupSize = len(next)
-		}
-		return interval, nil
+	var err error
+	switch cfg.Kernel {
+	case KernelPolling:
+		err = r.runPolling()
+	default:
+		err = r.runEvent()
 	}
-
-	// Pre-roll to the first decision point.
-	provider.AdvanceTo(cfg.Start - lead)
-	nextIntervalLen, err := decideAndLaunch()
 	if err != nil {
 		return nil, err
 	}
-
-	nextBoundary := cfg.Start + nextIntervalLen
-	nextDecision := nextBoundary - lead
-	boundaryPending := true // install the first fleet at Start
-	intervalStart := cfg.Start
-	intervalDown := int64(0)
-	flushInterval := func(endMinute int64) {
-		res.Series = append(res.Series, IntervalStats{
-			StartMinute:     intervalStart,
-			IntervalMinutes: endMinute - intervalStart,
-			GroupSize:       len(fleet),
-			DownMinutes:     intervalDown,
-		})
-		intervalStart = endMinute
-		intervalDown = 0
+	if err := r.finish(); err != nil {
+		return nil, err
 	}
-	for minute := cfg.Start; minute < end; minute++ {
-		provider.AdvanceTo(minute)
-		if boundaryPending {
-			fleet = pending
-			pending = nil
-			for _, id := range retiring {
-				if err := provider.Terminate(id); err != nil {
-					return nil, err
-				}
-			}
-			for _, rid := range retiringReqs {
-				if err := provider.CancelSpotRequest(rid, true); err != nil {
-					return nil, err
-				}
-			}
-			retiring = retiring[:0]
-			retiringReqs = retiringReqs[:0]
-			boundaryPending = false
+	return r.res, nil
+}
+
+// chooseInterval consults the strategy when it adapts its own bidding
+// interval (the §5.5 extension), else uses the configured one.
+func (r *run) chooseInterval() int64 {
+	if ic, ok := r.cfg.Strategy.(strategy.IntervalChooser); ok {
+		// Intervals shorter than twice the decision lead cannot be
+		// scheduled; fall back to the configured one then.
+		if iv := ic.ChooseInterval(r.view, r.cfg.Spec); iv > 2*r.lead {
+			return iv
 		}
-		// Availability: a live quorum of the configured group.
-		n := len(fleet)
-		alive := 0
-		for _, mb := range fleet {
-			switch {
-			case mb.reqID != "" && provider.RequestAlive(mb.reqID):
-				alive++
-			case mb.id != "" && provider.Alive(mb.id):
-				alive++
+	}
+	return r.cfg.IntervalMinutes
+}
+
+// decideAndLaunch plans the next interval (make-before-break): new
+// instances launch immediately so they are running by the boundary,
+// but the service keeps running on the current fleet until then.
+// It returns the length of the interval the decision covers.
+func (r *run) decideAndLaunch() (int64, error) {
+	interval := r.chooseInterval()
+	decision, err := r.cfg.Strategy.Decide(r.view, r.cfg.Spec, interval)
+	if err != nil {
+		return 0, err
+	}
+	r.res.Decisions++
+	// Index current live instances by zone for reuse.
+	current := map[string]member{}
+	for _, mb := range r.fleet {
+		current[mb.zone] = mb
+	}
+	var next []member
+	keep := map[cloud.InstanceID]bool{}
+	launch := func(mb member) member {
+		if mb.onDemand {
+			id, err := r.provider.RequestOnDemand(mb.zone, r.cfg.Spec.Type)
+			if err == nil {
+				mb.id = id
+				r.allInstances = append(r.allInstances, id)
+				r.res.OnDemandLaunch++
 			}
+			return mb
 		}
-		res.TotalMinutes++
-		if n == 0 || alive < cfg.Spec.QuorumSize(n) {
-			res.DownMinutes++
-			intervalDown++
-		}
-		// Interval machinery.
-		if minute == nextDecision {
-			nextIntervalLen, err = decideAndLaunch()
+		if r.cfg.PersistentRequests {
+			reqID, err := r.provider.RequestSpotPersistent(mb.zone, r.cfg.Spec.Type, mb.bid)
 			if err != nil {
-				return nil, err
+				r.res.FailedRequests++
+				return mb
 			}
+			mb.reqID = reqID
+			r.allRequests = append(r.allRequests, reqID)
+			r.res.SpotLaunch++
+			return mb
 		}
-		if minute+1 == nextBoundary {
-			flushInterval(minute + 1)
-			boundaryPending = true
-			nextBoundary += nextIntervalLen
-			nextDecision = nextBoundary - lead
+		id, err := r.provider.RequestSpot(mb.zone, r.cfg.Spec.Type, mb.bid)
+		if err != nil {
+			r.res.FailedRequests++
+			mb.id = ""
+			return mb
+		}
+		mb.id = id
+		r.allInstances = append(r.allInstances, id)
+		r.res.SpotLaunch++
+		return mb
+	}
+	keepReq := map[cloud.RequestID]bool{}
+	for _, b := range decision.Bids {
+		mb := member{zone: b.Zone, bid: b.Price}
+		// An existing instance is kept when its bid already covers
+		// the new decision: spot charges follow the market price,
+		// not the bid, so a higher standing bid costs nothing extra
+		// and only replacement-worthy changes force a relaunch.
+		cur, ok := current[b.Zone]
+		switch {
+		case ok && !cur.onDemand && cur.reqID != "" && cur.bid >= b.Price:
+			// A persistent request auto-heals; keep it even if its
+			// instance is momentarily out of bid.
+			mb.reqID = cur.reqID
+			mb.bid = cur.bid
+			keepReq[cur.reqID] = true
+		case ok && !cur.onDemand && cur.reqID == "" && cur.bid >= b.Price && cur.id != "" && r.provider.Alive(cur.id):
+			mb.id = cur.id
+			mb.bid = cur.bid
+			keep[cur.id] = true
+		default:
+			mb = launch(mb)
+		}
+		next = append(next, mb)
+	}
+	for _, z := range decision.OnDemand {
+		mb := member{zone: z, onDemand: true}
+		if cur, ok := current[z]; ok && cur.onDemand && cur.id != "" {
+			inst, ierr := r.provider.Instance(cur.id)
+			if ierr == nil && inst.State != cloud.Terminated {
+				mb.id = cur.id
+				keep[cur.id] = true
+			} else {
+				mb = launch(mb)
+			}
+		} else {
+			mb = launch(mb)
+		}
+		next = append(next, mb)
+	}
+	// Instances not carried forward retire at the interval boundary.
+	r.retiring = r.retiring[:0]
+	r.retiringReqs = r.retiringReqs[:0]
+	for _, mb := range r.fleet {
+		if mb.reqID != "" && !keepReq[mb.reqID] {
+			r.retiringReqs = append(r.retiringReqs, mb.reqID)
+			continue
+		}
+		if mb.id != "" && !keep[mb.id] {
+			r.retiring = append(r.retiring, mb.id)
 		}
 	}
-	if intervalStart < end {
-		flushInterval(end)
+	r.pending = next
+	r.groupSizeSum += len(next)
+	if len(next) > r.res.MaxGroupSize {
+		r.res.MaxGroupSize = len(next)
 	}
+	if r.userObs.Active() {
+		r.userObs.Publish(engine.Event{
+			Minute: r.provider.Now(), Kind: engine.KindDecision, Size: len(next),
+		})
+	}
+	return interval, nil
+}
 
-	// Final accounting: user-terminate everything still running so the
-	// bill closes, then total the charges.
-	for _, rid := range allRequests {
-		if err := provider.CancelSpotRequest(rid, false); err != nil {
-			return nil, err
-		}
-		hist, err := provider.RequestHistory(rid)
-		if err != nil {
-			return nil, err
-		}
-		allInstances = append(allInstances, hist...)
-	}
-	for _, id := range provider.LiveInstances() {
-		if err := provider.Terminate(id); err != nil {
-			return nil, err
+// retire terminates the instances and cancels the requests displaced by
+// the latest decision; called at the interval boundary.
+func (r *run) retire() error {
+	for _, id := range r.retiring {
+		if err := r.provider.Terminate(id); err != nil {
+			return err
 		}
 	}
-	for _, id := range allInstances {
-		c, err := provider.Charge(id)
+	for _, rid := range r.retiringReqs {
+		if err := r.provider.CancelSpotRequest(rid, true); err != nil {
+			return err
+		}
+	}
+	r.retiring = r.retiring[:0]
+	r.retiringReqs = r.retiringReqs[:0]
+	return nil
+}
+
+// finish closes every bill and totals the result. Final accounting:
+// user-terminate everything still running so the bill closes, then
+// total the charges.
+func (r *run) finish() error {
+	res := r.res
+	for _, rid := range r.allRequests {
+		if err := r.provider.CancelSpotRequest(rid, false); err != nil {
+			return err
+		}
+		hist, err := r.provider.RequestHistory(rid)
 		if err != nil {
-			return nil, err
+			return err
+		}
+		r.allInstances = append(r.allInstances, hist...)
+	}
+	for _, id := range r.provider.LiveInstances() {
+		if err := r.provider.Terminate(id); err != nil {
+			return err
+		}
+	}
+	for _, id := range r.allInstances {
+		c, err := r.provider.Charge(id)
+		if err != nil {
+			return err
 		}
 		res.Cost += c
-		inst, err := provider.Instance(id)
+		inst, err := r.provider.Instance(id)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if inst.Spot && inst.State == cloud.Terminated && inst.Cause == market.TerminatedByProvider {
 			res.OutOfBid++
@@ -376,7 +409,19 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.Availability = 1 - float64(res.DownMinutes)/float64(res.TotalMinutes)
 	if res.Decisions > 0 {
-		res.MeanGroupSize = float64(groupSizeSum) / float64(res.Decisions)
+		res.MeanGroupSize = float64(r.groupSizeSum) / float64(res.Decisions)
 	}
-	return res, nil
+	return nil
+}
+
+// emitQuorum publishes a quorum transition to the configured observers.
+func (r *run) emitQuorum(minute int64, down bool, live int) {
+	if !r.userObs.Active() {
+		return
+	}
+	kind := engine.KindQuorumUp
+	if down {
+		kind = engine.KindQuorumDown
+	}
+	r.userObs.Publish(engine.Event{Minute: minute, Kind: kind, Size: live})
 }
