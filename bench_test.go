@@ -6,10 +6,14 @@ package repro
 // reproduction of the whole evaluation.
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/market"
+	"repro/internal/modelcache"
 	"repro/internal/quorum"
 	"repro/internal/replay"
 	"repro/internal/strategy"
@@ -208,6 +212,117 @@ func BenchmarkTraceGeneration(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkJupiterTrain measures training the framework's per-zone
+// semi-Markov models on the paper-scale 13-week history across all 17
+// experiment zones. Scratch pays full estimation every iteration (a
+// fresh provider each time); Cached reuses one provider, so after the
+// first iteration every model is served from memory — the gap is what
+// the shared provider saves each time a sweep cell would retrain. The
+// headline metric is simulated training-window minutes per wall second.
+func BenchmarkJupiterTrain(b *testing.B) {
+	env := experiments.DefaultEnv()
+	set, err := trace.Generate(trace.GenConfig{
+		Seed: env.Seed, Type: market.M1Small,
+		Zones: market.ExperimentZones(),
+		Start: 0, End: env.TrainWeeks * experiments.Week,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	span := set.End - set.Start
+	zones := int64(len(set.Zones()))
+	run := func(b *testing.B, provider func() *modelcache.Cache) {
+		b.Helper()
+		var minutes int64
+		for i := 0; i < b.N; i++ {
+			j := core.New()
+			j.UseModelCache(provider())
+			if err := j.TrainOn(set); err != nil {
+				b.Fatal(err)
+			}
+			minutes += span * zones
+		}
+		b.ReportMetric(float64(minutes)/b.Elapsed().Seconds(), "sim-min/s")
+	}
+	b.Run("Scratch", func(b *testing.B) {
+		run(b, modelcache.New)
+	})
+	b.Run("Cached", func(b *testing.B) {
+		shared := modelcache.New()
+		run(b, func() *modelcache.Cache { return shared })
+	})
+}
+
+// BenchmarkSweepSharedCache compares a Jupiter-only interval sweep —
+// parallel replay cells at 1h/3h/6h/12h, the Figures 6/7 inner loop —
+// with and without a shared model provider. The 1/3/6/12-hour cells
+// retrain at identical weekly boundaries, so under the shared provider
+// each (zone, window) model is estimated once and served to the other
+// three cells; PerCell estimates it four times. Metric: simulated
+// minutes per wall second across the whole sweep.
+func BenchmarkSweepSharedCache(b *testing.B) {
+	env := experiments.QuickEnv()
+	set, err := env.Traces(market.M1Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := experiments.LockSpec()
+	intervals := []int64{1, 3, 6, 12}
+	sweep := func(models *modelcache.Cache) (int64, error) {
+		var minutes atomic.Int64
+		errs := make([]error, len(intervals))
+		var wg sync.WaitGroup
+		for i, h := range intervals {
+			wg.Add(1)
+			go func(i int, h int64) {
+				defer wg.Done()
+				res, err := replay.Run(replay.Config{
+					Traces: set, Start: env.TrainWeeks * experiments.Week,
+					Spec:            spec,
+					Strategy:        core.New(),
+					IntervalMinutes: h * 60, Seed: env.Seed ^ uint64(h)<<32,
+					InjectHardwareFailures: true,
+					Models:                 models,
+				})
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				minutes.Add(res.TotalMinutes)
+			}(i, h)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return minutes.Load(), nil
+	}
+	b.Run("PerCell", func(b *testing.B) {
+		var minutes int64
+		for i := 0; i < b.N; i++ {
+			n, err := sweep(nil) // each cell's framework uses a private cache
+			if err != nil {
+				b.Fatal(err)
+			}
+			minutes += n
+		}
+		b.ReportMetric(float64(minutes)/b.Elapsed().Seconds(), "sim-min/s")
+	})
+	b.Run("Shared", func(b *testing.B) {
+		var minutes int64
+		for i := 0; i < b.N; i++ {
+			n, err := sweep(modelcache.New())
+			if err != nil {
+				b.Fatal(err)
+			}
+			minutes += n
+		}
+		b.ReportMetric(float64(minutes)/b.Elapsed().Seconds(), "sim-min/s")
+	})
 }
 
 // BenchmarkReplayKernel compares the discrete-event replay kernel

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|table1|fig1|fig4|fig5|fig6|fig7|fig8|fig9|headline|example3] [-seed N] [-weeks N] [-j N]
+//	experiments [-run all|table1|fig1|fig4|fig5|fig6|fig7|fig8|fig9|headline|example3] [-seed N] [-weeks N] [-j N] [-model-stats]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"runtime"
 
 	"repro/internal/experiments"
+	"repro/internal/modelcache"
 )
 
 func main() {
@@ -23,12 +24,19 @@ func main() {
 	train := flag.Int64("train", 13, "training prefix in weeks (paper: ~13)")
 	csvOut := flag.String("csv", "", "also write sweep rows (figs 6-9) as CSV to this file")
 	jobs := flag.Int("j", runtime.NumCPU(), "worker-pool width for sweep cells (1 = sequential; results are identical either way)")
+	modelStats := flag.Bool("model-stats", false, "share one price-model cache across all experiments and print its hit/train counters at the end")
 	flag.Parse()
 
 	env := experiments.Env{Seed: *seed, TrainWeeks: *train, ReplayWeeks: *weeks, Jobs: *jobs}
+	if *modelStats {
+		env.Models = modelcache.New()
+	}
 	if err := run(env, *runFlag, *csvOut); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+	if env.Models != nil {
+		fmt.Println(env.Models.Stats())
 	}
 }
 

@@ -6,7 +6,7 @@
 //
 //	replay [-strategy jupiter|baseline|extra] [-extra-nodes N] [-extra-portion P]
 //	       [-service lock|storage] [-interval H[,H...]] [-weeks N] [-train N] [-seed N]
-//	       [-trace file.csv] [-j N]
+//	       [-trace file.csv] [-j N] [-model-stats]
 //
 // Without -trace, a synthetic trace set is generated from the seed.
 // With several comma-separated intervals, the cells replay on a worker
@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/modelcache"
 	"repro/internal/replay"
 	"repro/internal/strategy"
 	"repro/internal/trace"
@@ -43,9 +44,10 @@ func main() {
 	traceFile := flag.String("trace", "", "CSV trace file (default: synthetic)")
 	seriesOut := flag.String("series", "", "write per-interval downtime series CSV to this file ('-' = stdout); single interval only")
 	jobs := flag.Int("j", runtime.NumCPU(), "worker-pool width for an interval sweep (1 = sequential; results are identical either way)")
+	modelStats := flag.Bool("model-stats", false, "print the shared price-model cache's hit/train counters at the end")
 	flag.Parse()
 
-	if err := run(*stratName, *extraNodes, *extraPortion, *service, *interval, *weeks, *train, *seed, *traceFile, *seriesOut, *jobs); err != nil {
+	if err := run(*stratName, *extraNodes, *extraPortion, *service, *interval, *weeks, *train, *seed, *traceFile, *seriesOut, *jobs, *modelStats); err != nil {
 		fmt.Fprintln(os.Stderr, "replay:", err)
 		os.Exit(1)
 	}
@@ -63,7 +65,7 @@ func parseIntervals(s string) ([]int64, error) {
 	return out, nil
 }
 
-func run(stratName string, extraNodes int, extraPortion float64, service, intervalSpec string, weeks, train int64, seed uint64, traceFile, seriesOut string, jobs int) error {
+func run(stratName string, extraNodes int, extraPortion float64, service, intervalSpec string, weeks, train int64, seed uint64, traceFile, seriesOut string, jobs int, modelStats bool) error {
 	var spec strategy.ServiceSpec
 	switch service {
 	case "lock":
@@ -115,6 +117,9 @@ func run(stratName string, extraNodes int, extraPortion float64, service, interv
 		return err
 	}
 
+	// One model provider shared by every cell of the interval sweep:
+	// intervals whose retrain boundaries coincide train each window once.
+	models := modelcache.New()
 	replayOne := func(hours int64) (*replay.Result, error) {
 		strat, err := mkStrat()
 		if err != nil {
@@ -128,6 +133,7 @@ func run(stratName string, extraNodes int, extraPortion float64, service, interv
 			IntervalMinutes:        hours * 60,
 			Seed:                   seed,
 			InjectHardwareFailures: true,
+			Models:                 models,
 		})
 	}
 
@@ -136,7 +142,13 @@ func run(stratName string, extraNodes int, extraPortion float64, service, interv
 		if err != nil {
 			return err
 		}
-		return report(res, spec, service, intervals[0], seriesOut)
+		if err := report(res, spec, service, intervals[0], seriesOut); err != nil {
+			return err
+		}
+		if modelStats {
+			fmt.Println(models.Stats())
+		}
+		return nil
 	}
 
 	// Interval sweep: independent cells on a worker pool, results kept
@@ -176,6 +188,9 @@ func run(stratName string, extraNodes int, extraPortion float64, service, interv
 	for i, res := range results {
 		fmt.Printf("%7dh  %14s  %12.6f  %10d  %9d  %8d\n",
 			intervals[i], res.Cost, res.Availability, res.Decisions, res.OutOfBid, res.MaxGroupSize)
+	}
+	if modelStats {
+		fmt.Println(models.Stats())
 	}
 	return nil
 }

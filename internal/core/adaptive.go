@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/modelcache"
 	"repro/internal/strategy"
 )
 
@@ -41,6 +42,10 @@ func NewAdaptive() *Adaptive {
 
 // Name implements strategy.Strategy.
 func (a *Adaptive) Name() string { return "Jupiter-adaptive" }
+
+// UseModelCache implements modelcache.Consumer by delegating to the
+// wrapped framework.
+func (a *Adaptive) UseModelCache(c *modelcache.Cache) { a.Inner.UseModelCache(c) }
 
 // ChooseInterval implements strategy.IntervalChooser: it measures the
 // median per-zone price-change period over the lookback window and

@@ -26,7 +26,9 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/market"
+	"repro/internal/modelcache"
 	"repro/internal/quorum"
 	"repro/internal/smc"
 	"repro/internal/strategy"
@@ -72,12 +74,29 @@ type Jupiter struct {
 	// quorum availability still meets the target. An extension beyond
 	// the paper's equalized targets.
 	Refine bool
+	// Models is the model provider training is routed through. Leave
+	// nil for a private cache (the single-replay default); point several
+	// framework instances at one shared cache — replay.Config.Models
+	// does this — so identical (zone, window) models train once and are
+	// served to every instance. A shared cache spanning more than one
+	// price history requires views that implement
+	// strategy.TraceIdentifier, so models from different histories key
+	// apart.
+	Models *modelcache.Cache
 
-	models       map[string]*smc.Model
-	trainedAt    map[string]int64
+	// zoneModels is this instance's current model per zone plus when it
+	// was trained — the retrain-cadence state. The models themselves
+	// live in (and may be shared through) the provider.
+	zoneModels   map[string]zoneModel
 	lastDecision []CandidateCost
 	lastBidFPs   map[string]float64
 	fpCache      map[fpKey]fpVal
+}
+
+// zoneModel is one zone's current model and its training minute.
+type zoneModel struct {
+	model     *smc.Model
+	trainedAt int64
 }
 
 // fpKey caches quorum inversions, which depend only on geometry and
@@ -98,10 +117,22 @@ func New() *Jupiter {
 		FP0:            market.OnDemandFailureProbability,
 		TrainingWindow: 13 * 7 * 24 * 60,
 		RetrainEvery:   7 * 24 * 60,
-		models:         make(map[string]*smc.Model),
-		trainedAt:      make(map[string]int64),
+		zoneModels:     make(map[string]zoneModel),
 		fpCache:        make(map[fpKey]fpVal),
 	}
+}
+
+// UseModelCache implements modelcache.Consumer: the replay harness
+// calls it to point the framework at the run's shared provider.
+func (j *Jupiter) UseModelCache(c *modelcache.Cache) { j.Models = c }
+
+// provider returns the configured shared cache, or a lazily created
+// private one.
+func (j *Jupiter) provider() *modelcache.Cache {
+	if j.Models == nil {
+		j.Models = modelcache.New()
+	}
+	return j.Models
 }
 
 // invertFP is quorum.InvertEqualFP with memoization.
@@ -151,28 +182,52 @@ func (j *Jupiter) LastBidFailureProbabilities() map[string]float64 {
 }
 
 // model returns a trained failure model for a zone, training or
-// retraining from the view's price history as needed.
+// retraining through the model provider as the cadence demands. The
+// per-zone cadence state (what this instance currently uses, trained
+// when) stays local; the training itself is keyed on (trace, zone,
+// window) in the provider, so concurrent framework instances over the
+// same history share one estimation pass.
 func (j *Jupiter) model(view strategy.MarketView, zone string) (*smc.Model, error) {
 	now := view.Now()
-	if m, ok := j.models[zone]; ok {
-		if j.RetrainEvery == 0 || now-j.trainedAt[zone] < j.RetrainEvery {
-			return m, nil
+	if zm, ok := j.zoneModels[zone]; ok {
+		if j.RetrainEvery == 0 || now-zm.trainedAt < j.RetrainEvery {
+			return zm.model, nil
 		}
 	}
 	from := now - j.TrainingWindow
-	hist, err := view.PriceHistory(zone, from, now)
-	if err != nil {
-		return nil, err
+	key := modelcache.Key{Zone: zone, From: from, Until: now}
+	if ti, ok := view.(strategy.TraceIdentifier); ok {
+		key.Trace = ti.TraceFingerprint()
 	}
-	est := smc.NewEstimator(0)
-	est.Observe(hist)
-	m, err := est.Model()
+	m, out, err := j.provider().Get(key, func() (*trace.Trace, error) {
+		return view.PriceHistory(zone, from, now)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: zone %s: %w", zone, err)
 	}
-	j.models[zone] = m
-	j.trainedAt[zone] = now
+	j.publishTrain(view, zone, now, out)
+	j.zoneModels[zone] = zoneModel{model: m, trainedAt: now}
 	return m, nil
+}
+
+// publishTrain surfaces a provider miss (an actual training pass) to
+// the view's observers, when the view accepts instrumentation events.
+func (j *Jupiter) publishTrain(view strategy.MarketView, zone string, now int64, out modelcache.Outcome) {
+	if out.Hit {
+		return
+	}
+	pub, ok := view.(strategy.EventPublisher)
+	if !ok {
+		return
+	}
+	size := 0
+	if out.Incremental {
+		size = 1
+	}
+	pub.PublishEvent(engine.Event{
+		Minute: now, Kind: engine.KindModelTrained, Zone: zone,
+		Size: size, DurationNanos: out.TrainTime.Nanoseconds(),
+	})
 }
 
 // zoneBid is a zone's minimal adequate bid for some failure target.
@@ -417,17 +472,19 @@ func (j *Jupiter) fallback(view strategy.MarketView, spec strategy.ServiceSpec) 
 }
 
 // TrainOn pre-trains zone models from a trace set, for tools that have
-// bulk history on disk rather than a live market view.
+// bulk history on disk rather than a live market view. The models go
+// through the provider like decision-time training, so repeated
+// pre-training over the same set is served from cache.
 func (j *Jupiter) TrainOn(set *trace.Set) error {
+	fp := set.Fingerprint()
 	for zone, tr := range set.ByZone {
-		est := smc.NewEstimator(0)
-		est.Observe(tr)
-		m, err := est.Model()
+		tr := tr
+		key := modelcache.Key{Trace: fp, Zone: zone, From: set.Start, Until: set.End}
+		m, _, err := j.provider().Get(key, func() (*trace.Trace, error) { return tr, nil })
 		if err != nil {
 			return fmt.Errorf("core: pre-training %s: %w", zone, err)
 		}
-		j.models[zone] = m
-		j.trainedAt[zone] = set.End
+		j.zoneModels[zone] = zoneModel{model: m, trainedAt: set.End}
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/market"
+	"repro/internal/modelcache"
 	"repro/internal/strategy"
 	"repro/internal/trace"
 )
@@ -229,6 +230,125 @@ func TestJupiterTrainOn(t *testing.T) {
 	}
 	if len(d.Bids) == 0 && len(d.OnDemand) == 0 {
 		t.Fatal("pre-trained Jupiter made no decision")
+	}
+}
+
+// TestJupiterNeverRetrainsWhenCadenceZero pins the documented
+// RetrainEvery == 0 contract: train once, never refresh, no matter how
+// far the view advances.
+func TestJupiterNeverRetrainsWhenCadenceZero(t *testing.T) {
+	view := genView(t, 42, 15)
+	view.now = 13 * week
+	j := New()
+	j.RetrainEvery = 0
+	if _, err := j.Decide(view, lockSpec(), 60); err != nil {
+		t.Fatal(err)
+	}
+	if len(j.zoneModels) == 0 {
+		t.Fatal("first decision trained no models")
+	}
+	before := make(map[string]zoneModel, len(j.zoneModels))
+	for z, zm := range j.zoneModels {
+		before[z] = zm
+	}
+	view.now = 13*week + 2*week - 1 // two weeks later, well past any weekly cadence
+	if _, err := j.Decide(view, lockSpec(), 60); err != nil {
+		t.Fatal(err)
+	}
+	for z, zm := range j.zoneModels {
+		prev, ok := before[z]
+		if !ok {
+			t.Fatalf("zone %s trained only on the second decision", z)
+		}
+		if zm.model != prev.model || zm.trainedAt != prev.trainedAt {
+			t.Fatalf("zone %s retrained despite RetrainEvery == 0", z)
+		}
+	}
+}
+
+// TestJupiterRetrainBoundary pins the cadence comparison: one minute
+// before trainedAt+RetrainEvery keeps the old model, the boundary
+// minute itself retrains.
+func TestJupiterRetrainBoundary(t *testing.T) {
+	const cadence = int64(24 * 60)
+	view := genView(t, 42, 15)
+	start := 13 * week
+	view.now = start
+	j := New()
+	j.RetrainEvery = cadence
+	if _, err := j.Decide(view, lockSpec(), 60); err != nil {
+		t.Fatal(err)
+	}
+	for z, zm := range j.zoneModels {
+		if zm.trainedAt != start {
+			t.Fatalf("zone %s trainedAt = %d, want %d", z, zm.trainedAt, start)
+		}
+	}
+
+	view.now = start + cadence - 1
+	if _, err := j.Decide(view, lockSpec(), 60); err != nil {
+		t.Fatal(err)
+	}
+	for z, zm := range j.zoneModels {
+		if zm.trainedAt != start {
+			t.Fatalf("zone %s retrained one minute early (trainedAt %d)", z, zm.trainedAt)
+		}
+	}
+
+	view.now = start + cadence
+	if _, err := j.Decide(view, lockSpec(), 60); err != nil {
+		t.Fatal(err)
+	}
+	for z, zm := range j.zoneModels {
+		if zm.trainedAt != start+cadence {
+			t.Fatalf("zone %s did not retrain at the boundary (trainedAt %d, want %d)",
+				z, zm.trainedAt, start+cadence)
+		}
+	}
+}
+
+// TestJupiterSharedCacheServesSecondInstance points two frameworks at
+// one provider: the second instance's first decision must be served
+// entirely from the first's training.
+func TestJupiterSharedCacheServesSecondInstance(t *testing.T) {
+	cache := modelcache.New()
+	view := genView(t, 42, 13)
+	j1, j2 := New(), New()
+	j1.UseModelCache(cache)
+	j2.UseModelCache(cache)
+
+	if _, err := j1.Decide(view, lockSpec(), 60); err != nil {
+		t.Fatal(err)
+	}
+	s := cache.Stats()
+	zones := uint64(len(market.ExperimentZones()))
+	if s.Hits != 0 || s.Misses != zones {
+		t.Fatalf("after first instance: %d hits, %d misses, want 0/%d", s.Hits, s.Misses, zones)
+	}
+
+	if _, err := j2.Decide(view, lockSpec(), 60); err != nil {
+		t.Fatal(err)
+	}
+	s = cache.Stats()
+	if s.Hits != zones || s.Misses != zones {
+		t.Fatalf("after second instance: %d hits, %d misses, want %d/%d", s.Hits, s.Misses, zones, zones)
+	}
+
+	d1, err := j1.Decide(view, lockSpec(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := j2.Decide(view, lockSpec(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.Bids) != len(d2.Bids) {
+		t.Fatalf("shared-cache instances disagree: %d vs %d bids", len(d1.Bids), len(d2.Bids))
+	}
+	for i := range d1.Bids {
+		if d1.Bids[i] != d2.Bids[i] {
+			t.Fatalf("bid %d differs: %+v vs %+v", i, d1.Bids[i], d2.Bids[i])
+		}
 	}
 }
 

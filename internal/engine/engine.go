@@ -55,6 +55,11 @@ const (
 	// KindQuorumDown: the replayed service lost its live quorum. Size
 	// carries the live count at the transition.
 	KindQuorumDown
+	// KindModelTrained: a zone's price model was (re)trained through the
+	// shared model provider. Zone carries the zone, DurationNanos the
+	// wall-clock training time, and Size is 1 for an incremental retrain
+	// and 0 for a from-scratch one. Cache hits publish nothing.
+	KindModelTrained
 )
 
 // String renders the event kind.
@@ -80,6 +85,8 @@ func (k Kind) String() string {
 		return "quorum-up"
 	case KindQuorumDown:
 		return "quorum-down"
+	case KindModelTrained:
+		return "model-trained"
 	default:
 		return "event(?)"
 	}
@@ -106,9 +113,14 @@ type Event struct {
 	Amount market.Money
 	// Until is the healing minute for KindOutageStart.
 	Until int64
-	// Size is the group size (KindDecision) or live count
-	// (KindQuorumUp/KindQuorumDown).
+	// Size is the group size (KindDecision), live count
+	// (KindQuorumUp/KindQuorumDown), or incremental flag
+	// (KindModelTrained).
 	Size int
+	// DurationNanos is the wall-clock cost of the work the event
+	// reports, where that is meaningful (KindModelTrained). Wall time is
+	// instrumentation only — it never feeds back into simulated time.
+	DurationNanos int64
 }
 
 // Observer receives the event stream. Implementations must be fast and
@@ -129,6 +141,8 @@ type Observer interface {
 	OnBilling(Event)
 	// OnQuorum receives service quorum up/down transitions.
 	OnQuorum(Event)
+	// OnModel receives model-provider training events.
+	OnModel(Event)
 }
 
 // Dispatch routes an event to the appropriate Observer hooks.
@@ -147,6 +161,8 @@ func Dispatch(o Observer, e Event) {
 		o.OnBilling(e)
 	case KindQuorumUp, KindQuorumDown:
 		o.OnQuorum(e)
+	case KindModelTrained:
+		o.OnModel(e)
 	}
 }
 
@@ -159,6 +175,7 @@ func (BaseObserver) OnOutOfBid(Event) {}
 func (BaseObserver) OnDecision(Event) {}
 func (BaseObserver) OnBilling(Event)  {}
 func (BaseObserver) OnQuorum(Event)   {}
+func (BaseObserver) OnModel(Event)    {}
 
 // Hooks adapts plain functions to the Observer interface; nil hooks are
 // skipped. Handy for inline observers in tests and tools.
@@ -168,6 +185,7 @@ type Hooks struct {
 	Decision func(Event)
 	Billing  func(Event)
 	Quorum   func(Event)
+	Model    func(Event)
 }
 
 func (h *Hooks) OnInstance(e Event) {
@@ -197,6 +215,12 @@ func (h *Hooks) OnBilling(e Event) {
 func (h *Hooks) OnQuorum(e Event) {
 	if h.Quorum != nil {
 		h.Quorum(e)
+	}
+}
+
+func (h *Hooks) OnModel(e Event) {
+	if h.Model != nil {
+		h.Model(e)
 	}
 }
 

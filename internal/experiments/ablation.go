@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/market"
+	"repro/internal/modelcache"
 )
 
 // AblationRow compares Jupiter under different failure estimators
@@ -24,6 +25,9 @@ func (e Env) AblationEstimators() ([]AblationRow, error) {
 	set, err := e.Traces(market.M1Small)
 	if err != nil {
 		return nil, err
+	}
+	if e.Models == nil {
+		e.Models = modelcache.New()
 	}
 	modes := []struct {
 		name string
@@ -67,6 +71,9 @@ func (e Env) AblationAdaptiveInterval() ([]AdaptiveRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	if e.Models == nil {
+		e.Models = modelcache.New()
+	}
 	var rows []AdaptiveRow
 	for _, hours := range []int64{1, 6, 12} {
 		res, err := e.replayOne(set, LockSpec(), core.New(), hours)
@@ -108,6 +115,9 @@ func (e Env) AblationRefinement() ([]RefineRow, error) {
 	set, err := e.Traces(market.M1Small)
 	if err != nil {
 		return nil, err
+	}
+	if e.Models == nil {
+		e.Models = modelcache.New()
 	}
 	variants := []func() *core.Jupiter{
 		func() *core.Jupiter { return core.New() },

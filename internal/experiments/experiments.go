@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/market"
+	"repro/internal/modelcache"
 	"repro/internal/replay"
 	"repro/internal/strategy"
 	"repro/internal/trace"
@@ -41,6 +42,14 @@ type Env struct {
 	// sequential. Every cell seeds its own provider RNG, so results are
 	// identical at any parallelism.
 	Jobs int
+	// Models is the shared price-model provider. Every replay this Env
+	// drives routes model training through it, so cells that request
+	// the same (zone, training window) — Jupiter variants at intervals
+	// whose retrain boundaries coincide — estimate it once. Nil makes
+	// each sweep create its own cache; set it to share across sweeps
+	// (the trace fingerprint in the cache key keys different services'
+	// histories apart) or to read hit/train counters afterwards.
+	Models *modelcache.Cache
 }
 
 // DefaultEnv matches the paper's scale.
@@ -88,6 +97,7 @@ func (e Env) replayOne(set *trace.Set, spec strategy.ServiceSpec, strat strategy
 		IntervalMinutes:        intervalHours * 60,
 		Seed:                   e.Seed ^ uint64(intervalHours)<<32 ^ uint64(len(strat.Name())),
 		InjectHardwareFailures: true,
+		Models:                 e.Models,
 	})
 }
 
@@ -168,6 +178,11 @@ func (e Env) Sweep(spec strategy.ServiceSpec, serviceName string) ([]SweepRow, e
 	set, err := e.Traces(spec.Type)
 	if err != nil {
 		return nil, err
+	}
+	if e.Models == nil {
+		// One provider across every cell of this sweep: all Env.Jobs
+		// workers share it, so coinciding retrains train once.
+		e.Models = modelcache.New()
 	}
 	type cell struct {
 		hours int64

@@ -129,7 +129,7 @@ type Fig5Row struct {
 // Extra(0, 0.1) vs the on-demand baseline, with 1-hour bidding
 // intervals, for both experimental services.
 func (e Env) Fig5() ([]Fig5Row, error) {
-	week1 := Env{Seed: e.Seed, TrainWeeks: e.TrainWeeks, ReplayWeeks: 1}
+	week1 := Env{Seed: e.Seed, TrainWeeks: e.TrainWeeks, ReplayWeeks: 1, Models: e.Models}
 	specs := []struct {
 		name string
 		spec strategy.ServiceSpec
@@ -186,7 +186,7 @@ func (e Env) Example3() (Example3Result, error) {
 
 	// Naive spot bidding: bid exactly the spot price (Extra(0, 0)) and
 	// replay one month.
-	monthEnv := Env{Seed: e.Seed, TrainWeeks: 2, ReplayWeeks: 4}
+	monthEnv := Env{Seed: e.Seed, TrainWeeks: 2, ReplayWeeks: 4, Models: e.Models}
 	set, err := monthEnv.Traces(market.M1Small)
 	if err != nil {
 		return out, err

@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/modelcache"
 )
 
 // TestSweepParallelMatchesSequential is the determinism regression test
@@ -31,6 +33,46 @@ func TestSweepParallelMatchesSequential(t *testing.T) {
 	}
 	if len(a) != len(SweepIntervals)*4 {
 		t.Fatalf("sweep produced %d rows, want %d", len(a), len(SweepIntervals)*4)
+	}
+}
+
+// TestSweepSharedCacheAcrossWorkers drives a parallel sweep through one
+// explicit shared model cache and checks that sharing actually happened:
+// the sweep's Jupiter cells at intervals dividing the weekly retrain
+// cadence request identical (zone, window) models, so the cache must
+// report hits, and the rows must still match an uncached sequential
+// sweep exactly. Run under -race this is the shared-provider
+// concurrency regression test.
+func TestSweepSharedCacheAcrossWorkers(t *testing.T) {
+	cached := QuickEnv()
+	cached.Jobs = 6
+	cached.Models = modelcache.New()
+
+	plain := QuickEnv()
+	plain.Jobs = 1
+
+	a, err := cached.Sweep(LockSpec(), "lock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := plain.Sweep(LockSpec(), "lock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("shared-cache sweep diverges from per-sweep-cache sequential:\ncached: %+v\nplain:  %+v", a, b)
+	}
+
+	s := cached.Models.Stats()
+	if s.Misses == 0 {
+		t.Fatal("shared cache trained nothing")
+	}
+	if s.Hits == 0 {
+		t.Fatalf("shared cache saw no hits across sweep cells: %+v", s)
+	}
+	if s.ScratchTrains+s.IncrementalTrains != s.Misses {
+		t.Fatalf("trains (%d scratch + %d incremental) != misses (%d)",
+			s.ScratchTrains, s.IncrementalTrains, s.Misses)
 	}
 }
 

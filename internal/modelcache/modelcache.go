@@ -1,0 +1,260 @@
+// Package modelcache is the shared price-model provider: a
+// concurrency-safe cache of trained semi-Markov spot-price models
+// (internal/smc) keyed by what a model is a pure function of — the
+// underlying price history's identity, the zone, the training window,
+// and the sojourn cap.
+//
+// The bidding framework retrains one model per availability zone on a
+// fixed cadence; a parallel experiment sweep runs many framework
+// instances over the *same* traces, so without sharing every sweep cell
+// re-estimates identical models. The cache trains each distinct model
+// exactly once — concurrent requesters for the same key block on the
+// entry while one of them trains, then all share the frozen model
+// (smc.Model is safe for concurrent readers) — and serves every later
+// request from memory.
+//
+// Training itself is incremental where possible: per (trace, zone,
+// sojourn-cap) series the cache keeps a sliding-window estimator
+// (smc.WindowedEstimator), so a weekly retrain folds in one week of new
+// transitions instead of re-scanning the whole thirteen-week window.
+// Requests whose window is behind the series position (parallel cells
+// retrain at slightly different minutes) fall back to from-scratch
+// estimation without disturbing the series; the two paths are pinned
+// equivalent, so cache results never depend on request order.
+package modelcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/smc"
+	"repro/internal/trace"
+)
+
+// Key identifies one trained model: everything the estimation is a
+// function of. From/Until are the *requested* training window; the
+// history fetcher may clamp it to what has been observed, which is a
+// function of the same inputs, so equal keys still mean equal models.
+type Key struct {
+	// Trace fingerprints the price history the model trains on
+	// (trace.Set.Fingerprint). Callers sharing one cache across
+	// different trace sets must set it; 0 is reserved for callers that
+	// guarantee a single history per cache.
+	Trace uint64
+	// Zone is the availability zone.
+	Zone string
+	// From and Until bound the training window in minutes.
+	From, Until int64
+	// MaxSojourn is the estimator's sojourn cap; 0 means
+	// smc.DefaultMaxSojourn.
+	MaxSojourn int64
+}
+
+// Outcome reports how one Get was served, for instrumentation.
+type Outcome struct {
+	// Hit is true when the model was already trained (including waiting
+	// out another goroutine's in-flight training of the same key).
+	Hit bool
+	// Incremental is true when a miss was trained by advancing the
+	// series' sliding-window estimator rather than from scratch.
+	Incremental bool
+	// TrainTime is the wall-clock cost of training on a miss.
+	TrainTime time.Duration
+}
+
+// Stats are the cache's cumulative counters. TrainTime is the total
+// wall-clock spent estimating; on concurrent misses the per-train times
+// sum, so it can exceed elapsed time.
+type Stats struct {
+	Hits              uint64
+	Misses            uint64
+	ScratchTrains     uint64
+	IncrementalTrains uint64
+	TrainTime         time.Duration
+}
+
+// String renders the counters for -model-stats style reports.
+func (s Stats) String() string {
+	total := s.Hits + s.Misses
+	rate := 0.0
+	if total > 0 {
+		rate = float64(s.Hits) / float64(total)
+	}
+	return fmt.Sprintf("model cache: %d lookups, %d hits (%.1f%%), %d trained (%d incremental, %d scratch), %v training",
+		total, s.Hits, 100*rate, s.Misses, s.IncrementalTrains, s.ScratchTrains, s.TrainTime)
+}
+
+// entry is one cache slot. The entry mutex doubles as the
+// single-flight latch: the first goroutine to create the slot trains
+// while holding it; later goroutines for the same key block on it and
+// find the model done.
+type entry struct {
+	mu    sync.Mutex
+	done  bool
+	model *smc.Model
+	err   error
+}
+
+// seriesKey identifies a price-history series whose windows share one
+// incremental estimator.
+type seriesKey struct {
+	trace      uint64
+	zone       string
+	maxSojourn int64
+}
+
+// series is the per-history incremental estimator state.
+type series struct {
+	mu  sync.Mutex
+	est *smc.WindowedEstimator
+}
+
+// Cache is the shared model provider. The zero value is not usable;
+// call New. All methods are safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+	series  map[seriesKey]*series
+
+	hits, misses, scratch, incremental atomic.Uint64
+	trainNanos                         atomic.Int64
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	return &Cache{
+		entries: make(map[Key]*entry),
+		series:  make(map[seriesKey]*series),
+	}
+}
+
+// normalize applies Key defaults so equivalent requests share a slot.
+func normalize(k Key) Key {
+	if k.MaxSojourn <= 0 {
+		k.MaxSojourn = smc.DefaultMaxSojourn
+	}
+	return k
+}
+
+// Get returns the trained model for the key, invoking fetch for the
+// window's price history only when the model is not already cached.
+// Concurrent calls for the same key train once and share the result;
+// errors (from fetch, or estimation on an empty window) are cached per
+// key like models, since they are equally a function of the key.
+func (c *Cache) Get(k Key, fetch func() (*trace.Trace, error)) (*smc.Model, Outcome, error) {
+	k = normalize(k)
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if !ok {
+		e = &entry{}
+		c.entries[k] = e
+	}
+	c.mu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done {
+		c.hits.Add(1)
+		return e.model, Outcome{Hit: true}, e.err
+	}
+	c.misses.Add(1)
+	out := Outcome{}
+	e.model, out.Incremental, out.TrainTime, e.err = c.train(k, fetch)
+	e.done = true
+	if e.err == nil {
+		if out.Incremental {
+			c.incremental.Add(1)
+		} else {
+			c.scratch.Add(1)
+		}
+		c.trainNanos.Add(int64(out.TrainTime))
+	}
+	return e.model, out, e.err
+}
+
+// train estimates the key's model, advancing the series' incremental
+// estimator when the requested window continues it and falling back to
+// a from-scratch pass otherwise.
+func (c *Cache) train(k Key, fetch func() (*trace.Trace, error)) (*smc.Model, bool, time.Duration, error) {
+	hist, err := fetch()
+	if err != nil {
+		return nil, false, 0, err
+	}
+	if hist == nil {
+		return nil, false, 0, fmt.Errorf("modelcache: fetch returned no history for zone %s", k.Zone)
+	}
+
+	sk := seriesKey{trace: k.Trace, zone: k.Zone, maxSojourn: k.MaxSojourn}
+	c.mu.Lock()
+	s, ok := c.series[sk]
+	if !ok {
+		s = &series{}
+		c.series[sk] = s
+	}
+	c.mu.Unlock()
+
+	start := time.Now()
+	s.mu.Lock()
+	incremental := false
+	if s.est != nil {
+		// Continue the series when the window slides forward from it.
+		if err := s.est.Advance(hist, hist.Start, hist.End); err == nil {
+			incremental = true
+			m, merr := s.est.Model()
+			s.mu.Unlock()
+			return m, incremental, time.Since(start), merr
+		}
+		if _, until := s.est.Window(); hist.End >= until {
+			// The series cannot serve this window (e.g. its start moved
+			// backward after a reset elsewhere); rebuild it here so the
+			// next retrain is incremental again.
+			s.est = nil
+		}
+		// Otherwise the request is behind the series position: train a
+		// standalone model and leave the series where it is.
+	}
+	if s.est == nil {
+		s.est = smc.NewWindowedEstimator(k.MaxSojourn)
+		if err := s.est.Advance(hist, hist.Start, hist.End); err != nil {
+			s.est = nil
+			s.mu.Unlock()
+			return nil, false, 0, err
+		}
+		m, merr := s.est.Model()
+		s.mu.Unlock()
+		return m, false, time.Since(start), merr
+	}
+	s.mu.Unlock()
+
+	est := smc.NewEstimator(k.MaxSojourn)
+	est.Observe(hist)
+	m, merr := est.Model()
+	return m, false, time.Since(start), merr
+}
+
+// Stats snapshots the cumulative counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:              c.hits.Load(),
+		Misses:            c.misses.Load(),
+		ScratchTrains:     c.scratch.Load(),
+		IncrementalTrains: c.incremental.Load(),
+		TrainTime:         time.Duration(c.trainNanos.Load()),
+	}
+}
+
+// Len reports the number of cached entries (including cached errors).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Consumer is implemented by strategies that can route their model
+// training through a shared cache; the replay harness wires
+// replay.Config.Models into any strategy that implements it.
+type Consumer interface {
+	UseModelCache(*Cache)
+}

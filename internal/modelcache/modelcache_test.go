@@ -1,0 +1,242 @@
+package modelcache
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/market"
+	"repro/internal/smc"
+	"repro/internal/trace"
+)
+
+const week = int64(7 * 24 * 60)
+
+func genTrace(t *testing.T, weeks int64) *trace.Trace {
+	t.Helper()
+	set, err := trace.Generate(trace.GenConfig{
+		Seed: 11, Type: market.M1Small,
+		Zones: []string{"us-east-1a"},
+		Start: 0, End: weeks * week,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set.ByZone["us-east-1a"]
+}
+
+func modelJSON(t *testing.T, m *smc.Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGetTrainsOnceThenHits(t *testing.T) {
+	tr := genTrace(t, 4)
+	c := New()
+	k := Key{Zone: "us-east-1a", From: 0, Until: 2 * week}
+	var fetches atomic.Int64
+	fetch := func() (*trace.Trace, error) {
+		fetches.Add(1)
+		return tr.Window(0, 2*week), nil
+	}
+
+	m1, out1, err := c.Get(k, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.Hit {
+		t.Fatal("first Get reported a hit")
+	}
+	m2, out2, err := c.Get(k, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out2.Hit {
+		t.Fatal("second Get missed")
+	}
+	if m1 != m2 {
+		t.Fatal("hit returned a different model")
+	}
+	if n := fetches.Load(); n != 1 {
+		t.Fatalf("fetch called %d times, want 1", n)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.ScratchTrains != 1 || s.IncrementalTrains != 0 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss / 1 scratch", s)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+// A forward-sliding retrain of the same series advances the incremental
+// estimator, and the result matches from-scratch estimation bit for bit.
+func TestIncrementalRetrainMatchesScratch(t *testing.T) {
+	tr := genTrace(t, 6)
+	c := New()
+	win := func(from, until int64) func() (*trace.Trace, error) {
+		return func() (*trace.Trace, error) { return tr.Window(from, until), nil }
+	}
+
+	if _, out, err := c.Get(Key{Zone: "a", From: 0, Until: 3 * week}, win(0, 3*week)); err != nil || out.Incremental {
+		t.Fatalf("first train: err %v, incremental %v", err, out.Incremental)
+	}
+	m, out, err := c.Get(Key{Zone: "a", From: week, Until: 4 * week}, win(week, 4*week))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Incremental {
+		t.Fatal("forward-sliding retrain did not use the incremental path")
+	}
+
+	scratch := smc.NewEstimator(0)
+	scratch.Observe(tr.Window(week, 4*week))
+	want, err := scratch.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(modelJSON(t, m), modelJSON(t, want)) {
+		t.Fatal("incremental model differs from from-scratch estimation")
+	}
+
+	s := c.Stats()
+	if s.IncrementalTrains != 1 || s.ScratchTrains != 1 {
+		t.Fatalf("stats %+v, want 1 incremental / 1 scratch", s)
+	}
+}
+
+// A request behind the series position trains standalone and leaves the
+// series where it is, so the next forward retrain is still incremental.
+func TestBehindSeriesRequestDoesNotDisturbIt(t *testing.T) {
+	tr := genTrace(t, 6)
+	c := New()
+	win := func(from, until int64) func() (*trace.Trace, error) {
+		return func() (*trace.Trace, error) { return tr.Window(from, until), nil }
+	}
+
+	if _, _, err := c.Get(Key{Zone: "a", From: week, Until: 4 * week}, win(week, 4*week)); err != nil {
+		t.Fatal(err)
+	}
+	// Behind the series (ends before 4w): standalone scratch training.
+	m, out, err := c.Get(Key{Zone: "a", From: 0, Until: 2 * week}, win(0, 2*week))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Hit || out.Incremental {
+		t.Fatalf("behind-series request outcome %+v, want scratch miss", out)
+	}
+	scratch := smc.NewEstimator(0)
+	scratch.Observe(tr.Window(0, 2*week))
+	want, err := scratch.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(modelJSON(t, m), modelJSON(t, want)) {
+		t.Fatal("standalone model differs from from-scratch estimation")
+	}
+	// The series still sits at 4w and keeps advancing incrementally.
+	if _, out, err := c.Get(Key{Zone: "a", From: 2 * week, Until: 5 * week}, win(2*week, 5*week)); err != nil || !out.Incremental {
+		t.Fatalf("series lost its position: err %v, outcome %+v", err, out)
+	}
+}
+
+func TestErrorsAreCachedPerKey(t *testing.T) {
+	c := New()
+	boom := errors.New("boom")
+	var fetches atomic.Int64
+	k := Key{Zone: "a", From: 0, Until: week}
+	fetch := func() (*trace.Trace, error) {
+		fetches.Add(1)
+		return nil, boom
+	}
+	if _, _, err := c.Get(k, fetch); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	_, out, err := c.Get(k, fetch)
+	if !errors.Is(err, boom) {
+		t.Fatalf("cached err = %v, want boom", err)
+	}
+	if !out.Hit {
+		t.Fatal("cached error not reported as a hit")
+	}
+	if n := fetches.Load(); n != 1 {
+		t.Fatalf("fetch called %d times, want 1", n)
+	}
+	s := c.Stats()
+	if s.ScratchTrains != 0 || s.IncrementalTrains != 0 {
+		t.Fatalf("failed training counted as trained: %+v", s)
+	}
+}
+
+// Concurrent requesters of one key block on the in-flight training and
+// share its result: exactly one fetch, one miss, the rest hits.
+func TestConcurrentSingleFlight(t *testing.T) {
+	tr := genTrace(t, 4)
+	c := New()
+	k := Key{Zone: "us-east-1a", From: 0, Until: 2 * week}
+	var fetches atomic.Int64
+	const workers = 16
+	models := make([]*smc.Model, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m, _, err := c.Get(k, func() (*trace.Trace, error) {
+				fetches.Add(1)
+				return tr.Window(0, 2*week), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			models[w] = m
+		}(w)
+	}
+	wg.Wait()
+	if n := fetches.Load(); n != 1 {
+		t.Fatalf("fetch called %d times, want 1", n)
+	}
+	for w := 1; w < workers; w++ {
+		if models[w] != models[0] {
+			t.Fatal("workers got different model instances")
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != workers-1 {
+		t.Fatalf("stats %+v, want 1 miss / %d hits", s, workers-1)
+	}
+}
+
+// MaxSojourn 0 and the explicit default share one slot.
+func TestKeyNormalization(t *testing.T) {
+	tr := genTrace(t, 4)
+	c := New()
+	fetch := func() (*trace.Trace, error) { return tr.Window(0, 2*week), nil }
+	if _, _, err := c.Get(Key{Zone: "a", Until: 2 * week}, fetch); err != nil {
+		t.Fatal(err)
+	}
+	_, out, err := c.Get(Key{Zone: "a", Until: 2 * week, MaxSojourn: smc.DefaultMaxSojourn}, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Hit {
+		t.Fatal("default and explicit sojourn caps did not share a slot")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Hits: 3, Misses: 1, ScratchTrains: 1}
+	got := s.String()
+	if got == "" {
+		t.Fatal("empty stats string")
+	}
+	// The zero value must not divide by zero.
+	_ = Stats{}.String()
+}

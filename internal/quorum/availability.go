@@ -42,7 +42,10 @@ func Availability(sys System, p []float64) float64 {
 
 // AvailabilityEqual evaluates a k-of-n threshold system under a common
 // node failure probability p using the binomial closed form: the
-// probability that at least k of n independent nodes survive.
+// probability that at least k of n independent nodes survive. The tail
+// sum is built from a single running term — each binomial term derives
+// from its neighbor by one multiply instead of two math.Pow calls — so
+// the bisection loops in InvertEqualFP stay cheap for large n.
 func AvailabilityEqual(n, k int, p float64) float64 {
 	if p < 0 || p > 1 || math.IsNaN(p) {
 		panic(fmt.Sprintf("quorum: p = %v outside [0, 1]", p))
@@ -50,10 +53,27 @@ func AvailabilityEqual(n, k int, p float64) float64 {
 	if k < 0 || k > n {
 		panic("quorum: k outside [0, n]")
 	}
+	if p == 0 {
+		return 1 // all n survive; k <= n always holds here
+	}
+	if p == 1 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
 	q := 1 - p
-	total := 0.0
-	for alive := k; alive <= n; alive++ {
-		total += binom(n, alive) * math.Pow(q, float64(alive)) * math.Pow(p, float64(n-alive))
+	ratio := p / q
+	// term(a) = C(n,a) q^a p^(n-a); term(n) = q^n, and
+	// term(a-1) = term(a) * a/(n-a+1) * (p/q).
+	t := 1.0
+	for i := 0; i < n; i++ {
+		t *= q
+	}
+	total := t
+	for a := n; a > k; a-- {
+		t *= float64(a) / float64(n-a+1) * ratio
+		total += t
 	}
 	if total > 1 {
 		total = 1

@@ -249,6 +249,48 @@ func TestInvertEqualFPTargetOne(t *testing.T) {
 	}
 }
 
+// Property: the running-term binomial tail sum agrees with the exact
+// 2^n enumerator on majority systems across random n and p — the
+// incremental recurrence must not drift from the defining Equation 1.
+func TestAvailabilityEqualMatchesExactProperty(t *testing.T) {
+	f := func(seedN, seedP uint32) bool {
+		n := int(seedN%6)*2 + 3 // odd n in {3,5,7,9,11,13}
+		sys := Majority(n)
+		k := sys.K()
+		p := float64(seedP%10001) / 10000 // p in [0, 1] inclusive
+		ps := make([]float64, n)
+		for i := range ps {
+			ps[i] = p
+		}
+		exact := Availability(sys, ps)
+		closed := AvailabilityEqual(n, k, p)
+		return math.Abs(exact-closed) <= 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The uniform-p Poisson-binomial DP and the running-term tail sum are
+// two independent routes to the same number.
+func TestAvailabilityEqualMatchesThresholdDP(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 20, 60} {
+		for _, p := range []float64{0, 1e-6, 0.01, 0.37, 0.5, 0.93, 1} {
+			ps := make([]float64, n)
+			for i := range ps {
+				ps[i] = p
+			}
+			for _, k := range []int{0, 1, n / 2, n} {
+				dp := ThresholdAvailability(k, ps)
+				closed := AvailabilityEqual(n, k, p)
+				if math.Abs(dp-closed) > 1e-12 {
+					t.Errorf("n=%d k=%d p=%v: DP %v vs closed %v", n, k, p, dp, closed)
+				}
+			}
+		}
+	}
+}
+
 func TestBinom(t *testing.T) {
 	cases := []struct {
 		n, k int

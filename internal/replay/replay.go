@@ -22,6 +22,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/engine"
 	"repro/internal/market"
+	"repro/internal/modelcache"
 	"repro/internal/strategy"
 	"repro/internal/trace"
 )
@@ -78,10 +79,18 @@ type Config struct {
 	Kernel Kernel
 	// Observers receive the simulation event stream: instance
 	// lifecycle, out-of-bid reclaims, outages, billing closures from
-	// the provider, plus the replay's own bidding decisions and service
-	// quorum up/down transitions. Hooks run synchronously at the exact
-	// simulated minute; they must not mutate the run.
+	// the provider, plus the replay's own bidding decisions, service
+	// quorum up/down transitions, and model-provider training events.
+	// Hooks run synchronously at the exact simulated minute; they must
+	// not mutate the run.
 	Observers []engine.Observer
+	// Models, when set, is the shared price-model provider handed to
+	// the strategy (any strategy implementing modelcache.Consumer —
+	// Jupiter and its wrappers do). Point every run of a sweep at one
+	// cache so identical (zone, training-window) models are estimated
+	// once and shared; the cache is safe for concurrent runs. Leave nil
+	// for strategy-private caching.
+	Models *modelcache.Cache
 }
 
 // Result is the outcome of a replay.
@@ -117,9 +126,15 @@ type IntervalStats struct {
 	DownMinutes int64 // downtime within this interval
 }
 
-// marketView adapts the provider to the strategy's view interface.
+// marketView adapts the provider to the strategy's view interface. It
+// also implements the optional strategy.TraceIdentifier and
+// strategy.EventPublisher extensions: the replayed trace set's
+// fingerprint keys shared model caches, and strategy instrumentation
+// events (model training) reach the run's observers.
 type marketView struct {
-	p *cloud.Provider
+	p           *cloud.Provider
+	fingerprint uint64
+	obs         engine.Fanout
 }
 
 func (v marketView) Now() int64      { return v.p.Now() }
@@ -132,6 +147,10 @@ func (v marketView) SpotPriceAge(zone string) (int64, error) {
 }
 func (v marketView) PriceHistory(zone string, from, to int64) (*trace.Trace, error) {
 	return v.p.PriceHistory(zone, from, to)
+}
+func (v marketView) TraceFingerprint() uint64 { return v.fingerprint }
+func (v marketView) PublishEvent(e engine.Event) {
+	v.obs.Publish(e)
 }
 
 // member is one node slot of the service during an interval.
@@ -198,18 +217,24 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("replay: empty accounting window [%d, %d)", cfg.Start, end)
 	}
 
+	if cfg.Models != nil {
+		if c, ok := cfg.Strategy.(modelcache.Consumer); ok {
+			c.UseModelCache(cfg.Models)
+		}
+	}
 	provider := cloud.NewProvider(cfg.Traces, cloud.Config{
 		Seed:                   cfg.Seed,
 		InjectHardwareFailures: cfg.InjectHardwareFailures,
 	})
+	userObs := engine.Fanout(cfg.Observers)
 	r := &run{
 		cfg:      cfg,
 		lead:     lead,
 		end:      end,
 		provider: provider,
-		view:     marketView{p: provider},
+		view:     marketView{p: provider, fingerprint: cfg.Traces.Fingerprint(), obs: userObs},
 		res:      &Result{Strategy: cfg.Strategy.Name(), IntervalMinutes: cfg.IntervalMinutes},
-		userObs:  engine.Fanout(cfg.Observers),
+		userObs:  userObs,
 	}
 
 	var err error

@@ -41,7 +41,16 @@ type sojournData struct {
 	absorbing bool // state observed only as a destination: never departs
 }
 
+// sojourn returns (building if needed) the per-state sojourn tables.
+// Safe for concurrent use: the build happens under the model's mutex and
+// the returned data is immutable.
 func (m *Model) sojourn(i int) *sojournData {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sojournLocked(i)
+}
+
+func (m *Model) sojournLocked(i int) *sojournData {
 	if m.soj == nil {
 		m.soj = make([]*sojournData, len(m.prices))
 	}
@@ -143,8 +152,13 @@ func (m *Model) sojourn(i int) *sojournData {
 }
 
 // fresh returns (building if needed) fresh profiles covering at least
-// the requested horizon.
+// the requested horizon. Safe for concurrent use: the build happens
+// under the model's mutex and a published profile set is never mutated
+// (a longer horizon builds and publishes a replacement; readers holding
+// the old pointer stay consistent).
 func (m *Model) fresh(horizon int64) *freshProfiles {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.profiles != nil && m.profiles.horizon >= horizon {
 		return m.profiles
 	}
@@ -155,7 +169,7 @@ func (m *Model) fresh(horizon int64) *freshProfiles {
 	}
 	for t := int64(0); t < horizon; t++ {
 		for i := 0; i < n; i++ {
-			sd := m.sojourn(i)
+			sd := m.sojournLocked(i)
 			v := make(stateDist, n)
 			// Still in the entered state through minute t iff K >= t+1.
 			v[i] = sd.survivalAt(t + 1)

@@ -1,0 +1,190 @@
+package smc
+
+import (
+	"fmt"
+
+	"repro/internal/market"
+	"repro/internal/trace"
+)
+
+// The incremental estimation path. The paper's framework retrains each
+// zone's semi-Markov model on a fixed cadence over a sliding training
+// window ("about three months" of history, refreshed weekly). Re-running
+// the Equation 13 estimator over the full window on every retrain
+// re-counts thirteen weeks of transitions to fold in one; the
+// WindowedEstimator instead maintains the counts under a sliding window
+// directly: new transitions are appended as history arrives and
+// transitions that age out of the window are subtracted, so a retrain
+// costs O(new + evicted) instead of O(window).
+//
+// The maintained counts are pinned, by TestWindowedEstimatorMatchesScratch,
+// to be *identical* to those of a from-scratch estimator over the
+// current window — including the left-truncation of the window's first
+// price run — so the two training paths are interchangeable.
+
+// windowRec is one complete observed transition: the source price run
+// occupied [start, end) and handed off to price `to` at minute end.
+type windowRec struct {
+	start, end int64
+	from, to   market.Money
+}
+
+// effSojourn is the sojourn the Equation 13 counts see for a record
+// under a window starting at winStart: the source run left-truncated at
+// the window boundary, clamped to [1, maxSojourn] exactly as
+// Estimator.Observe clamps.
+func (r windowRec) effSojourn(winStart, maxSojourn int64) int64 {
+	s := r.start
+	if s < winStart {
+		s = winStart
+	}
+	k := r.end - s
+	if k < 1 {
+		k = 1
+	}
+	if k > maxSojourn {
+		k = maxSojourn
+	}
+	return k
+}
+
+// WindowedEstimator maintains an Estimator's transition counts over a
+// sliding training window of a single zone's price history. The window
+// only moves forward; Advance folds in newly observed transitions and
+// evicts the ones that fell out, leaving counts equal to a from-scratch
+// Estimator fed tr.Window(from, until).
+//
+// A WindowedEstimator is not safe for concurrent use; callers that
+// share one (the modelcache provider) must serialize Advance/Model.
+type WindowedEstimator struct {
+	est  *Estimator
+	recs []windowRec // live transitions, ascending by end minute
+
+	from, until int64
+	inited      bool
+}
+
+// NewWindowedEstimator creates a windowed estimator with the given
+// sojourn cap in minutes; 0 selects DefaultMaxSojourn.
+func NewWindowedEstimator(maxSojourn int64) *WindowedEstimator {
+	return &WindowedEstimator{est: NewEstimator(maxSojourn)}
+}
+
+// Window reports the current training window [from, until); both are
+// zero before the first Advance.
+func (w *WindowedEstimator) Window() (from, until int64) { return w.from, w.until }
+
+// Observations reports the number of transitions currently in the
+// window.
+func (w *WindowedEstimator) Observations() int64 { return w.est.Observations() }
+
+// Model freezes the current window's counts into a queryable model; see
+// Estimator.Model. The model is an independent snapshot: later Advance
+// calls do not mutate it.
+func (w *WindowedEstimator) Model() (*Model, error) { return w.est.Model() }
+
+func (w *WindowedEstimator) reset() {
+	w.est = NewEstimator(w.est.maxSojourn)
+	w.recs = nil
+}
+
+// Advance slides the window to [from, until), reading any new history
+// from tr, which must cover the whole window (tr.Start <= from and
+// tr.End >= until — the windowed history a MarketView.PriceHistory call
+// returns satisfies this). The window can only move forward: from and
+// until must each be at least their previous values. If the new window
+// has no overlap with the old one the estimator simply rebuilds from
+// scratch; that is a semantic no-op, just without the incremental
+// saving.
+func (w *WindowedEstimator) Advance(tr *trace.Trace, from, until int64) error {
+	if tr == nil {
+		return fmt.Errorf("smc: Advance on nil trace")
+	}
+	if until < from {
+		return fmt.Errorf("smc: window [%d, %d) inverted", from, until)
+	}
+	if w.inited && (from < w.from || until < w.until) {
+		return fmt.Errorf("smc: window [%d, %d) moves backward from [%d, %d)", from, until, w.from, w.until)
+	}
+	if tr.Start > from || tr.End < until {
+		return fmt.Errorf("smc: history [%d, %d) does not cover window [%d, %d)", tr.Start, tr.End, from, until)
+	}
+	if !w.inited || from >= w.until {
+		// First use, or the window slid completely past the old one.
+		w.reset()
+		w.from, w.until = from, from
+		w.inited = true
+	}
+	prevFrom := w.from
+
+	// Evict transitions that left the window (source run hand-off at or
+	// before the new start).
+	for len(w.recs) > 0 && w.recs[0].end <= from {
+		r := w.recs[0]
+		w.est.remove(r.from, r.to, r.effSojourn(prevFrom, w.est.maxSojourn))
+		w.recs = w.recs[1:]
+	}
+	// Source runs tile time, so at most the first survivor can straddle
+	// the new window start; its counted sojourn shrinks to the new
+	// truncation.
+	if len(w.recs) > 0 && w.recs[0].start < from {
+		oldK := w.recs[0].effSojourn(prevFrom, w.est.maxSojourn)
+		newK := w.recs[0].effSojourn(from, w.est.maxSojourn)
+		if oldK != newK {
+			w.est.remove(w.recs[0].from, w.recs[0].to, oldK)
+			w.est.add(w.recs[0].from, w.recs[0].to, newK)
+		}
+	}
+	// Reclaim the space of evicted records once it dominates.
+	if len(w.recs) > 0 && cap(w.recs) > 4*len(w.recs) {
+		w.recs = append([]windowRec(nil), w.recs...)
+	}
+
+	// Fold in the new transitions: hand-offs at minute e with
+	// from < e < until that were not inside the previous window
+	// (e >= w.until).
+	runs := absRuns(tr)
+	for i := 0; i+1 < len(runs); i++ {
+		e := runs[i].end
+		if e < w.until || e <= from {
+			continue
+		}
+		if e >= until {
+			break
+		}
+		rec := windowRec{start: runs[i].start, end: e, from: runs[i].price, to: runs[i+1].price}
+		w.recs = append(w.recs, rec)
+		w.est.add(rec.from, rec.to, rec.effSojourn(from, w.est.maxSojourn))
+	}
+
+	w.from, w.until = from, until
+	return nil
+}
+
+// absRun is a maximal constant-price run with absolute minutes.
+type absRun struct {
+	start, end int64
+	price      market.Money
+}
+
+// absRuns returns the trace's price runs with their absolute [start,
+// end) spans, merging adjacent points of equal price exactly like
+// Trace.Sojourns. The final run ends at tr.End (truncated).
+func absRuns(tr *trace.Trace) []absRun {
+	if len(tr.Points) == 0 {
+		return nil
+	}
+	var runs []absRun
+	cur := absRun{start: tr.Points[0].Minute, price: tr.Points[0].Price}
+	for _, p := range tr.Points[1:] {
+		if p.Price == cur.price {
+			continue
+		}
+		cur.end = p.Minute
+		runs = append(runs, cur)
+		cur = absRun{start: p.Minute, price: p.Price}
+	}
+	cur.end = tr.End
+	runs = append(runs, cur)
+	return runs
+}

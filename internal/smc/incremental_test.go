@@ -1,0 +1,229 @@
+package smc
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/market"
+	"repro/internal/trace"
+)
+
+// modelJSON renders a model through the deterministic serializer so two
+// models can be compared byte for byte.
+func modelJSON(t *testing.T, m *Model, err error) []byte {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func mustJSON(t *testing.T, mk func() (*Model, error)) []byte {
+	t.Helper()
+	m, err := mk()
+	return modelJSON(t, m, err)
+}
+
+// TestWindowedEstimatorMatchesScratch is the incremental-vs-from-scratch
+// equivalence pin: sliding a WindowedEstimator across a generated trace
+// must leave counts — and therefore the frozen model, compared through
+// its canonical serialization — identical to an estimator trained from
+// scratch on the same window. The window schedule mimics the bidding
+// framework: a 13-unit training window advanced by irregular steps,
+// including zero-length slides and a jump past the whole window.
+func TestWindowedEstimatorMatchesScratch(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 2014} {
+		set, err := trace.Generate(trace.GenConfig{
+			Seed: seed, Type: market.M1Small,
+			Zones: market.ExperimentZones()[:3],
+			Start: 0, End: 20 * 7 * 24 * 60,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const window = 13 * 24 * 60
+		steps := []int64{0, 1, 59, 60, 1440, 1440, 7, 10080, 3 * 24 * 60, 14 * 24 * 60, 1, 25 * 24 * 60}
+		for _, zone := range set.Zones() {
+			tr := set.ByZone[zone]
+			w := NewWindowedEstimator(0)
+			now := tr.Start + window
+			for stepIdx, step := range steps {
+				now += step
+				from := now - window
+				if from < tr.Start {
+					from = tr.Start
+				}
+				hist := tr.Window(from, now)
+				if err := w.Advance(hist, hist.Start, hist.End); err != nil {
+					t.Fatalf("seed %d zone %s step %d: %v", seed, zone, stepIdx, err)
+				}
+				scratch := NewEstimator(0)
+				scratch.Observe(hist)
+				if got, want := w.Observations(), scratch.Observations(); got != want {
+					t.Fatalf("seed %d zone %s step %d: %d observations incrementally, %d from scratch",
+						seed, zone, stepIdx, got, want)
+				}
+				if w.Observations() == 0 {
+					continue
+				}
+				inc := mustJSON(t, w.Model)
+				ref := mustJSON(t, scratch.Model)
+				if !bytes.Equal(inc, ref) {
+					t.Fatalf("seed %d zone %s step %d: incremental model diverges from scratch\nincremental: %s\nscratch:     %s",
+						seed, zone, stepIdx, inc, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestWindowedEstimatorSmallSojournCap exercises the clamp interaction:
+// with a tiny sojourn cap, truncation at the window edge and the clamp
+// collapse many distinct sojourns onto the cap, and eviction must
+// subtract exactly what was added.
+func TestWindowedEstimatorSmallSojournCap(t *testing.T) {
+	set, err := trace.Generate(trace.GenConfig{
+		Seed: 99, Type: market.M1Small,
+		Zones: market.ExperimentZones()[:1],
+		Start: 0, End: 6 * 7 * 24 * 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := set.ByZone[set.Zones()[0]]
+	const window = 3 * 24 * 60
+	w := NewWindowedEstimator(30)
+	for now := tr.Start + window; now < tr.End; now += 777 {
+		from := now - window
+		hist := tr.Window(from, now)
+		if err := w.Advance(hist, hist.Start, hist.End); err != nil {
+			t.Fatal(err)
+		}
+		scratch := NewEstimator(30)
+		scratch.Observe(hist)
+		if w.Observations() == 0 {
+			if scratch.Observations() != 0 {
+				t.Fatalf("now %d: incremental empty, scratch has %d", now, scratch.Observations())
+			}
+			continue
+		}
+		inc := mustJSON(t, w.Model)
+		ref := mustJSON(t, scratch.Model)
+		if !bytes.Equal(inc, ref) {
+			t.Fatalf("now %d: incremental model diverges from scratch", now)
+		}
+	}
+}
+
+// TestWindowedEstimatorRejectsBadWindows pins the forward-only contract.
+func TestWindowedEstimatorRejectsBadWindows(t *testing.T) {
+	set, err := trace.Generate(trace.GenConfig{
+		Seed: 5, Type: market.M1Small,
+		Zones: market.ExperimentZones()[:1],
+		Start: 0, End: 4 * 7 * 24 * 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := set.ByZone[set.Zones()[0]]
+	w := NewWindowedEstimator(0)
+	if err := w.Advance(tr.Window(1000, 5000), 1000, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Advance(tr.Window(500, 6000), 500, 6000); err == nil {
+		t.Fatal("window start moved backward, want error")
+	}
+	if err := w.Advance(tr.Window(1000, 4000), 1000, 4000); err == nil {
+		t.Fatal("window end moved backward, want error")
+	}
+	if err := w.Advance(tr.Window(2000, 5000), 1500, 6000); err == nil {
+		t.Fatal("history not covering window, want error")
+	}
+	if err := w.Advance(nil, 2000, 6000); err == nil {
+		t.Fatal("nil trace, want error")
+	}
+	// A forward jump past the whole window is legal (plain rebuild).
+	if err := w.Advance(tr.Window(20000, 30000), 20000, 30000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestModelConcurrentForecasts drives one shared model from many
+// goroutines at mixed horizons — the modelcache sharing pattern — and
+// checks the answers match a single-goroutine replay of the same
+// queries. Run with -race this pins the Model concurrency contract.
+func TestModelConcurrentForecasts(t *testing.T) {
+	set, err := trace.Generate(trace.GenConfig{
+		Seed: 3, Type: market.M1Small,
+		Zones: market.ExperimentZones()[:1],
+		Start: 0, End: 8 * 7 * 24 * 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := set.ByZone[set.Zones()[0]]
+	e := NewEstimator(0)
+	e.Observe(tr)
+	shared, err := e.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEstimator(0)
+	e2.Observe(tr)
+	ref, err := e2.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cur := tr.PriceAt(tr.End - 1)
+	horizons := []int64{60, 180, 360, 540, 720}
+	want := make([]float64, len(horizons))
+	for i, h := range horizons {
+		f, err := ref.Forecast(cur, 10, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = f.FailureProbability(cur, 0.01)
+	}
+
+	const workers = 8
+	got := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			got[wkr] = make([]float64, len(horizons))
+			// Stagger horizon order so goroutines race the lazy builds.
+			for off := 0; off < len(horizons); off++ {
+				i := (off + wkr) % len(horizons)
+				f, err := shared.Forecast(cur, 10, horizons[i])
+				if err != nil {
+					return
+				}
+				got[wkr][i] = f.FailureProbability(cur, 0.01)
+				shared.Kernel(cur, cur, 10)
+				if _, err := shared.Stationary(); err != nil {
+					return
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	for wkr := range got {
+		if got[wkr] == nil {
+			t.Fatalf("worker %d failed", wkr)
+		}
+		for i := range horizons {
+			if got[wkr][i] != want[i] {
+				t.Errorf("worker %d horizon %d: FP %v, want %v (order-dependent lazy state?)",
+					wkr, horizons[i], got[wkr][i], want[i])
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ package smc
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/market"
 	"repro/internal/trace"
@@ -56,7 +57,6 @@ func NewEstimator(maxSojourn int64) *Estimator {
 func (e *Estimator) Observe(tr *trace.Trace) {
 	runs := tr.Sojourns()
 	for i := 0; i+1 < len(runs); i++ {
-		from, to := runs[i].Price, runs[i+1].Price
 		k := runs[i].Minutes
 		if k < 1 {
 			k = 1
@@ -64,20 +64,56 @@ func (e *Estimator) Observe(tr *trace.Trace) {
 		if k > e.maxSojourn {
 			k = e.maxSojourn
 		}
-		byTo, ok := e.counts[from]
-		if !ok {
-			byTo = make(map[market.Money]map[int64]int64)
-			e.counts[from] = byTo
-		}
-		byK, ok := byTo[to]
-		if !ok {
-			byK = make(map[int64]int64)
-			byTo[to] = byK
-		}
-		byK[k]++
-		e.out[from]++
-		e.observations++
+		e.add(runs[i].Price, runs[i+1].Price, k)
 	}
+}
+
+// add counts one observed transition from price `from` to price `to`
+// after a (pre-clamped) sojourn of k minutes.
+func (e *Estimator) add(from, to market.Money, k int64) {
+	byTo, ok := e.counts[from]
+	if !ok {
+		byTo = make(map[market.Money]map[int64]int64)
+		e.counts[from] = byTo
+	}
+	byK, ok := byTo[to]
+	if !ok {
+		byK = make(map[int64]int64)
+		byTo[to] = byK
+	}
+	byK[k]++
+	e.out[from]++
+	e.observations++
+}
+
+// remove undoes one add with the same arguments — the eviction half of
+// the sliding-window path. Emptied count entries are deleted so the
+// learned price state space shrinks exactly as a from-scratch estimator
+// over the narrower window would see it.
+func (e *Estimator) remove(from, to market.Money, k int64) {
+	byTo := e.counts[from]
+	if byTo == nil {
+		panic(fmt.Sprintf("smc: removing unobserved transition %v -> %v", from, to))
+	}
+	byK := byTo[to]
+	if byK == nil || byK[k] == 0 {
+		panic(fmt.Sprintf("smc: removing unobserved transition %v -> %v after %d min", from, to, k))
+	}
+	byK[k]--
+	if byK[k] == 0 {
+		delete(byK, k)
+		if len(byK) == 0 {
+			delete(byTo, to)
+			if len(byTo) == 0 {
+				delete(e.counts, from)
+			}
+		}
+	}
+	e.out[from]--
+	if e.out[from] == 0 {
+		delete(e.out, from)
+	}
+	e.observations--
 }
 
 // Observations reports the number of complete transitions folded in.
@@ -153,8 +189,12 @@ type kernelEntry struct {
 }
 
 // Model is a frozen semi-Markov chain estimated from price history.
-// Forecast state (sojourn tables, fresh profiles) is built lazily and
-// cached; a Model is not safe for concurrent use.
+// The estimated kernel itself is immutable; forecast state (sojourn
+// tables, fresh profiles) is built lazily under an internal mutex and
+// is immutable once published, so a Model is safe for concurrent use —
+// many goroutines may Forecast/Kernel/Stationary the same instance,
+// which is what lets the modelcache provider train once and serve every
+// parallel sweep cell.
 type Model struct {
 	maxSojourn int64
 	prices     []market.Money
@@ -163,6 +203,7 @@ type Model struct {
 	kernel     []map[int64][]kernelEntry // per source state: k -> destinations
 	sojPMF     []map[int64]float64       // per source state: k -> P(sojourn = k)
 
+	mu       sync.Mutex     // guards the lazy builds below
 	soj      []*sojournData // lazy per-state sojourn tables
 	profiles *freshProfiles // lazy fresh-entry occupancy cache
 }

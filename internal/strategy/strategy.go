@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/market"
 	"repro/internal/quorum"
 	"repro/internal/trace"
@@ -29,6 +30,24 @@ type MarketView interface {
 	// PriceHistory returns past prices over [from, to) clamped to
 	// what has been observed.
 	PriceHistory(zone string, from, to int64) (*trace.Trace, error)
+}
+
+// TraceIdentifier is an optional MarketView extension: views backed by
+// a fixed price history expose its identity (trace.Set.Fingerprint) so
+// strategies can key shared caches of history-derived artifacts —
+// notably trained price models (internal/modelcache) — by it. Views
+// without it force such strategies onto private caches.
+type TraceIdentifier interface {
+	TraceFingerprint() uint64
+}
+
+// EventPublisher is an optional MarketView extension: views wired into
+// an observed simulation (internal/replay) accept instrumentation
+// events from the strategy — e.g. model-training events
+// (engine.KindModelTrained) — and fan them out to the run's observers
+// at the current simulated minute.
+type EventPublisher interface {
+	PublishEvent(engine.Event)
 }
 
 // ServiceSpec describes the distributed service being hosted.

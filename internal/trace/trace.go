@@ -8,7 +8,9 @@
 package trace
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"repro/internal/market"
@@ -227,6 +229,34 @@ func (s *Set) Zones() []string {
 	}
 	sort.Strings(zs)
 	return zs
+}
+
+// Fingerprint returns a stable 64-bit identity of the set's full
+// contents — instance type, span, and every zone's price points — for
+// keying derived artifacts such as trained price models (see
+// internal/modelcache). Two sets with equal contents fingerprint
+// equally regardless of construction order; any differing point
+// changes the value with overwhelming probability. O(total points).
+func (s *Set) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte(s.Type))
+	word(uint64(s.Start))
+	word(uint64(s.End))
+	for _, z := range s.Zones() {
+		h.Write([]byte(z))
+		tr := s.ByZone[z]
+		word(uint64(len(tr.Points)))
+		for _, p := range tr.Points {
+			word(uint64(p.Minute))
+			word(uint64(p.Price))
+		}
+	}
+	return h.Sum64()
 }
 
 // Window returns the set restricted to [lo, hi).
