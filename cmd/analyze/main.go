@@ -7,8 +7,16 @@
 // Usage:
 //
 //	analyze [-trace file.csv] [-type m1.small] [-weeks N] [-seed N] [-zones a,b,c]
+//	analyze diff a.jsonl b.jsonl
 //
 // Without -trace a synthetic trace set is generated.
+//
+// The diff subcommand compares two JSONL event traces written by
+// `replay -events-out` (or `experiments -events-out`): equal-seed runs
+// must be reported equal — the cross-process determinism check — and
+// diverging runs get a first-divergence report naming the simulated
+// event where the histories fork. Exit status 1 means the traces
+// differ.
 package main
 
 import (
@@ -20,10 +28,23 @@ import (
 	"repro/internal/market"
 	"repro/internal/smc"
 	"repro/internal/spotstats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		equal, err := runDiff(os.Args[2:], os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "analyze diff:", err)
+			os.Exit(2)
+		}
+		if !equal {
+			os.Exit(1)
+		}
+		return
+	}
+
 	traceFile := flag.String("trace", "", "CSV trace file (default: synthetic)")
 	itype := flag.String("type", "m1.small", "instance type")
 	weeks := flag.Int64("weeks", 13, "synthetic trace length in weeks")
@@ -35,6 +56,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
 	}
+}
+
+// runDiff loads two event traces and reports their first divergence.
+// It returns whether the traces are equal.
+func runDiff(args []string, out *os.File) (bool, error) {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: analyze diff a.jsonl b.jsonl")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	if fs.NArg() != 2 {
+		return false, fmt.Errorf("want exactly two trace files, got %d", fs.NArg())
+	}
+	fa, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return false, err
+	}
+	defer fa.Close()
+	fb, err := os.Open(fs.Arg(1))
+	if err != nil {
+		return false, err
+	}
+	defer fb.Close()
+	d, err := telemetry.DiffTraces(fa, fb)
+	if err != nil {
+		return false, err
+	}
+	fmt.Fprint(out, d.Report())
+	return d.Equal, nil
 }
 
 func run(traceFile, itype string, weeks int64, seed uint64, zoneList string) error {

@@ -5,16 +5,31 @@
 // Usage:
 //
 //	experiments [-run all|table1|fig1|fig4|fig5|fig6|fig7|fig8|fig9|headline|example3] [-seed N] [-weeks N] [-j N] [-model-stats]
+//	            [-events-out file.jsonl] [-manifest file.json] [-debug-addr host:port]
+//
+// Telemetry: -events-out streams every replay cell's event history to
+// one JSONL file (cells of a parallel sweep interleave; use -j 1 for a
+// reproducible ordering), -manifest writes an end-of-run summary
+// (config, seed, wall time, metric snapshot; "-" = stdout), and
+// -debug-addr serves live /metrics and /debug/pprof while the
+// experiments run — the per-cell series are kept apart by
+// service/strategy/interval labels.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"strconv"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/modelcache"
+	"repro/internal/strategy"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -25,19 +40,109 @@ func main() {
 	csvOut := flag.String("csv", "", "also write sweep rows (figs 6-9) as CSV to this file")
 	jobs := flag.Int("j", runtime.NumCPU(), "worker-pool width for sweep cells (1 = sequential; results are identical either way)")
 	modelStats := flag.Bool("model-stats", false, "share one price-model cache across all experiments and print its hit/train counters at the end")
+	eventsOut := flag.String("events-out", "", "write every replay cell's event trace as JSONL to this file ('-' = stdout)")
+	manifestOut := flag.String("manifest", "", "write an end-of-run summary manifest (JSON) to this file ('-' = stdout)")
+	debugAddr := flag.String("debug-addr", "", "serve live /metrics and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	flag.Parse()
 
+	start := time.Now()
 	env := experiments.Env{Seed: *seed, TrainWeeks: *train, ReplayWeeks: *weeks, Jobs: *jobs}
 	if *modelStats {
 		env.Models = modelcache.New()
 	}
-	if err := run(env, *runFlag, *csvOut); err != nil {
+
+	var reg *telemetry.Registry
+	var writer *telemetry.TraceWriter
+	var debug *telemetry.DebugServer
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+	if *manifestOut != "" || *debugAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+	if *eventsOut != "" {
+		var w io.Writer = os.Stdout
+		if *eventsOut != "-" {
+			f, err := os.Create(*eventsOut)
+			if err != nil {
+				fail(err)
+			}
+			w = f
+		}
+		tw, err := telemetry.NewTraceWriter(w, telemetry.SortedMeta(
+			"command", "experiments",
+			"run", *runFlag,
+			"seed", strconv.FormatUint(*seed, 10),
+			"weeks", strconv.FormatInt(*weeks, 10),
+			"train", strconv.FormatInt(*train, 10),
+		))
+		if err != nil {
+			fail(err)
+		}
+		writer = tw
+	}
+	if *debugAddr != "" {
+		d, err := telemetry.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fail(err)
+		}
+		debug = d
+		fmt.Fprintf(os.Stderr, "experiments: serving /metrics and /debug/pprof on http://%s\n", d.Addr())
+	}
+	if reg != nil || writer != nil {
+		// One collector per replay cell: the collector keeps per-run
+		// state, while the registry and trace writer are shared sinks.
+		env.Observe = func(spec strategy.ServiceSpec, strategyName string, intervalHours int64) []engine.Observer {
+			var obs []engine.Observer
+			if reg != nil {
+				obs = append(obs, telemetry.NewCollector(reg, telemetry.Labels{
+					Service:  serviceName(spec),
+					Strategy: strategyName,
+					Interval: fmt.Sprintf("%dh", intervalHours),
+				}))
+			}
+			if writer != nil {
+				obs = append(obs, writer)
+			}
+			return obs
+		}
+	}
+
+	err := run(env, *runFlag, *csvOut)
+	if writer != nil {
+		if werr := writer.Close(); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if *manifestOut != "" {
+		m := telemetry.NewManifest("experiments", *seed, map[string]string{
+			"run":   *runFlag,
+			"weeks": strconv.FormatInt(*weeks, 10),
+			"train": strconv.FormatInt(*train, 10),
+			"jobs":  strconv.Itoa(*jobs),
+		}, start, reg)
+		if merr := m.WriteFile(*manifestOut); merr != nil && err == nil {
+			err = merr
+		}
+	}
+	if debug != nil {
+		debug.Close()
+	}
+	if err != nil {
+		fail(err)
 	}
 	if env.Models != nil {
 		fmt.Println(env.Models.Stats())
 	}
+}
+
+// serviceName maps a spec back to the experiment's service label.
+func serviceName(spec strategy.ServiceSpec) string {
+	if spec.DataShards > 1 {
+		return "storage"
+	}
+	return "lock"
 }
 
 func run(env experiments.Env, which, csvOut string) error {

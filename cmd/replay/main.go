@@ -7,11 +7,19 @@
 //	replay [-strategy jupiter|baseline|extra] [-extra-nodes N] [-extra-portion P]
 //	       [-service lock|storage] [-interval H[,H...]] [-weeks N] [-train N] [-seed N]
 //	       [-trace file.csv] [-j N] [-model-stats]
+//	       [-events-out file.jsonl] [-manifest file.json] [-debug-addr host:port]
 //
 // Without -trace, a synthetic trace set is generated from the seed.
 // With several comma-separated intervals, the cells replay on a worker
 // pool of -j goroutines and a summary table is printed; a single
 // interval keeps the detailed report.
+//
+// Telemetry: -events-out streams the run's event history as versioned
+// JSONL (byte-reproducible for a fixed seed and single interval; see
+// `analyze diff`), -manifest writes an end-of-run summary (config,
+// seed, wall time, metric snapshot; "-" = stdout), and -debug-addr
+// serves live /metrics and /debug/pprof over HTTP while the run is in
+// flight.
 package main
 
 import (
@@ -23,96 +31,249 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/modelcache"
 	"repro/internal/replay"
 	"repro/internal/strategy"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
+// options carries the parsed command line.
+type options struct {
+	stratName    string
+	extraNodes   int
+	extraPortion float64
+	service      string
+	intervalSpec string
+	weeks        int64
+	train        int64
+	seed         uint64
+	traceFile    string
+	seriesOut    string
+	jobs         int
+	modelStats   bool
+	eventsOut    string
+	manifestOut  string
+	debugAddr    string
+}
+
 func main() {
-	stratName := flag.String("strategy", "jupiter", "jupiter, baseline, or extra")
-	extraNodes := flag.Int("extra-nodes", 0, "m of Extra(m, p)")
-	extraPortion := flag.Float64("extra-portion", 0.2, "p of Extra(m, p)")
-	service := flag.String("service", "lock", "lock or storage")
-	interval := flag.String("interval", "1", "bidding interval in hours; comma-separate several to sweep them")
-	weeks := flag.Int64("weeks", 11, "replay length in weeks")
-	train := flag.Int64("train", 13, "training prefix in weeks")
-	seed := flag.Uint64("seed", 2014, "seed")
-	traceFile := flag.String("trace", "", "CSV trace file (default: synthetic)")
-	seriesOut := flag.String("series", "", "write per-interval downtime series CSV to this file ('-' = stdout); single interval only")
-	jobs := flag.Int("j", runtime.NumCPU(), "worker-pool width for an interval sweep (1 = sequential; results are identical either way)")
-	modelStats := flag.Bool("model-stats", false, "print the shared price-model cache's hit/train counters at the end")
+	var o options
+	flag.StringVar(&o.stratName, "strategy", "jupiter", "jupiter, baseline, or extra")
+	flag.IntVar(&o.extraNodes, "extra-nodes", 0, "m of Extra(m, p)")
+	flag.Float64Var(&o.extraPortion, "extra-portion", 0.2, "p of Extra(m, p)")
+	flag.StringVar(&o.service, "service", "lock", "lock or storage")
+	flag.StringVar(&o.intervalSpec, "interval", "1", "bidding interval in hours; comma-separate several to sweep them")
+	flag.Int64Var(&o.weeks, "weeks", 11, "replay length in weeks")
+	flag.Int64Var(&o.train, "train", 13, "training prefix in weeks")
+	flag.Uint64Var(&o.seed, "seed", 2014, "seed")
+	flag.StringVar(&o.traceFile, "trace", "", "CSV trace file (default: synthetic)")
+	flag.StringVar(&o.seriesOut, "series", "", "write per-interval downtime series CSV to this file ('-' = stdout); single interval only")
+	flag.IntVar(&o.jobs, "j", runtime.NumCPU(), "worker-pool width for an interval sweep (1 = sequential; results are identical either way)")
+	flag.BoolVar(&o.modelStats, "model-stats", false, "print the shared price-model cache's hit/train counters at the end")
+	flag.StringVar(&o.eventsOut, "events-out", "", "write the simulation event trace as JSONL to this file ('-' = stdout)")
+	flag.StringVar(&o.manifestOut, "manifest", "", "write an end-of-run summary manifest (JSON) to this file ('-' = stdout)")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve live /metrics and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	flag.Parse()
 
-	if err := run(*stratName, *extraNodes, *extraPortion, *service, *interval, *weeks, *train, *seed, *traceFile, *seriesOut, *jobs, *modelStats); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "replay:", err)
 		os.Exit(1)
 	}
 }
 
+// parseIntervals parses the comma-separated -interval list. Every
+// element must be a positive whole number of hours; anything else —
+// an empty element, a non-integer, zero, a negative — is rejected with
+// an error naming the offending element.
 func parseIntervals(s string) ([]int64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty -interval list (want positive hours, e.g. -interval 1,3,6)")
+	}
 	var out []int64
 	for _, part := range strings.Split(s, ",") {
-		h, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
-		if err != nil || h <= 0 {
-			return nil, fmt.Errorf("bad interval %q (want positive hours)", part)
+		p := strings.TrimSpace(part)
+		if p == "" {
+			return nil, fmt.Errorf("empty element in -interval list %q", s)
+		}
+		h, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("interval %q is not a whole number of hours", part)
+		}
+		if h <= 0 {
+			return nil, fmt.Errorf("interval %q is not positive (want hours >= 1)", part)
 		}
 		out = append(out, h)
 	}
 	return out, nil
 }
 
-func run(stratName string, extraNodes int, extraPortion float64, service, intervalSpec string, weeks, train int64, seed uint64, traceFile, seriesOut string, jobs int, modelStats bool) error {
+// telemetrySink is the optional observability wiring of a run.
+type telemetrySink struct {
+	reg    *telemetry.Registry
+	writer *telemetry.TraceWriter
+	debug  *telemetry.DebugServer
+	start  time.Time
+}
+
+// newTelemetrySink builds whatever the flags asked for; a fully empty
+// sink keeps the replay unobserved (and its hot path event-free).
+func newTelemetrySink(o options) (*telemetrySink, error) {
+	s := &telemetrySink{start: time.Now()}
+	needRegistry := o.manifestOut != "" || o.debugAddr != ""
+	if needRegistry {
+		s.reg = telemetry.NewRegistry()
+	}
+	if o.eventsOut != "" {
+		var w io.Writer = os.Stdout
+		if o.eventsOut != "-" {
+			f, err := os.Create(o.eventsOut)
+			if err != nil {
+				return nil, err
+			}
+			w = f
+		}
+		tw, err := telemetry.NewTraceWriter(w, traceMeta(o))
+		if err != nil {
+			return nil, err
+		}
+		s.writer = tw
+	}
+	if o.debugAddr != "" {
+		d, err := telemetry.ServeDebug(o.debugAddr, s.reg)
+		if err != nil {
+			return nil, err
+		}
+		s.debug = d
+		fmt.Fprintf(os.Stderr, "replay: serving /metrics and /debug/pprof on http://%s\n", d.Addr())
+	}
+	return s, nil
+}
+
+// active reports whether any observer needs the event stream.
+func (s *telemetrySink) active() bool { return s.reg != nil || s.writer != nil }
+
+// observers builds the observer list for one replay cell. The
+// Collector carries per-run state, so every cell gets its own; the
+// registry and trace writer are shared.
+func (s *telemetrySink) observers(o options, hours int64) ([]engine.Observer, *telemetry.Collector) {
+	var obs []engine.Observer
+	var col *telemetry.Collector
+	if s.reg != nil {
+		col = telemetry.NewCollector(s.reg, telemetry.Labels{
+			Service:  o.service,
+			Strategy: o.stratName,
+			Interval: fmt.Sprintf("%dh", hours),
+		})
+		obs = append(obs, col)
+	}
+	if s.writer != nil {
+		obs = append(obs, s.writer)
+	}
+	return obs, col
+}
+
+// close finalizes the sink: flushes the trace, writes the manifest,
+// stops the debug endpoint.
+func (s *telemetrySink) close(o options) error {
+	var firstErr error
+	if s.writer != nil {
+		if err := s.writer.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if o.manifestOut != "" {
+		m := telemetry.NewManifest("replay", o.seed, manifestConfig(o), s.start, s.reg)
+		if err := m.WriteFile(o.manifestOut); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if s.debug != nil {
+		if err := s.debug.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func traceMeta(o options) map[string]string {
+	return telemetry.SortedMeta(
+		"command", "replay",
+		"strategy", o.stratName,
+		"service", o.service,
+		"interval", o.intervalSpec,
+		"weeks", strconv.FormatInt(o.weeks, 10),
+		"train", strconv.FormatInt(o.train, 10),
+		"seed", strconv.FormatUint(o.seed, 10),
+		"trace", o.traceFile,
+	)
+}
+
+func manifestConfig(o options) map[string]string {
+	cfg := traceMeta(o)
+	delete(cfg, "command")
+	cfg["jobs"] = strconv.Itoa(o.jobs)
+	return cfg
+}
+
+func run(o options) error {
 	var spec strategy.ServiceSpec
-	switch service {
+	switch o.service {
 	case "lock":
 		spec = experiments.LockSpec()
 	case "storage":
 		spec = experiments.StorageSpec()
 	default:
-		return fmt.Errorf("unknown service %q", service)
+		return fmt.Errorf("unknown service %q", o.service)
 	}
 
 	// Strategies may cache model state, so each replay builds its own.
 	mkStrat := func() (strategy.Strategy, error) {
-		switch stratName {
+		switch o.stratName {
 		case "jupiter":
 			return core.New(), nil
 		case "baseline":
 			return strategy.OnDemand{}, nil
 		case "extra":
-			return strategy.Extra{ExtraNodes: extraNodes, Portion: extraPortion}, nil
+			return strategy.Extra{ExtraNodes: o.extraNodes, Portion: o.extraPortion}, nil
 		default:
-			return nil, fmt.Errorf("unknown strategy %q", stratName)
+			return nil, fmt.Errorf("unknown strategy %q", o.stratName)
 		}
 	}
 	if _, err := mkStrat(); err != nil {
 		return err
 	}
 
-	intervals, err := parseIntervals(intervalSpec)
+	intervals, err := parseIntervals(o.intervalSpec)
 	if err != nil {
 		return err
 	}
-	if len(intervals) > 1 && seriesOut != "" {
+	if len(intervals) > 1 && o.seriesOut != "" {
 		return fmt.Errorf("-series needs a single -interval")
 	}
 
 	var set *trace.Set
-	if traceFile != "" {
-		f, ferr := os.Open(traceFile)
+	if o.traceFile != "" {
+		f, ferr := os.Open(o.traceFile)
 		if ferr != nil {
 			return ferr
 		}
 		defer f.Close()
-		set, err = trace.ReadCSV(f, spec.Type, 0, (train+weeks)*experiments.Week)
+		set, err = trace.ReadCSV(f, spec.Type, 0, (o.train+o.weeks)*experiments.Week)
 	} else {
-		env := experiments.Env{Seed: seed, TrainWeeks: train, ReplayWeeks: weeks}
+		env := experiments.Env{Seed: o.seed, TrainWeeks: o.train, ReplayWeeks: o.weeks}
 		set, err = env.Traces(spec.Type)
 	}
+	if err != nil {
+		return err
+	}
+
+	sink, err := newTelemetrySink(o)
 	if err != nil {
 		return err
 	}
@@ -125,74 +286,93 @@ func run(stratName string, extraNodes int, extraPortion float64, service, interv
 		if err != nil {
 			return nil, err
 		}
-		return replay.Run(replay.Config{
+		var obs []engine.Observer
+		var col *telemetry.Collector
+		if sink.active() {
+			obs, col = sink.observers(o, hours)
+		}
+		start := o.train * experiments.Week
+		res, err := replay.Run(replay.Config{
 			Traces:                 set,
-			Start:                  train * experiments.Week,
+			Start:                  start,
 			Spec:                   spec,
 			Strategy:               strat,
 			IntervalMinutes:        hours * 60,
-			Seed:                   seed,
+			Seed:                   o.seed,
 			InjectHardwareFailures: true,
 			Models:                 models,
+			Observers:              obs,
 		})
+		if col != nil && res != nil {
+			col.CloseRun(start + res.TotalMinutes)
+		}
+		return res, err
 	}
 
-	if len(intervals) == 1 {
-		res, err := replayOne(intervals[0])
-		if err != nil {
-			return err
+	runErr := func() error {
+		if len(intervals) == 1 {
+			res, err := replayOne(intervals[0])
+			if err != nil {
+				return err
+			}
+			if err := report(res, spec, o.service, intervals[0], o.seriesOut); err != nil {
+				return err
+			}
+			if o.modelStats {
+				fmt.Println(models.Stats())
+			}
+			return nil
 		}
-		if err := report(res, spec, service, intervals[0], seriesOut); err != nil {
-			return err
+
+		// Interval sweep: independent cells on a worker pool, results
+		// kept in input order.
+		jobs := o.jobs
+		if jobs < 1 {
+			jobs = 1
 		}
-		if modelStats {
+		if jobs > len(intervals) {
+			jobs = len(intervals)
+		}
+		results := make([]*replay.Result, len(intervals))
+		errs := make([]error, len(intervals))
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < jobs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					results[i], errs[i] = replayOne(intervals[i])
+				}
+			}()
+		}
+		for i := range intervals {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+
+		fmt.Printf("strategy %s, service %s (%d nodes base, m=%d)\n", o.stratName, o.service, spec.BaseNodes, spec.DataShards)
+		fmt.Printf("%8s  %14s  %12s  %10s  %9s  %8s\n", "interval", "cost", "availability", "decisions", "out-of-bid", "max-grp")
+		for i, res := range results {
+			fmt.Printf("%7dh  %14s  %12.6f  %10d  %9d  %8d\n",
+				intervals[i], res.Cost, res.Availability, res.Decisions, res.OutOfBid, res.MaxGroupSize)
+		}
+		if o.modelStats {
 			fmt.Println(models.Stats())
 		}
 		return nil
-	}
+	}()
 
-	// Interval sweep: independent cells on a worker pool, results kept
-	// in input order.
-	if jobs < 1 {
-		jobs = 1
+	if err := sink.close(o); err != nil && runErr == nil {
+		runErr = err
 	}
-	if jobs > len(intervals) {
-		jobs = len(intervals)
-	}
-	results := make([]*replay.Result, len(intervals))
-	errs := make([]error, len(intervals))
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < jobs; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				results[i], errs[i] = replayOne(intervals[i])
-			}
-		}()
-	}
-	for i := range intervals {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-
-	fmt.Printf("strategy %s, service %s (%d nodes base, m=%d)\n", stratName, service, spec.BaseNodes, spec.DataShards)
-	fmt.Printf("%8s  %14s  %12s  %10s  %9s  %8s\n", "interval", "cost", "availability", "decisions", "out-of-bid", "max-grp")
-	for i, res := range results {
-		fmt.Printf("%7dh  %14s  %12.6f  %10d  %9d  %8d\n",
-			intervals[i], res.Cost, res.Availability, res.Decisions, res.OutOfBid, res.MaxGroupSize)
-	}
-	if modelStats {
-		fmt.Println(models.Stats())
-	}
-	return nil
+	return runErr
 }
 
 func report(res *replay.Result, spec strategy.ServiceSpec, service string, interval int64, seriesOut string) error {

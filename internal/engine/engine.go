@@ -60,6 +60,11 @@ const (
 	// wall-clock training time, and Size is 1 for an incremental retrain
 	// and 0 for a from-scratch one. Cache hits publish nothing.
 	KindModelTrained
+
+	// KindCount is one past the last declared Kind. Consumers that map
+	// every kind (telemetry, exhaustiveness tests) iterate
+	// [0, KindCount); it is not itself a valid Kind.
+	KindCount
 )
 
 // String renders the event kind.

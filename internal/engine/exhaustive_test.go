@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/market"
+)
+
+// TestKindExhaustive guards the event vocabulary against silent drift:
+// every declared Kind must render a distinct String() and must be
+// routed by Dispatch to exactly one specialized hook (with the one
+// documented exception: a provider-caused termination reaches both
+// OnInstance and OnOutOfBid). A Kind added without a String case or a
+// Dispatch route fails here instead of vanishing from observers.
+func TestKindExhaustive(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := Kind(0); k < KindCount; k++ {
+		s := k.String()
+		if s == "event(?)" {
+			t.Errorf("Kind %d has no String() case", k)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("Kind %d and %d both render %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+
+	for k := Kind(0); k < KindCount; k++ {
+		var calls []string
+		h := &Hooks{
+			Instance: func(Event) { calls = append(calls, "instance") },
+			OutOfBid: func(Event) { calls = append(calls, "outofbid") },
+			Decision: func(Event) { calls = append(calls, "decision") },
+			Billing:  func(Event) { calls = append(calls, "billing") },
+			Quorum:   func(Event) { calls = append(calls, "quorum") },
+			Model:    func(Event) { calls = append(calls, "model") },
+		}
+		// TerminatedByUser is the base case for KindInstanceTerminated;
+		// the provider-caused double delivery is asserted separately.
+		Dispatch(h, Event{Kind: k, Cause: market.TerminatedByUser})
+		if len(calls) != 1 {
+			t.Errorf("Dispatch(%v) reached hooks %v, want exactly one", k, calls)
+		}
+	}
+
+	// The documented exception: provider reclaims fan out to both the
+	// lifecycle hook and the out-of-bid hook, in that order.
+	var calls []string
+	h := &Hooks{
+		Instance: func(Event) { calls = append(calls, "instance") },
+		OutOfBid: func(Event) { calls = append(calls, "outofbid") },
+	}
+	Dispatch(h, Event{Kind: KindInstanceTerminated, Cause: market.TerminatedByProvider})
+	if len(calls) != 2 || calls[0] != "instance" || calls[1] != "outofbid" {
+		t.Errorf("provider reclaim reached %v, want [instance outofbid]", calls)
+	}
+}
+
+// TestFanoutConcurrentPublishers exercises one Fanout shared by many
+// publishing goroutines — the sweep-worker topology, where every cell
+// of a parallel sweep publishes into the same observer list. Fanout
+// itself is stateless, so with concurrency-safe observers every event
+// must be delivered exactly once.
+func TestFanoutConcurrentPublishers(t *testing.T) {
+	var instances, decisions, outOfBid atomic.Int64
+	f := Fanout{&Hooks{
+		Instance: func(Event) { instances.Add(1) },
+		Decision: func(Event) { decisions.Add(1) },
+		OutOfBid: func(Event) { outOfBid.Add(1) },
+	}}
+	const publishers, perPublisher = 8, 2000
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				f.Publish(Event{Minute: int64(i), Kind: KindInstanceRunning})
+				f.Publish(Event{Minute: int64(i), Kind: KindDecision})
+				f.Publish(Event{Minute: int64(i), Kind: KindInstanceTerminated, Cause: market.TerminatedByProvider})
+			}
+		}(p)
+	}
+	wg.Wait()
+	const want = publishers * perPublisher
+	// Running + provider-terminated both land in OnInstance.
+	if got := instances.Load(); got != 2*want {
+		t.Errorf("instances = %d, want %d", got, 2*want)
+	}
+	if got := decisions.Load(); got != want {
+		t.Errorf("decisions = %d, want %d", got, want)
+	}
+	if got := outOfBid.Load(); got != want {
+		t.Errorf("out-of-bid = %d, want %d", got, want)
+	}
+}
+
+// BenchmarkFanoutPublish measures the per-event cost of the fanout hot
+// path; the allocation report is the number the telemetry layer must
+// hold at zero.
+func BenchmarkFanoutPublish(b *testing.B) {
+	var n atomic.Int64
+	e := Event{Minute: 42, Kind: KindInstanceRunning, Instance: "i-1", Zone: "z"}
+	b.Run("Empty", func(b *testing.B) {
+		f := Fanout{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if f.Active() {
+				f.Publish(e)
+			}
+		}
+	})
+	b.Run("Hooks", func(b *testing.B) {
+		f := Fanout{&Hooks{Instance: func(Event) { n.Add(1) }}}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.Publish(e)
+		}
+	})
+}
+
+// TestPublishNoAlloc pins the pay-for-what-you-use contract of the
+// event hot path: publishing a flat Event through a Fanout allocates
+// nothing, with or without subscribers.
+func TestPublishNoAlloc(t *testing.T) {
+	var n atomic.Int64
+	sub := Fanout{&Hooks{Instance: func(Event) { n.Add(1) }}}
+	empty := Fanout{}
+	e := Event{Minute: 42, Kind: KindInstanceRunning, Instance: "i-1", Zone: "z"}
+	for name, f := range map[string]Fanout{"subscribed": sub, "empty": empty} {
+		allocs := testing.AllocsPerRun(1000, func() {
+			if f.Active() {
+				f.Publish(e)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s fanout: %v allocs per publish, want 0", name, allocs)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/market"
 	"repro/internal/modelcache"
 	"repro/internal/replay"
@@ -50,6 +51,17 @@ type Env struct {
 	// (the trace fingerprint in the cache key keys different services'
 	// histories apart) or to read hit/train counters afterwards.
 	Models *modelcache.Cache
+	// Observe, when set, builds the observers of each replay cell: it
+	// is called once per cell, before the replay starts, with the
+	// cell's coordinates, and its return value receives that cell's
+	// event stream. Cells of a parallel sweep run concurrently, so the
+	// factory must be safe for concurrent calls and per-run observer
+	// state (e.g. telemetry.Collector) must be built fresh per call;
+	// shared sinks (a telemetry.Registry, a mutex-guarded
+	// telemetry.TraceWriter) may be captured by the closure. Nil means
+	// unobserved — the replay hot path skips event construction
+	// entirely.
+	Observe func(spec strategy.ServiceSpec, strategyName string, intervalHours int64) []engine.Observer
 }
 
 // DefaultEnv matches the paper's scale.
@@ -89,7 +101,11 @@ func (e Env) Traces(it market.InstanceType) (*trace.Set, error) {
 
 // replayOne runs a single strategy/interval combination.
 func (e Env) replayOne(set *trace.Set, spec strategy.ServiceSpec, strat strategy.Strategy, intervalHours int64) (*replay.Result, error) {
-	return replay.Run(replay.Config{
+	var observers []engine.Observer
+	if e.Observe != nil {
+		observers = e.Observe(spec, strat.Name(), intervalHours)
+	}
+	res, err := replay.Run(replay.Config{
 		Traces:                 set,
 		Start:                  e.TrainWeeks * Week,
 		Spec:                   spec,
@@ -98,7 +114,18 @@ func (e Env) replayOne(set *trace.Set, spec strategy.ServiceSpec, strat strategy
 		Seed:                   e.Seed ^ uint64(intervalHours)<<32 ^ uint64(len(strat.Name())),
 		InjectHardwareFailures: true,
 		Models:                 e.Models,
+		Observers:              observers,
 	})
+	if err == nil {
+		// Per-run observers (telemetry.Collector) finalize open state —
+		// e.g. a quorum-down span still open at the end of accounting.
+		for _, o := range observers {
+			if c, ok := o.(interface{ CloseRun(endMinute int64) }); ok {
+				c.CloseRun(e.TrainWeeks*Week + res.TotalMinutes)
+			}
+		}
+	}
+	return res, err
 }
 
 // SweepRow is one cell of the Figures 6–9 matrices.

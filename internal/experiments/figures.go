@@ -129,7 +129,8 @@ type Fig5Row struct {
 // Extra(0, 0.1) vs the on-demand baseline, with 1-hour bidding
 // intervals, for both experimental services.
 func (e Env) Fig5() ([]Fig5Row, error) {
-	week1 := Env{Seed: e.Seed, TrainWeeks: e.TrainWeeks, ReplayWeeks: 1, Models: e.Models}
+	week1 := e
+	week1.ReplayWeeks = 1
 	specs := []struct {
 		name string
 		spec strategy.ServiceSpec
@@ -186,7 +187,9 @@ func (e Env) Example3() (Example3Result, error) {
 
 	// Naive spot bidding: bid exactly the spot price (Extra(0, 0)) and
 	// replay one month.
-	monthEnv := Env{Seed: e.Seed, TrainWeeks: 2, ReplayWeeks: 4, Models: e.Models}
+	monthEnv := e
+	monthEnv.TrainWeeks = 2
+	monthEnv.ReplayWeeks = 4
 	set, err := monthEnv.Traces(market.M1Small)
 	if err != nil {
 		return out, err

@@ -1,11 +1,14 @@
 package replay
 
 import (
+	"io"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/market"
 	"repro/internal/strategy"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -54,4 +57,50 @@ func BenchmarkReplayWeekExtra(b *testing.B) {
 // including model training from six weeks of history.
 func BenchmarkReplayWeekJupiter(b *testing.B) {
 	benchReplay(b, func() strategy.Strategy { return core.New() })
+}
+
+// BenchmarkReplayObservers pins the telemetry cost model: None is the
+// pay-nothing baseline (no observer attached — the event hot path must
+// not regress relative to the pre-telemetry kernel), Collector adds
+// metric aggregation, Trace adds JSONL encoding.
+func BenchmarkReplayObservers(b *testing.B) {
+	set := benchSet(b)
+	run := func(b *testing.B, observers func(b *testing.B) []engine.Observer) {
+		b.Helper()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, err := Run(Config{
+				Traces: set, Start: 6 * week,
+				Spec:            lockSpec(),
+				Strategy:        core.New(),
+				IntervalMinutes: 60, Seed: uint64(i),
+				InjectHardwareFailures: true,
+				Observers:              observers(b),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("None", func(b *testing.B) {
+		run(b, func(b *testing.B) []engine.Observer { return nil })
+	})
+	b.Run("Collector", func(b *testing.B) {
+		reg := telemetry.NewRegistry()
+		run(b, func(b *testing.B) []engine.Observer {
+			c := telemetry.NewCollector(reg, telemetry.Labels{
+				Service: "lock", Strategy: "Jupiter", Interval: "1h",
+			})
+			return []engine.Observer{c}
+		})
+	})
+	b.Run("Trace", func(b *testing.B) {
+		run(b, func(b *testing.B) []engine.Observer {
+			tw, err := telemetry.NewTraceWriter(io.Discard, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return []engine.Observer{tw}
+		})
+	})
 }

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// LogHistogram is the log-bucketed sibling of Histogram: bucket upper
+// bounds grow geometrically, so one histogram covers values spanning
+// several orders of magnitude — sub-millisecond training times next to
+// multi-second ones, or micro-dollar spot prices next to on-demand
+// rates — at constant relative resolution instead of Histogram's
+// constant absolute width.
+type LogHistogram struct {
+	// Bounds are the ascending inclusive upper bounds of the buckets.
+	// Bounds[0] is also the exclusive lower edge of the covered range's
+	// first bucket: observations in (Lo, Bounds[0]] land in bucket 0.
+	Bounds []float64
+	Counts []int64
+	// Lo is the inclusive lower edge of the covered range.
+	Lo float64
+	// Under counts observations below Lo (including zero and negative
+	// values, which a log scale cannot place); Over counts observations
+	// above the last bound.
+	Under, Over int64
+
+	total int64
+	sum   float64
+}
+
+// LogBuckets returns geometric bucket upper bounds covering [lo, hi]
+// with perDecade buckets per factor of ten. The last bound is the first
+// one at or above hi. It panics unless 0 < lo < hi and perDecade > 0.
+func LogBuckets(lo, hi float64, perDecade int) []float64 {
+	if perDecade <= 0 {
+		panic("stats: LogBuckets requires perDecade > 0")
+	}
+	if lo <= 0 || hi <= lo {
+		panic("stats: LogBuckets requires 0 < lo < hi")
+	}
+	growth := math.Pow(10, 1/float64(perDecade))
+	var bounds []float64
+	for b := lo * growth; ; b *= growth {
+		bounds = append(bounds, b)
+		if b >= hi {
+			return bounds
+		}
+	}
+}
+
+// NewLogHistogram creates a log-bucketed histogram over [lo, hi] with
+// perDecade buckets per factor of ten (see LogBuckets for the domain
+// requirements).
+func NewLogHistogram(lo, hi float64, perDecade int) *LogHistogram {
+	bounds := LogBuckets(lo, hi, perDecade)
+	return &LogHistogram{Lo: lo, Bounds: bounds, Counts: make([]int64, len(bounds))}
+}
+
+// Observe records one observation.
+func (h *LogHistogram) Observe(x float64) {
+	h.total++
+	h.sum += x
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x > h.Bounds[len(h.Bounds)-1]:
+		h.Over++
+	default:
+		h.Counts[sort.SearchFloat64s(h.Bounds, x)]++
+	}
+}
+
+// Total returns the number of observations recorded, including
+// out-of-range ones.
+func (h *LogHistogram) Total() int64 { return h.total }
+
+// Sum returns the sum of every observed value, including out-of-range
+// ones.
+func (h *LogHistogram) Sum() float64 { return h.sum }
+
+// UpperBound returns the inclusive upper bound of bucket i.
+func (h *LogHistogram) UpperBound(i int) float64 { return h.Bounds[i] }

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogBuckets(t *testing.T) {
+	bounds := LogBuckets(1, 1000, 1)
+	want := []float64{10, 100, 1000}
+	if len(bounds) != len(want) {
+		t.Fatalf("LogBuckets(1, 1000, 1) = %v, want %v", bounds, want)
+	}
+	for i := range want {
+		if math.Abs(bounds[i]-want[i]) > 1e-9*want[i] {
+			t.Fatalf("bound %d = %g, want %g", i, bounds[i], want[i])
+		}
+	}
+	// The last bound must reach hi even when hi is not on a bucket edge.
+	bounds = LogBuckets(1, 550, 1)
+	if last := bounds[len(bounds)-1]; last < 550 {
+		t.Fatalf("last bound %g < hi 550", last)
+	}
+}
+
+func TestLogHistogramObserve(t *testing.T) {
+	h := NewLogHistogram(0.001, 1000, 3) // covers a 1e6 range in 3/decade
+	obs := []float64{0.0005, 0.002, 0.02, 5, 900, 5000, -1, 0}
+	for _, x := range obs {
+		h.Observe(x)
+	}
+	if h.Total() != int64(len(obs)) {
+		t.Fatalf("Total = %d, want %d", h.Total(), len(obs))
+	}
+	// 0.0005 under, -1 and 0 under (log scale cannot place them), 5000 over.
+	if h.Under != 3 {
+		t.Fatalf("Under = %d, want 3", h.Under)
+	}
+	if h.Over != 1 {
+		t.Fatalf("Over = %d, want 1", h.Over)
+	}
+	var inRange int64
+	for _, c := range h.Counts {
+		inRange += c
+	}
+	if inRange != 4 {
+		t.Fatalf("in-range count = %d, want 4", inRange)
+	}
+	wantSum := 0.0
+	for _, x := range obs {
+		wantSum += x
+	}
+	if math.Abs(h.Sum()-wantSum) > 1e-9 {
+		t.Fatalf("Sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+// TestLogHistogramBucketEdges pins the bucket-edge contract: an
+// observation exactly on an upper bound lands in that bucket, not the
+// next one.
+func TestLogHistogramBucketEdges(t *testing.T) {
+	h := NewLogHistogram(1, 1000, 1) // bounds 10, 100, 1000
+	h.Observe(10)
+	h.Observe(10.0001)
+	if h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Fatalf("counts = %v, want bound-inclusive placement [1 1 0]", h.Counts)
+	}
+	// Lo itself is in range.
+	h.Observe(1)
+	if h.Counts[0] != 2 || h.Under != 0 {
+		t.Fatalf("Lo observation misplaced: counts=%v under=%d", h.Counts, h.Under)
+	}
+}
+
+func TestLogHistogramRelativeResolution(t *testing.T) {
+	// Equal numbers of buckets per decade regardless of magnitude.
+	h := NewLogHistogram(0.01, 100, 4)
+	perDecade := 0
+	for _, b := range h.Bounds {
+		if b <= 0.1*(1+1e-9) {
+			perDecade++
+		}
+	}
+	if perDecade != 4 {
+		t.Fatalf("buckets in first decade = %d, want 4", perDecade)
+	}
+	if len(h.Bounds) != 16 { // 4 decades x 4 buckets
+		t.Fatalf("total buckets = %d, want 16", len(h.Bounds))
+	}
+}

@@ -1,0 +1,263 @@
+package telemetry
+
+import (
+	"repro/internal/engine"
+	"repro/internal/market"
+)
+
+// Labels are the base label values stamped on every series a Collector
+// touches: which run of which experiment produced the measurement.
+type Labels struct {
+	// Service is the hosted service ("lock", "storage").
+	Service string
+	// Strategy is the bidding strategy name ("Jupiter", "Baseline", ...).
+	Strategy string
+	// Interval is the bidding interval, e.g. "3h".
+	Interval string
+}
+
+// Collector folds the simulation event stream into registry metrics:
+// per-zone launches, out-of-bid interruptions and terminations by
+// cause, bid and outage distributions, billing totals, decision and
+// group-size series, quorum transitions with downtime-interval
+// histograms, and model-training counts and wall time split by the
+// incremental flag.
+//
+// A Collector belongs to ONE run: it keeps per-run state (the open
+// downtime span, cached metric handles) and its hooks are called
+// synchronously by that run's goroutine, so they take no locks. To
+// observe a parallel sweep, attach one Collector per cell — they can
+// and should share a single Registry, which is concurrency-safe; the
+// base Labels keep the cells' series apart.
+type Collector struct {
+	engine.BaseObserver
+	base Labels
+
+	events      [engine.KindCount]*Counter
+	decisions   *Counter
+	groupSize   *Histogram
+	transUp     *Counter
+	transDown   *Counter
+	downtime    *Histogram
+	quorumLive  *Gauge
+	timeScratch *Histogram
+	timeIncr    *Histogram
+
+	// vecs still needing the zone dimension at event time.
+	launches     *CounterVec
+	bids         *HistogramVec
+	outOfBid     *CounterVec
+	terminations *CounterVec
+	outages      *CounterVec
+	outageMins   *HistogramVec
+	billing      *CounterVec
+	trainings    *CounterVec
+
+	zones map[string]*zoneHandles
+
+	// downSince is the open quorum-down span's start minute; negative
+	// when the service is up.
+	downSince int64
+}
+
+// zoneHandles caches the per-zone metric handles so the event hot path
+// is map-read plus atomic-add, allocation-free after a zone's first
+// event.
+type zoneHandles struct {
+	launchSpot   *Counter
+	launchOD     *Counter
+	bid          *Histogram
+	outOfBid     *Counter
+	termProvider *Counter
+	termUser     *Counter
+	outages      *Counter
+	outageMins   *Histogram
+	billedSpot   *Counter
+	billedOD     *Counter
+	trainScratch *Counter
+	trainIncr    *Counter
+}
+
+const (
+	tierSpot     = "spot"
+	tierOnDemand = "on-demand"
+)
+
+// NewCollector registers the telemetry metric families on reg (a
+// no-op when another Collector already did) and returns a collector
+// stamping base onto every series.
+func NewCollector(reg *Registry, base Labels) *Collector {
+	baseLabels := []string{"service", "strategy", "interval"}
+	withZone := append(append([]string(nil), baseLabels...), "zone")
+	c := &Collector{base: base, zones: make(map[string]*zoneHandles), downSince: -1}
+
+	events := reg.Counter("jupiter_events_total",
+		"Simulation events by kind.", append(append([]string(nil), baseLabels...), "kind")...)
+	for k := engine.Kind(0); k < engine.KindCount; k++ {
+		c.events[k] = events.With(base.Service, base.Strategy, base.Interval, k.String())
+	}
+
+	c.launches = reg.Counter("jupiter_instance_launches_total",
+		"Instance launches by zone and pricing tier.", append(append([]string(nil), withZone...), "tier")...)
+	c.bids = reg.Histogram("jupiter_spot_bid_dollars",
+		"Bid prices of spot launches, in dollars.", 0.0001, 10, 3, withZone...)
+	c.outOfBid = reg.Counter("jupiter_out_of_bid_total",
+		"Out-of-bid interruptions (provider reclaims) by zone.", withZone...)
+	c.terminations = reg.Counter("jupiter_terminations_total",
+		"Instance terminations by zone and cause.", append(append([]string(nil), withZone...), "cause")...)
+	c.outages = reg.Counter("jupiter_outages_total",
+		"Hardware/software outages by zone.", withZone...)
+	c.outageMins = reg.Histogram("jupiter_outage_minutes",
+		"Outage durations, in simulated minutes.", 1, 7*24*60, 3, withZone...)
+	c.billing = reg.Counter("jupiter_billing_microusd_total",
+		"Closed bills by zone and pricing tier, in integer micro-dollars.",
+		append(append([]string(nil), withZone...), "tier")...)
+
+	c.decisions = reg.Counter("jupiter_decisions_total",
+		"Bidding decisions made.", baseLabels...).With(base.Service, base.Strategy, base.Interval)
+	c.groupSize = reg.Histogram("jupiter_group_size",
+		"Group sizes chosen by bidding decisions.", 1, 100, 6, baseLabels...).
+		With(base.Service, base.Strategy, base.Interval)
+
+	trans := reg.Counter("jupiter_quorum_transitions_total",
+		"Service quorum transitions by direction.", append(append([]string(nil), baseLabels...), "direction")...)
+	c.transUp = trans.With(base.Service, base.Strategy, base.Interval, "up")
+	c.transDown = trans.With(base.Service, base.Strategy, base.Interval, "down")
+	c.downtime = reg.Histogram("jupiter_downtime_minutes",
+		"Lengths of quorum-down intervals, in simulated minutes.", 1, 100000, 3, baseLabels...).
+		With(base.Service, base.Strategy, base.Interval)
+	c.quorumLive = reg.Gauge("jupiter_quorum_live",
+		"Live member count at the last quorum transition.", baseLabels...).
+		With(base.Service, base.Strategy, base.Interval)
+
+	c.trainings = reg.Counter("jupiter_model_trainings_total",
+		"Price-model training passes by zone and mode.", append(append([]string(nil), withZone...), "mode")...)
+	times := reg.Histogram("jupiter_model_train_seconds",
+		"Wall-clock price-model training time by mode, in seconds.", 1e-6, 100, 2,
+		append(append([]string(nil), baseLabels...), "mode")...)
+	c.timeScratch = times.With(base.Service, base.Strategy, base.Interval, "scratch")
+	c.timeIncr = times.With(base.Service, base.Strategy, base.Interval, "incremental")
+	return c
+}
+
+// zone resolves (building on first sight) the per-zone handles.
+func (c *Collector) zone(z string) *zoneHandles {
+	if h, ok := c.zones[z]; ok {
+		return h
+	}
+	h := &zoneHandles{
+		launchSpot:   c.launches.With(c.base.Service, c.base.Strategy, c.base.Interval, z, tierSpot),
+		launchOD:     c.launches.With(c.base.Service, c.base.Strategy, c.base.Interval, z, tierOnDemand),
+		bid:          c.bids.With(c.base.Service, c.base.Strategy, c.base.Interval, z),
+		outOfBid:     c.outOfBid.With(c.base.Service, c.base.Strategy, c.base.Interval, z),
+		termProvider: c.terminations.With(c.base.Service, c.base.Strategy, c.base.Interval, z, "provider"),
+		termUser:     c.terminations.With(c.base.Service, c.base.Strategy, c.base.Interval, z, "user"),
+		outages:      c.outages.With(c.base.Service, c.base.Strategy, c.base.Interval, z),
+		outageMins:   c.outageMins.With(c.base.Service, c.base.Strategy, c.base.Interval, z),
+		billedSpot:   c.billing.With(c.base.Service, c.base.Strategy, c.base.Interval, z, tierSpot),
+		billedOD:     c.billing.With(c.base.Service, c.base.Strategy, c.base.Interval, z, tierOnDemand),
+		trainScratch: c.trainings.With(c.base.Service, c.base.Strategy, c.base.Interval, z, "scratch"),
+		trainIncr:    c.trainings.With(c.base.Service, c.base.Strategy, c.base.Interval, z, "incremental"),
+	}
+	c.zones[z] = h
+	return h
+}
+
+func (c *Collector) count(e engine.Event) {
+	if e.Kind >= 0 && e.Kind < engine.KindCount {
+		c.events[e.Kind].Inc()
+	}
+}
+
+// OnInstance folds lifecycle events into the per-zone series.
+func (c *Collector) OnInstance(e engine.Event) {
+	c.count(e)
+	h := c.zone(e.Zone)
+	switch e.Kind {
+	case engine.KindInstanceLaunched:
+		if e.Spot {
+			h.launchSpot.Inc()
+			h.bid.Observe(e.Amount.Dollars())
+		} else {
+			h.launchOD.Inc()
+		}
+	case engine.KindInstanceTerminated:
+		if e.Cause == market.TerminatedByProvider {
+			h.termProvider.Inc()
+		} else {
+			h.termUser.Inc()
+		}
+	case engine.KindOutageStart:
+		h.outages.Inc()
+		h.outageMins.Observe(float64(e.Until - e.Minute))
+	}
+}
+
+// OnOutOfBid counts provider reclaims per zone. The event also reaches
+// OnInstance, which books the termination cause.
+func (c *Collector) OnOutOfBid(e engine.Event) {
+	c.zone(e.Zone).outOfBid.Inc()
+}
+
+// OnDecision books one decision and its group size.
+func (c *Collector) OnDecision(e engine.Event) {
+	c.count(e)
+	c.decisions.Inc()
+	c.groupSize.Observe(float64(e.Size))
+}
+
+// OnBilling accumulates closed bills in micro-dollars.
+func (c *Collector) OnBilling(e engine.Event) {
+	c.count(e)
+	h := c.zone(e.Zone)
+	if e.Spot {
+		h.billedSpot.Add(int64(e.Amount))
+	} else {
+		h.billedOD.Add(int64(e.Amount))
+	}
+}
+
+// OnQuorum tracks up/down transitions and integrates the lengths of
+// down intervals.
+func (c *Collector) OnQuorum(e engine.Event) {
+	c.count(e)
+	c.quorumLive.Set(float64(e.Size))
+	switch e.Kind {
+	case engine.KindQuorumDown:
+		c.transDown.Inc()
+		if c.downSince < 0 {
+			c.downSince = e.Minute
+		}
+	case engine.KindQuorumUp:
+		c.transUp.Inc()
+		if c.downSince >= 0 {
+			c.downtime.Observe(float64(e.Minute - c.downSince))
+			c.downSince = -1
+		}
+	}
+}
+
+// OnModel books training passes and wall time, split by the
+// incremental flag.
+func (c *Collector) OnModel(e engine.Event) {
+	c.count(e)
+	h := c.zone(e.Zone)
+	seconds := float64(e.DurationNanos) / 1e9
+	if e.Size == 1 {
+		h.trainIncr.Inc()
+		c.timeIncr.Observe(seconds)
+	} else {
+		h.trainScratch.Inc()
+		c.timeScratch.Observe(seconds)
+	}
+}
+
+// CloseRun finalizes per-run state at the end of accounting: a still
+// open quorum-down span is closed at endMinute so its length is not
+// lost. Call it once, after the run's last event.
+func (c *Collector) CloseRun(endMinute int64) {
+	if c.downSince >= 0 {
+		c.downtime.Observe(float64(endMinute - c.downSince))
+		c.downSince = -1
+	}
+}

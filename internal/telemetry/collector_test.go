@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/market"
+)
+
+// scriptedEvents is a small, hand-written run: two spot launches (one
+// reclaimed out-of-bid), an on-demand launch, an outage, a quorum
+// down/up pair, two billing closures, and two model trainings.
+func scriptedEvents() []engine.Event {
+	return []engine.Event{
+		{Minute: 0, Kind: engine.KindModelTrained, Zone: "us-east-1a", Size: 0, DurationNanos: 2_000_000},
+		{Minute: 0, Kind: engine.KindDecision, Size: 3},
+		{Minute: 1, Kind: engine.KindInstanceLaunched, Instance: "i-1", Zone: "us-east-1a", Spot: true, Amount: market.FromDollars(0.009)},
+		{Minute: 1, Kind: engine.KindInstanceLaunched, Instance: "i-2", Zone: "us-west-2b", Spot: true, Amount: market.FromDollars(0.012)},
+		{Minute: 1, Kind: engine.KindInstanceLaunched, Instance: "i-3", Zone: "us-east-1a", Spot: false},
+		{Minute: 5, Kind: engine.KindInstanceRunning, Instance: "i-1", Zone: "us-east-1a", Spot: true},
+		{Minute: 6, Kind: engine.KindInstanceRunning, Instance: "i-2", Zone: "us-west-2b", Spot: true},
+		{Minute: 7, Kind: engine.KindInstanceRunning, Instance: "i-3", Zone: "us-east-1a"},
+		{Minute: 40, Kind: engine.KindOutageStart, Instance: "i-3", Zone: "us-east-1a", Until: 70},
+		{Minute: 60, Kind: engine.KindInstanceTerminated, Instance: "i-2", Zone: "us-west-2b", Spot: true, Cause: market.TerminatedByProvider},
+		{Minute: 60, Kind: engine.KindBillingClose, Instance: "i-2", Zone: "us-west-2b", Spot: true, Amount: market.FromDollars(0.01)},
+		{Minute: 60, Kind: engine.KindQuorumDown, Size: 1},
+		{Minute: 70, Kind: engine.KindOutageEnd, Instance: "i-3", Zone: "us-east-1a"},
+		{Minute: 70, Kind: engine.KindQuorumUp, Size: 2},
+		{Minute: 80, Kind: engine.KindModelTrained, Zone: "us-east-1a", Size: 1, DurationNanos: 500_000},
+		{Minute: 90, Kind: engine.KindRequestFulfilled, Instance: "i-4", Request: "sir-1", Zone: "us-west-2b", Spot: true},
+		{Minute: 99, Kind: engine.KindInstanceTerminated, Instance: "i-1", Zone: "us-east-1a", Spot: true, Cause: market.TerminatedByUser},
+		{Minute: 99, Kind: engine.KindBillingClose, Instance: "i-1", Zone: "us-east-1a", Spot: true, Amount: market.FromDollars(0.018)},
+	}
+}
+
+// TestCollectorGoldenSnapshot replays the scripted sequence through a
+// Collector and pins the resulting Prometheus exposition. The golden
+// text doubles as documentation of the full metric vocabulary.
+func TestCollectorGoldenSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg, Labels{Service: "lock", Strategy: "Jupiter", Interval: "3h"})
+	f := engine.Fanout{c}
+	for _, e := range scriptedEvents() {
+		f.Publish(e)
+	}
+	c.CloseRun(100)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	base := `service="lock",strategy="Jupiter",interval="3h"`
+	for _, want := range []string{
+		// every kind is counted
+		`jupiter_events_total{` + base + `,kind="instance-launched"} 3`,
+		`jupiter_events_total{` + base + `,kind="instance-terminated"} 2`,
+		`jupiter_events_total{` + base + `,kind="model-trained"} 2`,
+		`jupiter_events_total{` + base + `,kind="request-fulfilled"} 1`,
+		// launches split by zone and tier; the bid lands in the histogram
+		`jupiter_instance_launches_total{` + base + `,zone="us-east-1a",tier="spot"} 1`,
+		`jupiter_instance_launches_total{` + base + `,zone="us-east-1a",tier="on-demand"} 1`,
+		`jupiter_instance_launches_total{` + base + `,zone="us-west-2b",tier="spot"} 1`,
+		`jupiter_spot_bid_dollars_count{` + base + `,zone="us-west-2b"} 1`,
+		// the reclaim shows up as interruption AND provider-caused termination
+		`jupiter_out_of_bid_total{` + base + `,zone="us-west-2b"} 1`,
+		`jupiter_terminations_total{` + base + `,zone="us-west-2b",cause="provider"} 1`,
+		`jupiter_terminations_total{` + base + `,zone="us-east-1a",cause="user"} 1`,
+		// outage count and duration (30 minutes)
+		`jupiter_outages_total{` + base + `,zone="us-east-1a"} 1`,
+		`jupiter_outage_minutes_sum{` + base + `,zone="us-east-1a"} 30`,
+		// billing totals in micro-dollars: $0.01 and $0.018
+		`jupiter_billing_microusd_total{` + base + `,zone="us-west-2b",tier="spot"} 10000`,
+		`jupiter_billing_microusd_total{` + base + `,zone="us-east-1a",tier="spot"} 18000`,
+		// one decision of size 3
+		`jupiter_decisions_total{` + base + `} 1`,
+		`jupiter_group_size_sum{` + base + `} 3`,
+		// quorum transitions and the 10-minute down interval
+		`jupiter_quorum_transitions_total{` + base + `,direction="down"} 1`,
+		`jupiter_quorum_transitions_total{` + base + `,direction="up"} 1`,
+		`jupiter_downtime_minutes_sum{` + base + `} 10`,
+		`jupiter_quorum_live{` + base + `} 2`,
+		// model trainings split by mode, wall time in seconds
+		`jupiter_model_trainings_total{` + base + `,zone="us-east-1a",mode="scratch"} 1`,
+		`jupiter_model_trainings_total{` + base + `,zone="us-east-1a",mode="incremental"} 1`,
+		`jupiter_model_train_seconds_sum{` + base + `,mode="scratch"} 0.002`,
+		`jupiter_model_train_seconds_sum{` + base + `,mode="incremental"} 0.0005`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", out)
+	}
+}
+
+// TestCollectorCloseRunOpenSpan: a run that ends while the service is
+// down must still book the final down interval.
+func TestCollectorCloseRunOpenSpan(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg, Labels{Service: "lock", Strategy: "Jupiter", Interval: "1h"})
+	engine.Dispatch(c, engine.Event{Minute: 10, Kind: engine.KindQuorumDown, Size: 0})
+	c.CloseRun(35)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `jupiter_downtime_minutes_sum{service="lock",strategy="Jupiter",interval="1h"} 25`) {
+		t.Fatalf("open down span not closed:\n%s", sb.String())
+	}
+}
+
+// TestCollectorsSharedRegistry runs one collector per "cell" on a
+// shared registry from concurrent goroutines — the parallel-sweep
+// topology — and checks the cells' series stay separate and complete.
+func TestCollectorsSharedRegistry(t *testing.T) {
+	reg := NewRegistry()
+	intervals := []string{"1h", "3h", "6h", "12h"}
+	var wg sync.WaitGroup
+	for _, iv := range intervals {
+		wg.Add(1)
+		go func(iv string) {
+			defer wg.Done()
+			c := NewCollector(reg, Labels{Service: "lock", Strategy: "Jupiter", Interval: iv})
+			f := engine.Fanout{c}
+			for i := 0; i < 500; i++ {
+				f.Publish(engine.Event{Minute: int64(i), Kind: engine.KindInstanceTerminated,
+					Zone: "us-east-1a", Spot: true, Cause: market.TerminatedByProvider})
+			}
+			c.CloseRun(500)
+		}(iv)
+	}
+	wg.Wait()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, iv := range intervals {
+		want := `jupiter_out_of_bid_total{service="lock",strategy="Jupiter",interval="` + iv + `",zone="us-east-1a"} 500`
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+// TestCollectorHotPathNoAlloc pins the collector's pay-for-what-you-use
+// promise: once a zone's handles exist, folding an event into metrics
+// allocates nothing.
+func TestCollectorHotPathNoAlloc(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg, Labels{Service: "lock", Strategy: "Jupiter", Interval: "3h"})
+	f := engine.Fanout{c}
+	warm := engine.Event{Minute: 1, Kind: engine.KindInstanceTerminated,
+		Zone: "us-east-1a", Spot: true, Cause: market.TerminatedByProvider}
+	f.Publish(warm) // builds the zone handles
+	allocs := testing.AllocsPerRun(1000, func() {
+		f.Publish(warm)
+		f.Publish(engine.Event{Minute: 2, Kind: engine.KindBillingClose, Zone: "us-east-1a", Spot: true, Amount: 100})
+		f.Publish(engine.Event{Minute: 3, Kind: engine.KindDecision, Size: 5})
+	})
+	if allocs != 0 {
+		t.Errorf("warm event path: %v allocs per publish batch, want 0", allocs)
+	}
+}

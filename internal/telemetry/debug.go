@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the optional live inspection endpoint for long runs:
+// /metrics serves the registry in Prometheus text format and
+// /debug/pprof/ the standard Go profiling handlers, so a stuck or slow
+// sweep can be profiled while it runs instead of after the fact.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug binds addr (e.g. "localhost:6060", or ":0" for an
+// ephemeral port) and serves in a background goroutine until Close.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug endpoint: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ds := &DebugServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = ds.srv.Serve(ln) }()
+	return ds, nil
+}
+
+// Addr returns the bound address, useful with ":0".
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops serving.
+func (s *DebugServer) Close() error { return s.srv.Close() }

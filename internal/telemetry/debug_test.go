@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDebugServerMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total", "").With().Add(3)
+	srv, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "up_total 3") {
+		t.Fatalf("/metrics -> %d:\n%s", code, body)
+	}
+	// Metrics reflect live updates.
+	reg.Counter("up_total", "").With().Inc()
+	if _, body = get("/metrics"); !strings.Contains(body, "up_total 4") {
+		t.Fatalf("/metrics stale:\n%s", body)
+	}
+	if code, body = get("/debug/pprof/cmdline"); code != http.StatusOK || len(body) == 0 {
+		t.Fatalf("/debug/pprof/cmdline -> %d", code)
+	}
+	if code, _ = get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ -> %d", code)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m_total", "").With().Add(11)
+	start := time.Now().Add(-2 * time.Second)
+	m := NewManifest("replay", 2014, map[string]string{"interval": "3h"}, start, reg)
+	if m.Schema != ManifestSchema || m.Version != ManifestVersion {
+		t.Fatalf("manifest header = %+v", m)
+	}
+	if m.WallSeconds < 1.5 {
+		t.Fatalf("wall seconds = %g, want >= 1.5", m.WallSeconds)
+	}
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 2014 || got.Config["interval"] != "3h" {
+		t.Fatalf("round-trip = %+v", got)
+	}
+	if len(got.Metrics.Families) != 1 || got.Metrics.Families[0].Series[0].Value != 11 {
+		t.Fatalf("metric snapshot lost: %+v", got.Metrics)
+	}
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TraceDiff is the outcome of comparing two event traces. Equal means
+// the event sequences match exactly; header meta differences (seed,
+// strategy, ...) are reported separately because two runs of different
+// configurations are expected to carry different provenance.
+type TraceDiff struct {
+	// Equal is true when both traces contain the same events in the
+	// same order.
+	Equal bool
+	// MetaDiffs lists header meta mismatches, one per key.
+	MetaDiffs []string
+	// EventsA and EventsB are the total event counts.
+	EventsA, EventsB int64
+	// FirstDivergence is the 0-based index of the first differing
+	// event, or -1 when the sequences are equal. When one trace is a
+	// strict prefix of the other, it is the length of the shorter one.
+	FirstDivergence int64
+	// A and B are the events at the divergence; nil on the side whose
+	// trace ended first.
+	A, B *TraceEvent
+}
+
+// DiffTraces streams two event traces and locates their first
+// divergence — the cross-run determinism check: two replays with equal
+// config and seed must produce Equal traces; anything else names the
+// first simulated event where the histories fork.
+func DiffTraces(a, b io.Reader) (*TraceDiff, error) {
+	ra, err := OpenTrace(a)
+	if err != nil {
+		return nil, fmt.Errorf("trace A: %w", err)
+	}
+	rb, err := OpenTrace(b)
+	if err != nil {
+		return nil, fmt.Errorf("trace B: %w", err)
+	}
+	d := &TraceDiff{
+		MetaDiffs:       metaDiff(ra.Header().Meta, rb.Header().Meta),
+		FirstDivergence: -1,
+	}
+	for i := int64(0); ; i++ {
+		ea, errA := ra.Next()
+		eb, errB := rb.Next()
+		doneA, doneB := errA == io.EOF, errB == io.EOF
+		if errA != nil && !doneA {
+			return nil, fmt.Errorf("trace A: %w", errA)
+		}
+		if errB != nil && !doneB {
+			return nil, fmt.Errorf("trace B: %w", errB)
+		}
+		if !doneA {
+			d.EventsA++
+		}
+		if !doneB {
+			d.EventsB++
+		}
+		switch {
+		case doneA && doneB:
+			d.Equal = d.FirstDivergence < 0
+			return d, nil
+		case doneA || doneB || ea != eb:
+			if d.FirstDivergence < 0 {
+				d.FirstDivergence = i
+				if !doneA {
+					e := ea
+					d.A = &e
+				}
+				if !doneB {
+					e := eb
+					d.B = &e
+				}
+			}
+			// Keep draining both sides for the total counts.
+			if doneA {
+				for {
+					if _, err := rb.Next(); err == io.EOF {
+						d.Equal = false
+						return d, nil
+					} else if err != nil {
+						return nil, fmt.Errorf("trace B: %w", err)
+					}
+					d.EventsB++
+				}
+			}
+			if doneB {
+				for {
+					if _, err := ra.Next(); err == io.EOF {
+						d.Equal = false
+						return d, nil
+					} else if err != nil {
+						return nil, fmt.Errorf("trace A: %w", err)
+					}
+					d.EventsA++
+				}
+			}
+		}
+	}
+}
+
+// Report renders the diff for humans: equality verdict, meta
+// mismatches, and the first-divergence pair as JSON.
+func (d *TraceDiff) Report() string {
+	var b strings.Builder
+	if d.Equal {
+		fmt.Fprintf(&b, "traces EQUAL: %d events\n", d.EventsA)
+	} else {
+		fmt.Fprintf(&b, "traces DIFFER: %d vs %d events, first divergence at event %d\n",
+			d.EventsA, d.EventsB, d.FirstDivergence)
+		fmt.Fprintf(&b, "  A: %s\n", renderEvent(d.A))
+		fmt.Fprintf(&b, "  B: %s\n", renderEvent(d.B))
+	}
+	for _, m := range d.MetaDiffs {
+		fmt.Fprintf(&b, "  header %s\n", m)
+	}
+	return b.String()
+}
+
+func renderEvent(e *TraceEvent) string {
+	if e == nil {
+		return "(trace ended)"
+	}
+	j, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Sprintf("%+v", *e)
+	}
+	return string(j)
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"time"
+)
+
+// ManifestSchema and ManifestVersion identify the end-of-run summary
+// manifest format.
+const (
+	ManifestSchema  = "jupiter-manifest"
+	ManifestVersion = 1
+)
+
+// Manifest is the end-of-run summary a CLI emits next to its printed
+// report: what ran (command, config, seed), how long it took, and a
+// full metric snapshot — enough to archive a run's telemetry, feed a
+// perf trajectory, or cross-check a re-run without re-parsing stdout.
+type Manifest struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	// Command is the emitting CLI ("replay", "experiments").
+	Command string `json:"command"`
+	// StartedAt is the wall-clock start in RFC3339.
+	StartedAt string `json:"started_at"`
+	// WallSeconds is the run's wall-clock duration.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Seed is the master seed of the run.
+	Seed uint64 `json:"seed"`
+	// Config records the flag values that shaped the run.
+	Config map[string]string `json:"config,omitempty"`
+	// Metrics is the registry snapshot at the end of the run.
+	Metrics Snapshot `json:"metrics"`
+}
+
+// NewManifest stamps a manifest for a run that started at start.
+func NewManifest(command string, seed uint64, config map[string]string, start time.Time, reg *Registry) *Manifest {
+	return &Manifest{
+		Schema:      ManifestSchema,
+		Version:     ManifestVersion,
+		Command:     command,
+		StartedAt:   start.UTC().Format(time.RFC3339),
+		WallSeconds: time.Since(start).Seconds(),
+		Seed:        seed,
+		Config:      config,
+		Metrics:     reg.Snapshot(),
+	}
+}
+
+// Write renders the manifest as indented JSON.
+func (m *Manifest) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteFile writes the manifest to a file ("-" means stdout).
+func (m *Manifest) WriteFile(path string) error {
+	if path == "-" {
+		return m.Write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadManifest parses a manifest back in.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE preambles, label sets,
+// cumulative le-labeled histogram buckets with _sum and _count. Output
+// order is deterministic — families by name, series by label values —
+// so snapshots of identical runs compare byte-for-byte.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return writePrometheus(w, r.Snapshot())
+}
+
+func writePrometheus(w io.Writer, snap Snapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range snap.Families {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, s := range f.Series {
+			switch f.Kind {
+			case "histogram":
+				for _, b := range s.Buckets {
+					fmt.Fprintf(bw, "%s_bucket%s %d\n",
+						f.Name, labelString(f.Labels, s.LabelValues, "le", formatFloat(b.UpperBound)), b.Cumulative)
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n",
+					f.Name, labelString(f.Labels, s.LabelValues, "le", "+Inf"), s.Count)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.Name, labelString(f.Labels, s.LabelValues, "", ""), formatFloat(s.Sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.Name, labelString(f.Labels, s.LabelValues, "", ""), s.Count)
+			default:
+				fmt.Fprintf(bw, "%s%s %s\n", f.Name, labelString(f.Labels, s.LabelValues, "", ""), formatFloat(s.Value))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// labelString renders a {k="v",...} label set, optionally with one
+// extra label appended (the histogram le bound). Empty label sets
+// render as the empty string.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a float the shortest way that round-trips,
+// keeping integral values free of exponent noise.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) && v > -1e15 && v < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "a counter", "zone").With("us-east-1a")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := reg.Gauge("g", "a gauge").With()
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", g.Value())
+	}
+	h := reg.Histogram("h", "a histogram", 1, 1000, 1).With()
+	h.Observe(5)
+	h.Observe(50)
+	snap := reg.Snapshot()
+	if len(snap.Families) != 3 {
+		t.Fatalf("families = %d, want 3", len(snap.Families))
+	}
+	// Families sorted by name: c_total, g, h.
+	hs := snap.Families[2]
+	if hs.Name != "h" || hs.Series[0].Count != 2 || hs.Series[0].Sum != 55 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "", "zone")
+	b := reg.Counter("x_total", "", "zone")
+	a.With("z").Add(3)
+	if got := b.With("z").Value(); got != 3 {
+		t.Fatalf("re-registered family lost state: %d, want 3", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("schema mismatch did not panic")
+		}
+	}()
+	reg.Gauge("x_total", "", "zone")
+}
+
+func TestHandleIdentity(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.Counter("y_total", "", "zone")
+	vec.With("a").Inc()
+	vec.With("a").Inc()
+	vec.With("b").Inc()
+	if got := vec.With("a").Value(); got != 2 {
+		t.Fatalf("series a = %d, want 2", got)
+	}
+	if got := vec.With("b").Value(); got != 1 {
+		t.Fatalf("series b = %d, want 1", got)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines —
+// the shape of a parallel sweep where every cell's collector updates
+// shared families — and checks nothing is lost.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.Counter("conc_total", "", "worker")
+	hvec := reg.Histogram("conc_hist", "", 1, 1000, 3, "worker")
+	const workers, each = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := string(rune('a' + w))
+			c := vec.With(name)
+			h := hvec.With(name)
+			for i := 0; i < each; i++ {
+				c.Inc()
+				h.Observe(float64(1 + i%100))
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	for _, f := range snap.Families {
+		for _, s := range f.Series {
+			switch f.Name {
+			case "conc_total":
+				if s.Value != each {
+					t.Fatalf("series %v = %g, want %d", s.LabelValues, s.Value, each)
+				}
+			case "conc_hist":
+				if s.Count != each {
+					t.Fatalf("series %v count = %d, want %d", s.LabelValues, s.Count, each)
+				}
+			}
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "events seen", "zone", "tier").With("us-east-1a", "spot").Add(7)
+	reg.Gauge("b_live", "live nodes").With().Set(3)
+	h := reg.Histogram("c_minutes", "down minutes", 1, 100, 1, "svc").With("lock")
+	h.Observe(5)
+	h.Observe(500) // over range: lands only in +Inf
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE a_total counter",
+		`a_total{zone="us-east-1a",tier="spot"} 7`,
+		"# TYPE b_live gauge",
+		"b_live 3",
+		"# TYPE c_minutes histogram",
+		`c_minutes_bucket{svc="lock",le="10"} 1`,
+		`c_minutes_bucket{svc="lock",le="+Inf"} 2`,
+		`c_minutes_sum{svc="lock"} 505`,
+		`c_minutes_count{svc="lock"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Deterministic output: a second render is byte-identical.
+	var sb2 strings.Builder
+	if err := reg.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("exposition is not deterministic across renders")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "", "path").With(`a"b\c` + "\n").Inc()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `esc_total{path="a\"b\\c\n"} 1`) {
+		t.Fatalf("bad escaping:\n%s", sb.String())
+	}
+}
