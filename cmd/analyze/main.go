@@ -50,9 +50,10 @@ func main() {
 	weeks := flag.Int64("weeks", 13, "synthetic trace length in weeks")
 	seed := flag.Uint64("seed", 2014, "synthetic generator seed")
 	zones := flag.String("zones", "us-east-1a,us-west-2b,ap-northeast-1a", "comma-separated zones")
+	lenient := flag.Bool("lenient-traces", false, "quarantine malformed trace rows instead of failing the read (default: strict, first bad row is an error)")
 	flag.Parse()
 
-	if err := run(*traceFile, *itype, *weeks, *seed, *zones); err != nil {
+	if err := run(*traceFile, *itype, *weeks, *seed, *zones, *lenient); err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
 	}
@@ -90,7 +91,7 @@ func runDiff(args []string, out *os.File) (bool, error) {
 	return d.Equal, nil
 }
 
-func run(traceFile, itype string, weeks int64, seed uint64, zoneList string) error {
+func run(traceFile, itype string, weeks int64, seed uint64, zoneList string, lenient bool) error {
 	it := market.InstanceType(itype)
 	zs := strings.Split(zoneList, ",")
 	var set *trace.Set
@@ -101,7 +102,15 @@ func run(traceFile, itype string, weeks int64, seed uint64, zoneList string) err
 			return ferr
 		}
 		defer f.Close()
-		set, err = trace.ReadCSV(f, it, 0, weeks*7*24*60)
+		mode := trace.Strict
+		if lenient {
+			mode = trace.Lenient
+		}
+		var rep *trace.ReadReport
+		set, rep, err = trace.ReadCSVMode(f, it, 0, weeks*7*24*60, mode)
+		if rep != nil && rep.Quarantined > 0 {
+			fmt.Fprintf(os.Stderr, "analyze: quarantined %d malformed trace rows: %v\n", rep.Quarantined, rep.Reasons)
+		}
 	} else {
 		set, err = trace.Generate(trace.GenConfig{
 			Seed: seed, Type: it, Zones: zs,

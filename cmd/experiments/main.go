@@ -5,6 +5,7 @@
 // Usage:
 //
 //	experiments [-run all|table1|fig1|fig4|fig5|fig6|fig7|fig8|fig9|headline|example3] [-seed N] [-weeks N] [-j N] [-model-stats]
+//	            [-chaos scenario] [-chaos-seed N]
 //	            [-events-out file.jsonl] [-manifest file.json] [-debug-addr host:port]
 //
 // Telemetry: -events-out streams every replay cell's event history to
@@ -25,6 +26,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/modelcache"
@@ -43,10 +45,22 @@ func main() {
 	eventsOut := flag.String("events-out", "", "write every replay cell's event trace as JSONL to this file ('-' = stdout)")
 	manifestOut := flag.String("manifest", "", "write an end-of-run summary manifest (JSON) to this file ('-' = stdout)")
 	debugAddr := flag.String("debug-addr", "", "serve live /metrics and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
+	chaosSpec := flag.String("chaos", "", "arm every replay cell with a fault-injection scenario: a builtin name or a JSON file")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "override the chaos scenario's seed (0 = use the scenario's own)")
 	flag.Parse()
 
 	start := time.Now()
 	env := experiments.Env{Seed: *seed, TrainWeeks: *train, ReplayWeeks: *weeks, Jobs: *jobs}
+	if *chaosSpec != "" {
+		sc, err := chaos.Load(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		env.Chaos = &sc
+		env.ChaosSeed = *chaosSeed
+		fmt.Fprintf(os.Stderr, "experiments: chaos scenario %q armed (%d injectors)\n", sc.Name, len(sc.Injectors))
+	}
 	if *modelStats {
 		env.Models = modelcache.New()
 	}
@@ -70,13 +84,19 @@ func main() {
 			}
 			w = f
 		}
-		tw, err := telemetry.NewTraceWriter(w, telemetry.SortedMeta(
+		kv := []string{
 			"command", "experiments",
 			"run", *runFlag,
 			"seed", strconv.FormatUint(*seed, 10),
 			"weeks", strconv.FormatInt(*weeks, 10),
 			"train", strconv.FormatInt(*train, 10),
-		))
+		}
+		if *chaosSpec != "" {
+			kv = append(kv,
+				"chaos", *chaosSpec,
+				"chaos-seed", strconv.FormatUint(*chaosSeed, 10))
+		}
+		tw, err := telemetry.NewTraceWriter(w, telemetry.SortedMeta(kv...))
 		if err != nil {
 			fail(err)
 		}

@@ -7,6 +7,7 @@
 //	replay [-strategy jupiter|baseline|extra] [-extra-nodes N] [-extra-portion P]
 //	       [-service lock|storage] [-interval H[,H...]] [-weeks N] [-train N] [-seed N]
 //	       [-trace file.csv] [-j N] [-model-stats]
+//	       [-chaos scenario] [-chaos-seed N]
 //	       [-events-out file.jsonl] [-manifest file.json] [-debug-addr host:port]
 //
 // Without -trace, a synthetic trace set is generated from the seed.
@@ -33,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
@@ -60,6 +62,9 @@ type options struct {
 	eventsOut    string
 	manifestOut  string
 	debugAddr    string
+	chaosSpec    string
+	chaosSeed    uint64
+	lenient      bool
 }
 
 func main() {
@@ -79,6 +84,9 @@ func main() {
 	flag.StringVar(&o.eventsOut, "events-out", "", "write the simulation event trace as JSONL to this file ('-' = stdout)")
 	flag.StringVar(&o.manifestOut, "manifest", "", "write an end-of-run summary manifest (JSON) to this file ('-' = stdout)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve live /metrics and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
+	flag.StringVar(&o.chaosSpec, "chaos", "", "fault-injection scenario: a builtin name (calm, zone-blackout, reclaim-storm, price-surge, flaky-market, stale-feed) or a JSON scenario file")
+	flag.Uint64Var(&o.chaosSeed, "chaos-seed", 0, "override the chaos scenario's seed (0 = use the scenario's own)")
+	flag.BoolVar(&o.lenient, "lenient-traces", false, "quarantine malformed trace rows instead of failing the read (default: strict, first bad row is an error)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -202,7 +210,7 @@ func (s *telemetrySink) close(o options) error {
 }
 
 func traceMeta(o options) map[string]string {
-	return telemetry.SortedMeta(
+	kv := []string{
 		"command", "replay",
 		"strategy", o.stratName,
 		"service", o.service,
@@ -211,7 +219,15 @@ func traceMeta(o options) map[string]string {
 		"train", strconv.FormatInt(o.train, 10),
 		"seed", strconv.FormatUint(o.seed, 10),
 		"trace", o.traceFile,
-	)
+	}
+	// Chaos keys appear only when the layer is armed, keeping no-chaos
+	// trace headers byte-identical to earlier versions.
+	if o.chaosSpec != "" {
+		kv = append(kv,
+			"chaos", o.chaosSpec,
+			"chaos-seed", strconv.FormatUint(o.chaosSeed, 10))
+	}
+	return telemetry.SortedMeta(kv...)
 }
 
 func manifestConfig(o options) map[string]string {
@@ -258,13 +274,18 @@ func run(o options) error {
 	}
 
 	var set *trace.Set
+	var readReport *trace.ReadReport
 	if o.traceFile != "" {
 		f, ferr := os.Open(o.traceFile)
 		if ferr != nil {
 			return ferr
 		}
 		defer f.Close()
-		set, err = trace.ReadCSV(f, spec.Type, 0, (o.train+o.weeks)*experiments.Week)
+		mode := trace.Strict
+		if o.lenient {
+			mode = trace.Lenient
+		}
+		set, readReport, err = trace.ReadCSVMode(f, spec.Type, 0, (o.train+o.weeks)*experiments.Week, mode)
 	} else {
 		env := experiments.Env{Seed: o.seed, TrainWeeks: o.train, ReplayWeeks: o.weeks}
 		set, err = env.Traces(spec.Type)
@@ -273,9 +294,24 @@ func run(o options) error {
 		return err
 	}
 
+	var chaosSc *chaos.Scenario
+	if o.chaosSpec != "" {
+		sc, cerr := chaos.Load(o.chaosSpec)
+		if cerr != nil {
+			return cerr
+		}
+		chaosSc = &sc
+		fmt.Fprintf(os.Stderr, "replay: chaos scenario %q armed (%d injectors)\n", sc.Name, len(sc.Injectors))
+	}
+
 	sink, err := newTelemetrySink(o)
 	if err != nil {
 		return err
+	}
+	if readReport != nil && readReport.Quarantined > 0 {
+		fmt.Fprintf(os.Stderr, "replay: quarantined %d malformed trace rows: %v\n",
+			readReport.Quarantined, readReport.Reasons)
+		telemetry.RecordQuarantinedRows(sink.reg, o.traceFile, readReport)
 	}
 
 	// One model provider shared by every cell of the interval sweep:
@@ -302,6 +338,8 @@ func run(o options) error {
 			InjectHardwareFailures: true,
 			Models:                 models,
 			Observers:              obs,
+			Chaos:                  chaosSc,
+			ChaosSeed:              o.chaosSeed,
 		})
 		if col != nil && res != nil {
 			col.CloseRun(start + res.TotalMinutes)

@@ -1,0 +1,72 @@
+package chaos
+
+import "sort"
+
+// builtins is the shipped scenario corpus: one scenario per injector
+// family plus a zero-injector control. Windows sit inside the first
+// replayed week so the corpus works at every experiment scale.
+var builtins = map[string]Scenario{
+	"calm": {
+		Name:        "calm",
+		Description: "Control: chaos layer attached, zero injectors.",
+		Seed:        1,
+	},
+	"zone-blackout": {
+		Name:        "zone-blackout",
+		Description: "us-east-1a loses all capacity for 12 hours on day 2.",
+		Seed:        11,
+		Injectors: []Injector{
+			{Kind: ZoneBlackout, Zone: "us-east-1a", From: 1440, Until: 1440 + 12*60},
+		},
+	},
+	"reclaim-storm": {
+		Name:        "reclaim-storm",
+		Description: "Correlated reclamation: 4 spot instances terminated within 30 minutes, twice.",
+		Seed:        23,
+		Injectors: []Injector{
+			{Kind: ReclaimStorm, Count: 4, SpreadMinutes: 30, From: 1500},
+			{Kind: ReclaimStorm, Count: 4, SpreadMinutes: 30, From: 3300},
+		},
+	},
+	"price-surge": {
+		Name:        "price-surge",
+		Description: "Market-wide 8x price spike for 6 hours on day 2 — spot bids cannot clear.",
+		Seed:        37,
+		Injectors: []Injector{
+			{Kind: PriceSpike, Factor: 8, From: 1500, Until: 1500 + 6*60},
+		},
+	},
+	"flaky-market": {
+		Name:        "flaky-market",
+		Description: "Spot control plane degrades for a day: 85% of launches lost, the rest 30 minutes late.",
+		Seed:        41,
+		Injectors: []Injector{
+			{Kind: RequestLoss, Probability: 0.85, From: 1440, Until: 1440 + 24*60},
+			{Kind: RequestDelay, DelayMinutes: 30, Probability: 1, From: 1440, Until: 1440 + 24*60},
+		},
+	},
+	"stale-feed": {
+		Name:        "stale-feed",
+		Description: "Price feed silent for 12 hours: strategies decide on stale prices and clamped history.",
+		Seed:        53,
+		Injectors: []Injector{
+			{Kind: TraceGap, From: 1440, Until: 1440 + 12*60},
+		},
+	},
+}
+
+// Builtin returns a shipped scenario by name.
+func Builtin(name string) (Scenario, bool) {
+	sc, ok := builtins[name]
+	return sc, ok
+}
+
+// BuiltinNames lists the shipped scenarios, sorted.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -90,14 +90,16 @@ type Instance struct {
 }
 
 // timer kinds for the provider's transition queue. Priorities encode
-// the original per-minute processing order within a minute: an
-// out-of-bid reclaim is checked before a startup completion (a pending
-// request whose bid the market left at its startup minute never runs),
-// and both precede outage healing.
+// the original per-minute processing order within a minute: scheduled
+// control-plane actions (the chaos layer's fault applications) run
+// first, then an out-of-bid reclaim is checked before a startup
+// completion (a pending request whose bid the market left at its
+// startup minute never runs), and both precede outage healing.
 type timerKind uint8
 
 const (
-	tOutOfBid timerKind = iota
+	tAction timerKind = iota
+	tOutOfBid
 	tPromote
 	tOutageEnd
 )
@@ -108,6 +110,8 @@ type timer struct {
 	// until validates tOutageEnd: the timer is stale if the instance's
 	// downUntil has moved since it was scheduled.
 	until int64
+	// fn is the callback of a tAction timer.
+	fn func()
 }
 
 // Provider is the simulated control plane over a fixed price trace set.
@@ -139,6 +143,24 @@ type Provider struct {
 	// Hardware failure injection (FP' model). Disabled when hazard = 0.
 	hazardPerMinute float64
 	mttrMinutes     int64
+
+	// zoneDownUntil marks zones in a capacity outage (all instances
+	// killed, launches refused) until the recorded minute (exclusive).
+	// Nil outside chaos runs — the zero-injector fast path touches none
+	// of this state.
+	zoneDownUntil map[string]int64
+	// launchGate, when installed, is consulted by the user-facing launch
+	// calls; it can drop a request outright or stretch its startup.
+	launchGate func(minute int64, zone string, spot bool) GateDecision
+}
+
+// GateDecision is a launch gate's verdict on one request.
+type GateDecision struct {
+	// Drop refuses the request: the control plane "loses" it and the
+	// caller gets an error, exactly like a bid below market.
+	Drop bool
+	// DelayMinutes stretches the instance's startup by this much.
+	DelayMinutes int64
 }
 
 // Config tunes the provider.
@@ -197,6 +219,32 @@ func (p *Provider) SpotPrice(zone string) (market.Money, error) {
 		return 0, fmt.Errorf("cloud: unknown zone %q", zone)
 	}
 	return t.PriceAt(p.now), nil
+}
+
+// SpotPriceAt returns the zone's spot price at a past minute — what an
+// observer who stopped receiving updates then would still be seeing.
+func (p *Provider) SpotPriceAt(zone string, minute int64) (market.Money, error) {
+	t, ok := p.traces.ByZone[zone]
+	if !ok {
+		return 0, fmt.Errorf("cloud: unknown zone %q", zone)
+	}
+	if minute > p.now {
+		minute = p.now // never the future
+	}
+	return t.PriceAt(minute), nil
+}
+
+// SpotPriceAgeAt returns how long the price ruling at a past minute had
+// held at that minute.
+func (p *Provider) SpotPriceAgeAt(zone string, minute int64) (int64, error) {
+	t, ok := p.traces.ByZone[zone]
+	if !ok {
+		return 0, fmt.Errorf("cloud: unknown zone %q", zone)
+	}
+	if minute > p.now {
+		minute = p.now
+	}
+	return t.AgeAt(minute), nil
 }
 
 // SpotPriceAge returns how many minutes the current price has held, a
@@ -284,8 +332,9 @@ func nextMinuteWhere(t *trace.Trace, from int64, pred func(market.Money) bool) i
 // launch creates an instance at the current minute, schedules its
 // startup completion and (for spot) its out-of-bid reclaim, and
 // publishes the launch event. req is non-nil for persistent-request
-// fulfilments.
-func (p *Provider) launch(zone string, it market.InstanceType, spot bool, bid market.Money, req *spotRequest) *Instance {
+// fulfilments. extraDelay stretches the startup beyond the sampled
+// boot time (a launch-gate injection; 0 outside chaos runs).
+func (p *Provider) launch(zone string, it market.InstanceType, spot bool, bid market.Money, req *spotRequest, extraDelay int64) *Instance {
 	kind := "od"
 	if spot {
 		kind = "spot"
@@ -301,7 +350,7 @@ func (p *Provider) launch(zone string, it market.InstanceType, spot bool, bid ma
 		outAt:       engine.NoMinute,
 		req:         req,
 	}
-	inst.RunningAt = p.now + p.startupDelay(zone)
+	inst.RunningAt = p.now + p.startupDelay(zone) + extraDelay
 	p.instances[inst.ID] = inst
 	p.active = append(p.active, inst)
 	if spot {
@@ -352,7 +401,14 @@ func (p *Provider) RequestSpot(zone string, it market.InstanceType, bid market.M
 	if bid < price {
 		return "", fmt.Errorf("cloud: bid %v below spot price %v in %s", bid, price, zone)
 	}
-	return p.launch(zone, it, true, bid, nil).ID, nil
+	if down, until := p.zoneDown(zone); down {
+		return "", fmt.Errorf("cloud: capacity unavailable in %s until minute %d", zone, until)
+	}
+	delay, dropped := p.gate(zone, true)
+	if dropped {
+		return "", fmt.Errorf("cloud: spot request lost in %s", zone)
+	}
+	return p.launch(zone, it, true, bid, nil, delay).ID, nil
 }
 
 // RequestOnDemand launches an on-demand instance.
@@ -360,7 +416,106 @@ func (p *Provider) RequestOnDemand(zone string, it market.InstanceType) (Instanc
 	if _, err := market.OnDemandPrice(zone, it); err != nil {
 		return "", err
 	}
-	return p.launch(zone, it, false, 0, nil).ID, nil
+	if down, until := p.zoneDown(zone); down {
+		return "", fmt.Errorf("cloud: capacity unavailable in %s until minute %d", zone, until)
+	}
+	delay, dropped := p.gate(zone, false)
+	if dropped {
+		return "", fmt.Errorf("cloud: on-demand request lost in %s", zone)
+	}
+	return p.launch(zone, it, false, 0, nil, delay).ID, nil
+}
+
+// zoneDown reports whether the zone is inside an injected capacity
+// outage, and until when.
+func (p *Provider) zoneDown(zone string) (bool, int64) {
+	until, ok := p.zoneDownUntil[zone]
+	return ok && until > p.now, until
+}
+
+// gate consults the installed launch gate (if any) for one request,
+// returning the extra startup delay and whether the request is dropped.
+func (p *Provider) gate(zone string, spot bool) (int64, bool) {
+	if p.launchGate == nil {
+		return 0, false
+	}
+	d := p.launchGate(p.now, zone, spot)
+	if d.Drop {
+		return 0, true
+	}
+	if d.DelayMinutes < 0 {
+		return 0, false
+	}
+	return d.DelayMinutes, false
+}
+
+// SetLaunchGate installs (or, with nil, removes) a gate consulted by
+// the one-shot RequestSpot/RequestOnDemand calls — the chaos layer's
+// market-request delay/loss injector. Persistent-request relaunches
+// bypass the gate: they model the provider's own refulfilment loop, not
+// a fresh control-plane round trip.
+func (p *Provider) SetLaunchGate(g func(minute int64, zone string, spot bool) GateDecision) {
+	p.launchGate = g
+}
+
+// ScheduleAction schedules fn to run at the given future minute, before
+// any other transition of that minute. This is the chaos layer's entry
+// point for applying faults at exact simulated minutes.
+func (p *Provider) ScheduleAction(minute int64, fn func()) {
+	p.timers.Schedule(minute, int(tAction), timer{kind: tAction, fn: fn})
+}
+
+// StartZoneOutage begins a capacity outage in a zone lasting until the
+// given minute (exclusive): every non-terminated instance there is
+// reclaimed by the provider now, launches are refused, and persistent
+// requests wait for the outage to lift. Overlapping outages extend to
+// the later end.
+func (p *Provider) StartZoneOutage(zone string, until int64) {
+	if p.zoneDownUntil == nil {
+		p.zoneDownUntil = make(map[string]int64)
+	}
+	if until > p.zoneDownUntil[zone] {
+		p.zoneDownUntil[zone] = until
+	}
+	for _, inst := range p.active {
+		if inst.Zone == zone && inst.State != Terminated {
+			p.terminate(inst, market.TerminatedByProvider, until)
+		}
+	}
+}
+
+// ZoneOutageUntil returns the end minute of the zone's injected
+// capacity outage, or 0 when none is active.
+func (p *Provider) ZoneOutageUntil(zone string) int64 {
+	if down, until := p.zoneDown(zone); down {
+		return until
+	}
+	return 0
+}
+
+// ForceReclaim terminates an instance as a provider-initiated
+// interruption regardless of its bid — the reclamation-storm injector.
+// Terminated instances are left alone.
+func (p *Provider) ForceReclaim(id InstanceID) error {
+	inst, ok := p.instances[id]
+	if !ok {
+		return fmt.Errorf("cloud: unknown instance %s", id)
+	}
+	if inst.State == Terminated {
+		return nil
+	}
+	p.terminate(inst, market.TerminatedByProvider, p.now)
+	return nil
+}
+
+// PublishEvent forwards an externally produced event (the chaos
+// layer's fault markers) to the provider's observers, stamped at the
+// current minute.
+func (p *Provider) PublishEvent(e engine.Event) {
+	if p.observers.Active() {
+		e.Minute = p.now
+		p.observers.Publish(e)
+	}
 }
 
 func (p *Provider) newID(kind string) InstanceID {
@@ -548,6 +703,8 @@ func (p *Provider) processMinute() {
 func (p *Provider) applyTimer(t timer) {
 	inst := t.inst
 	switch t.kind {
+	case tAction:
+		t.fn()
 	case tOutOfBid:
 		if inst.State == Terminated {
 			return

@@ -73,7 +73,11 @@ func (p *Provider) fulfil(req *spotRequest) {
 		p.scheduleRefulfil(req, p.now)
 		return
 	}
-	inst := p.launch(req.Zone, req.Type, true, req.Bid, req)
+	if down, until := p.zoneDown(req.Zone); down {
+		p.scheduleRefulfil(req, until)
+		return
+	}
+	inst := p.launch(req.Zone, req.Type, true, req.Bid, req, 0)
 	req.Current = inst.ID
 	req.History = append(req.History, inst.ID)
 	req.refulfilAt = engine.NoMinute

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/market"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+)
+
+// fault builds the injected-fault event the chaos layer would publish.
+func fault(zone string, minute int64) engine.Event {
+	return engine.Event{
+		Kind: engine.KindFaultInjected, Fault: "reclaim-storm",
+		Zone: zone, Minute: minute,
+	}
+}
+
+func TestHealthTrackerStagesAndDecay(t *testing.T) {
+	j := New()
+	if j.health != nil {
+		t.Fatal("fresh framework carries a health tracker")
+	}
+	j.OnFault(fault("z1", 100))
+	h := j.health
+	if h == nil {
+		t.Fatal("OnFault created no tracker")
+	}
+	if got := h.stage(100); got != StageDegraded {
+		t.Fatalf("one fault: stage %v, want degraded", got)
+	}
+	for _, z := range []string{"z2", "z3", "z4"} {
+		j.OnFault(fault(z, 101))
+	}
+	if got := h.stage(101); got != StageCritical {
+		t.Fatalf("four faults: stage %v, want critical", got)
+	}
+	// Each faulted zone is quarantined for quarantineBase +- 25% jitter.
+	for _, z := range []string{"z1", "z2", "z3", "z4"} {
+		if !h.quarantined(z, 101+quarantineBase*3/4-5) {
+			t.Fatalf("zone %s not quarantined inside the minimum window", z)
+		}
+		if h.quarantined(z, 101+quarantineBase*5/4+5) {
+			t.Fatalf("zone %s still quarantined past the maximum window", z)
+		}
+	}
+	if h.quarantined("z9", 101) {
+		t.Fatal("unfaulted zone quarantined")
+	}
+	// A fault after the quarantine expired re-quarantines with a doubled
+	// backoff: the second window is at least 2*base - 25% jitter long.
+	refault := int64(101 + 2*quarantineBase)
+	j.OnFault(fault("z1", refault))
+	if !h.quarantined("z1", refault+2*quarantineBase*3/4-5) {
+		t.Fatal("re-probe failure did not extend the backoff")
+	}
+	// Pressure decays: ten half-lives later everything is healthy again.
+	later := refault + 10*healthHalfLife
+	if got := h.stage(later); got != StageHealthy {
+		t.Fatalf("stage %v after ten half-lives, want healthy", got)
+	}
+	if h.quarantined("z1", later) {
+		t.Fatal("quarantine survived full decay")
+	}
+}
+
+// TestHealthTrackerDeterministic pins that identical fault schedules
+// yield identical quarantine windows (the seeded-jitter contract).
+func TestHealthTrackerDeterministic(t *testing.T) {
+	build := func() *healthTracker {
+		j := New()
+		for i, z := range []string{"a", "b", "c", "a", "b"} {
+			j.OnFault(fault(z, int64(50+i*200)))
+		}
+		return j.health
+	}
+	h1, h2 := build(), build()
+	for z, zh := range h1.zones {
+		other := h2.zones[z]
+		if other == nil || zh.until != other.until || zh.backoff != other.backoff {
+			t.Fatalf("zone %s: %+v vs %+v", z, zh, other)
+		}
+	}
+}
+
+func TestJupiterDegradedAvoidsQuarantinedZone(t *testing.T) {
+	view := genView(t, 42, 13)
+	healthy := New()
+	base, err := healthy.Decide(view, lockSpec(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Bids) == 0 {
+		t.Fatal("healthy decision placed no bids")
+	}
+	bad := base.Bids[0].Zone
+
+	j := New()
+	j.OnFault(fault(bad, view.Now()-10))
+	d, err := j.Decide(view, lockSpec(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.LastStage() != StageDegraded {
+		t.Fatalf("stage %v, want degraded", j.LastStage())
+	}
+	for _, b := range d.Bids {
+		if b.Zone == bad {
+			t.Fatalf("bid placed in quarantined zone %s", bad)
+		}
+	}
+	for _, z := range d.OnDemand {
+		if z == bad {
+			t.Fatalf("on-demand substitute placed in quarantined zone %s", bad)
+		}
+	}
+	if len(d.Bids) < 5 {
+		t.Fatalf("one quarantined zone collapsed the spot group: %d bids", len(d.Bids))
+	}
+}
+
+// TestJupiterCriticalHardensQuorumAndRecovers drives the framework
+// through the full degradation arc: a storm's worth of faults forces a
+// quorum of on-demand members; after the pressure decays the framework
+// returns to pure spot bidding.
+func TestJupiterCriticalHardensQuorumAndRecovers(t *testing.T) {
+	set, err := trace.Generate(trace.GenConfig{
+		Seed: 42, Type: market.M1Small,
+		Zones: market.ExperimentZones(),
+		Start: 0, End: 16 * week,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := traceView{set: set, now: 13*week - 1}
+
+	j := New()
+	faulted := market.ExperimentZones()[:4]
+	for _, z := range faulted {
+		j.OnFault(fault(z, view.now-30))
+	}
+	d, err := j.Decide(view, lockSpec(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.LastStage() != StageCritical {
+		t.Fatalf("stage %v, want critical", j.LastStage())
+	}
+	n := len(d.Bids) + len(d.OnDemand)
+	k := lockSpec().QuorumSize(n)
+	if len(d.OnDemand) < k {
+		t.Fatalf("critical decision has %d on-demand members, want a full quorum of %d (n=%d)",
+			len(d.OnDemand), k, n)
+	}
+	for _, z := range append(append([]string{}, d.OnDemand...), zonesOf(d.Bids)...) {
+		for _, q := range faulted {
+			if z == q {
+				t.Fatalf("member placed in quarantined zone %s", z)
+			}
+		}
+	}
+
+	// Three weeks of quiet market: pressure has decayed through many
+	// half-lives and the quarantines have long expired.
+	view.now = 16*week - 1
+	d, err = j.Decide(view, lockSpec(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.LastStage() != StageHealthy {
+		t.Fatalf("stage %v after recovery, want healthy", j.LastStage())
+	}
+	if len(d.OnDemand) != 0 {
+		t.Fatalf("recovered decision still holds on-demand members: %v", d.OnDemand)
+	}
+	if len(d.Bids) < 5 {
+		t.Fatalf("recovered decision placed only %d bids", len(d.Bids))
+	}
+}
+
+func zonesOf(bids []strategy.Bid) []string {
+	var zs []string
+	for _, b := range bids {
+		zs = append(zs, b.Zone)
+	}
+	return zs
+}
+
+// oscillatingView builds a five-zone market whose price flips between a
+// cheap level and one far above the on-demand price every half hour: no
+// bid the on-demand cap allows can survive an interval, so every group
+// size is infeasible despite fully trained models.
+func oscillatingView(t *testing.T) traceView {
+	t.Helper()
+	zones := market.ExperimentZones()[:5]
+	end := 4 * week
+	set := trace.NewSet(market.M1Small, 0, end)
+	low, high := market.FromDollars(0.008), market.FromDollars(1.0)
+	for _, z := range zones {
+		tr := &trace.Trace{Zone: z, Type: market.M1Small, Start: 0, End: end}
+		for m := int64(0); m < end; m += 60 {
+			tr.Points = append(tr.Points,
+				trace.PricePoint{Minute: m, Price: low},
+				trace.PricePoint{Minute: m + 30, Price: high})
+		}
+		if err := set.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Position inside a low phase so bids clear the current price.
+	return traceView{set: set, now: 4*week - 55}
+}
+
+// TestJupiterFallbackWhenNoFeasibleBids forces the second fallback
+// trigger: zone models train fine (states exist, candidates are
+// enumerated) but no group size meets the availability target, so the
+// decision must be the full on-demand baseline.
+func TestJupiterFallbackWhenNoFeasibleBids(t *testing.T) {
+	view := oscillatingView(t)
+	j := New()
+	d, err := j.Decide(view, lockSpec(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Bids) != 0 {
+		t.Fatalf("placed %d spot bids in an unbiddable market", len(d.Bids))
+	}
+	if len(d.OnDemand) != 5 {
+		t.Fatalf("fallback chose %d on-demand zones, want BaseNodes=5", len(d.OnDemand))
+	}
+	// The candidate table proves this was the no-feasible-n trigger, not
+	// the no-models one: sizes were enumerated and all rejected.
+	cands := j.LastCandidates()
+	if len(cands) != 5 {
+		t.Fatalf("enumerated %d candidates, want 5", len(cands))
+	}
+	sawTarget := false
+	for _, c := range cands {
+		if c.Feasible {
+			t.Fatalf("candidate n=%d feasible in an unbiddable market", c.Nodes)
+		}
+		if c.FPTarget > 0 {
+			sawTarget = true
+		}
+	}
+	if !sawTarget {
+		t.Fatal("no candidate carried an FP target; states were never built")
+	}
+}
+
+// TestJupiterFallbackWhenNoModels pins the other trigger — no zone has
+// trainable history — and that it bypasses candidate enumeration.
+func TestJupiterFallbackWhenNoModels(t *testing.T) {
+	set, err := trace.Generate(trace.GenConfig{
+		Seed: 42, Type: market.M1Small,
+		Zones: market.ExperimentZones(),
+		Start: 0, End: 2 * week,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := traceView{set: set, now: 1}
+	j := New()
+	d, err := j.Decide(view, lockSpec(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.OnDemand) != 5 || len(d.Bids) != 0 {
+		t.Fatalf("fallback decision = %d bids, %d on-demand, want 0/5", len(d.Bids), len(d.OnDemand))
+	}
+	if len(j.LastCandidates()) != 0 {
+		t.Fatal("no-model fallback enumerated candidates")
+	}
+}

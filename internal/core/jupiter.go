@@ -55,6 +55,11 @@ const (
 // model per availability zone from observed price history and retrains
 // on a fixed cadence as more data arrives.
 type Jupiter struct {
+	// BaseObserver makes the framework an engine.Observer: the replay
+	// harness subscribes it to the event stream of chaos-armed runs so
+	// OnFault can feed the staged-degradation tracker (health.go).
+	engine.BaseObserver
+
 	// FP0 is the baseline failure probability of an instance absent
 	// out-of-bid failures (the on-demand SLA figure, 0.01).
 	FP0 float64
@@ -91,6 +96,12 @@ type Jupiter struct {
 	lastDecision []CandidateCost
 	lastBidFPs   map[string]float64
 	fpCache      map[fpKey]fpVal
+
+	// health tracks observed faults for staged degradation. It stays
+	// nil until the first OnFault, so runs without a chaos subscription
+	// never touch the degradation paths.
+	health    *healthTracker
+	lastStage DegradeStage
 }
 
 // zoneModel is one zone's current model and its training minute.
@@ -181,6 +192,23 @@ func (j *Jupiter) LastBidFailureProbabilities() map[string]float64 {
 	return out
 }
 
+// OnFault implements engine.Observer: injected faults feed the staged
+// degradation tracker. The replay harness subscribes the strategy to
+// the event stream only when a chaos scenario is armed, so in clean
+// runs this never fires and decisions are untouched.
+func (j *Jupiter) OnFault(e engine.Event) {
+	if e.Kind != engine.KindFaultInjected {
+		return
+	}
+	if j.health == nil {
+		j.health = newHealthTracker(e)
+	}
+	j.health.observe(e)
+}
+
+// LastStage returns the degradation stage of the most recent Decide.
+func (j *Jupiter) LastStage() DegradeStage { return j.lastStage }
+
 // model returns a trained failure model for a zone, training or
 // retraining through the model provider as the cadence demands. The
 // per-zone cadence state (what this instance currently uses, trained
@@ -244,6 +272,15 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 	}
 	zones := view.Zones()
 	target := spec.TargetAvailability()
+	now := view.Now()
+
+	// Staged degradation (health.go): stays StageHealthy — and changes
+	// nothing below — unless faults have been observed via OnFault.
+	stage := StageHealthy
+	if j.health != nil && j.health.faults > 0 {
+		stage = j.health.stage(now)
+	}
+	j.lastStage = stage
 
 	// One failure estimator per zone, shared across all group sizes.
 	type zoneState struct {
@@ -254,6 +291,9 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 	}
 	states := make(map[string]*zoneState, len(zones))
 	for _, z := range zones {
+		if j.health != nil && j.health.quarantined(z, now) {
+			continue // zone quarantined after faults; re-probed once the backoff expires
+		}
 		m, err := j.model(view, z)
 		if err != nil {
 			continue // zone unusable this round (no history yet)
@@ -319,9 +359,40 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 		minNodes = 1
 	}
 
+	// Under degradation, candidate sets that quarantine leaves short of
+	// adequate spot zones are padded with on-demand instances from the
+	// cheapest non-quarantined zones. An on-demand node fails with
+	// FP0 <= fpTarget (targets below FP0 are rejected), so a padded
+	// group still meets the equalized availability bound of Equation 10.
+	type odZone struct {
+		zone  string
+		price market.Money
+	}
+	var odPool []odZone
+	if stage != StageHealthy {
+		for _, z := range zones {
+			if j.health.quarantined(z, now) {
+				continue
+			}
+			od, err := market.OnDemandPrice(z, spec.Type)
+			if err != nil {
+				continue
+			}
+			odPool = append(odPool, odZone{zone: z, price: od})
+		}
+		sort.Slice(odPool, func(a, b int) bool {
+			if odPool[a].price != odPool[b].price {
+				return odPool[a].price < odPool[b].price
+			}
+			return odPool[a].zone < odPool[b].zone
+		})
+	}
+
 	j.lastDecision = j.lastDecision[:0]
 	bestCost := market.Money(0)
+	found := false
 	var bestBids []zoneBid
+	var bestOD []string
 	for n := minNodes; n <= maxNodes; n++ {
 		k := spec.QuorumSize(n)
 		cand := CandidateCost{Nodes: n}
@@ -348,32 +419,61 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 			}
 			bids = append(bids, zoneBid{zone: z, bid: bid})
 		}
-		if len(bids) < n {
-			j.lastDecision = append(j.lastDecision, cand)
-			continue
-		}
 		sort.Slice(bids, func(a, b int) bool {
 			if bids[a].bid != bids[b].bid {
 				return bids[a].bid < bids[b].bid
 			}
 			return bids[a].zone < bids[b].zone
 		})
-		var cost market.Money
-		for _, zb := range bids[:n] {
+		var odPick []string
+		var odCost market.Money
+		if len(bids) < n && stage != StageHealthy {
+			taken := make(map[string]bool, len(bids))
+			for _, zb := range bids {
+				taken[zb.zone] = true
+			}
+			for _, oz := range odPool {
+				if len(bids)+len(odPick) == n {
+					break
+				}
+				if taken[oz.zone] {
+					continue
+				}
+				odPick = append(odPick, oz.zone)
+				odCost += oz.price
+			}
+		}
+		if len(bids)+len(odPick) < n {
+			j.lastDecision = append(j.lastDecision, cand)
+			continue
+		}
+		spot := bids
+		if len(spot) > n {
+			spot = bids[:n]
+		}
+		cost := odCost
+		for _, zb := range spot {
 			cost += zb.bid
 		}
 		cand.Feasible = true
 		cand.CostUpper = cost
 		j.lastDecision = append(j.lastDecision, cand)
-		if bestBids == nil || cost < bestCost {
+		if !found || cost < bestCost {
+			found = true
 			bestCost = cost
-			bestBids = bids[:n]
+			bestBids = spot
+			bestOD = odPick
 		}
 	}
-	if bestBids == nil {
+	if !found {
 		return j.fallback(view, spec)
 	}
-	if j.Refine && len(bestBids) > 0 {
+	if stage == StageCritical {
+		bestBids, bestOD = hardenQuorum(bestBids, bestOD, spec)
+	}
+	// The heterogeneous descent models spot bids only; a mixed
+	// spot/on-demand group keeps its equalized solution.
+	if j.Refine && len(bestOD) == 0 && len(bestBids) > 0 {
 		k := spec.QuorumSize(len(bestBids))
 		bestBids = refineBids(bestBids, k, target, func(zone string) *refineZone {
 			st := states[zone]
@@ -392,7 +492,40 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 		}
 	}
 	sort.Slice(out.Bids, func(a, b int) bool { return out.Bids[a].Zone < out.Bids[b].Zone })
+	out.OnDemand = append(out.OnDemand, bestOD...)
+	sort.Strings(out.OnDemand)
 	return out, nil
+}
+
+// hardenQuorum converts spot members to on-demand, most expensive bid
+// first, until a full quorum of the group runs on-demand — the
+// StageCritical posture, which keeps the service up even if every spot
+// member is lost at once (a correlated reclamation storm).
+func hardenQuorum(bids []zoneBid, od []string, spec strategy.ServiceSpec) ([]zoneBid, []string) {
+	k := spec.QuorumSize(len(bids) + len(od))
+	if len(od) >= k {
+		return bids, od
+	}
+	byCost := append([]zoneBid(nil), bids...)
+	sort.Slice(byCost, func(a, b int) bool {
+		if byCost[a].bid != byCost[b].bid {
+			return byCost[a].bid > byCost[b].bid
+		}
+		return byCost[a].zone < byCost[b].zone
+	})
+	convert := make(map[string]bool, k-len(od))
+	for i := 0; i < len(byCost) && len(od)+len(convert) < k; i++ {
+		convert[byCost[i].zone] = true
+	}
+	kept := bids[:0:0]
+	for _, zb := range bids {
+		if convert[zb.zone] {
+			od = append(od, zb.zone)
+			continue
+		}
+		kept = append(kept, zb)
+	}
+	return kept, od
 }
 
 // refineZone is the per-zone information the descent needs.

@@ -60,6 +60,16 @@ const (
 	// wall-clock training time, and Size is 1 for an incremental retrain
 	// and 0 for a from-scratch one. Cache hits publish nothing.
 	KindModelTrained
+	// KindFaultInjected: the chaos layer injected a fault. Fault names
+	// the injector ("zone-blackout", "reclaim-storm", ...), Zone the
+	// affected zone (empty for market-wide faults), Instance the victim
+	// where one exists, Until the healing minute of windowed faults, and
+	// Size an injector-specific magnitude (delay minutes, victim count).
+	KindFaultInjected
+	// KindFaultCleared: a windowed injected fault (zone blackout, price
+	// spike, trace gap) reached the end of its window. Fault and Zone
+	// mirror the matching KindFaultInjected event.
+	KindFaultCleared
 
 	// KindCount is one past the last declared Kind. Consumers that map
 	// every kind (telemetry, exhaustiveness tests) iterate
@@ -92,6 +102,10 @@ func (k Kind) String() string {
 		return "quorum-down"
 	case KindModelTrained:
 		return "model-trained"
+	case KindFaultInjected:
+		return "fault-injected"
+	case KindFaultCleared:
+		return "fault-cleared"
 	default:
 		return "event(?)"
 	}
@@ -126,6 +140,10 @@ type Event struct {
 	// reports, where that is meaningful (KindModelTrained). Wall time is
 	// instrumentation only — it never feeds back into simulated time.
 	DurationNanos int64
+	// Fault names the injector behind KindFaultInjected and
+	// KindFaultCleared events ("zone-blackout", "reclaim-storm",
+	// "price-spike", "request-delay", "request-loss", "trace-gap").
+	Fault string
 }
 
 // Observer receives the event stream. Implementations must be fast and
@@ -148,6 +166,8 @@ type Observer interface {
 	OnQuorum(Event)
 	// OnModel receives model-provider training events.
 	OnModel(Event)
+	// OnFault receives chaos-layer fault injections and clearances.
+	OnFault(Event)
 }
 
 // Dispatch routes an event to the appropriate Observer hooks.
@@ -168,6 +188,8 @@ func Dispatch(o Observer, e Event) {
 		o.OnQuorum(e)
 	case KindModelTrained:
 		o.OnModel(e)
+	case KindFaultInjected, KindFaultCleared:
+		o.OnFault(e)
 	}
 }
 
@@ -181,6 +203,7 @@ func (BaseObserver) OnDecision(Event) {}
 func (BaseObserver) OnBilling(Event)  {}
 func (BaseObserver) OnQuorum(Event)   {}
 func (BaseObserver) OnModel(Event)    {}
+func (BaseObserver) OnFault(Event)    {}
 
 // Hooks adapts plain functions to the Observer interface; nil hooks are
 // skipped. Handy for inline observers in tests and tools.
@@ -191,6 +214,7 @@ type Hooks struct {
 	Billing  func(Event)
 	Quorum   func(Event)
 	Model    func(Event)
+	Fault    func(Event)
 }
 
 func (h *Hooks) OnInstance(e Event) {
@@ -226,6 +250,12 @@ func (h *Hooks) OnQuorum(e Event) {
 func (h *Hooks) OnModel(e Event) {
 	if h.Model != nil {
 		h.Model(e)
+	}
+}
+
+func (h *Hooks) OnFault(e Event) {
+	if h.Fault != nil {
+		h.Fault(e)
 	}
 }
 

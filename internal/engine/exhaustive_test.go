@@ -36,6 +36,7 @@ func TestKindExhaustive(t *testing.T) {
 			Billing:  func(Event) { calls = append(calls, "billing") },
 			Quorum:   func(Event) { calls = append(calls, "quorum") },
 			Model:    func(Event) { calls = append(calls, "model") },
+			Fault:    func(Event) { calls = append(calls, "fault") },
 		}
 		// TerminatedByUser is the base case for KindInstanceTerminated;
 		// the provider-caused double delivery is asserted separately.

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/market"
+	"repro/internal/modelcache"
+	"repro/internal/replay"
+	"repro/internal/strategy"
+	"repro/internal/telemetry"
+)
+
+// chaosGuaranteeEpsilon is the availability slack the guarantee suite
+// grants Jupiter under fault injection: decisions land only at interval
+// boundaries, so a mid-interval fault can structurally cost up to one
+// bidding interval of quorum (~180 accounted minutes at the quick
+// scale, ~0.018 of a week) before the next make-before-break repair.
+const chaosGuaranteeEpsilon = 0.02
+
+// chaosQuickRun replays one quick-scale lock cell (6 train weeks, 1
+// replay week, 3h interval) under the given scenario — nil for a plain
+// run — streaming the event history as JSONL into the returned buffer.
+// Models are deliberately per-run: a shared cache would turn the second
+// run's trainings into hits and drop their events from the trace.
+func chaosQuickRun(t *testing.T, sc *chaos.Scenario, strat strategy.Strategy, models *modelcache.Cache) ([]byte, *replay.Result) {
+	t.Helper()
+	e := QuickEnv()
+	e.Chaos = sc
+	e.Models = models
+	var buf bytes.Buffer
+	tw, err := telemetry.NewTraceWriter(&buf, telemetry.SortedMeta("suite", "chaos"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Observe = func(strategy.ServiceSpec, string, int64) []engine.Observer {
+		return []engine.Observer{tw}
+	}
+	set, err := e.Traces(market.M1Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.replayOne(set, LockSpec(), strat, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res
+}
+
+// TestChaosTraceByteDeterminism pins the chaos determinism contract:
+// a fixed scenario and seed produce a byte-identical JSONL event trace,
+// run after run — faults are ordinary scheduled events, not wall-clock
+// randomness.
+func TestChaosTraceByteDeterminism(t *testing.T) {
+	sc := mustBuiltin(t, "reclaim-storm")
+	a, resA := chaosQuickRun(t, &sc, core.New(), nil)
+	b, resB := chaosQuickRun(t, &sc, core.New(), nil)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("equal-seed chaos traces differ: %d vs %d bytes", len(a), len(b))
+	}
+	if resA.Cost != resB.Cost || resA.Availability != resB.Availability {
+		t.Fatalf("equal-seed chaos results differ: %+v vs %+v", resA, resB)
+	}
+	if n := bytes.Count(a, []byte(`"kind":"fault-injected"`)); n == 0 {
+		t.Fatal("storm run recorded no fault events")
+	}
+}
+
+// TestChaosZeroInjectorsMatchesNoChaos: arming the chaos layer with a
+// zero-injector scenario must be bit-identical to not arming it at all
+// — the layer's mere presence may not perturb a run.
+func TestChaosZeroInjectorsMatchesNoChaos(t *testing.T) {
+	calm := mustBuiltin(t, "calm")
+	armed, resArmed := chaosQuickRun(t, &calm, core.New(), nil)
+	plain, resPlain := chaosQuickRun(t, nil, core.New(), nil)
+	if !bytes.Equal(armed, plain) {
+		t.Fatalf("calm scenario perturbs the run: %d vs %d bytes", len(armed), len(plain))
+	}
+	if resArmed.Cost != resPlain.Cost || resArmed.Availability != resPlain.Availability {
+		t.Fatalf("calm scenario perturbs the result: %+v vs %+v", resArmed, resPlain)
+	}
+}
+
+// TestChaosGuaranteeSuite is the availability guarantee under fault
+// injection: for every shipped scenario, Jupiter (with its staged
+// degradation to on-demand) must stay within chaosGuaranteeEpsilon of
+// the clean on-demand baseline's availability while remaining cheaper
+// than running everything on demand.
+func TestChaosGuaranteeSuite(t *testing.T) {
+	_, base := chaosQuickRun(t, nil, strategy.OnDemand{}, nil)
+	if base.Availability < 0.999 {
+		t.Fatalf("on-demand baseline availability %v suspiciously low", base.Availability)
+	}
+	models := modelcache.New() // price-surge and stale-feed salt the fingerprint, so sharing is safe
+	for _, name := range chaos.BuiltinNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc := mustBuiltin(t, name)
+			_, res := chaosQuickRun(t, &sc, core.New(), models)
+			if res.Availability < base.Availability-chaosGuaranteeEpsilon {
+				t.Errorf("availability %.6f under %s below baseline %.6f - %.2f",
+					res.Availability, name, base.Availability, chaosGuaranteeEpsilon)
+			}
+			if res.Cost >= base.Cost {
+				t.Errorf("cost %v under %s not below all-on-demand %v", res.Cost, name, base.Cost)
+			}
+		})
+	}
+}
+
+// TestChaosBreaksNaiveFixedBid pins that the suite is actually harsh:
+// the flaky-market scenario (a day of 85% launch loss) must break the
+// Extra fixed-margin bidder, which has no on-demand fallback, while
+// Jupiter rides it out. If this stops failing Extra, the scenario has
+// gone soft and the guarantee suite proves nothing.
+func TestChaosBreaksNaiveFixedBid(t *testing.T) {
+	sc := mustBuiltin(t, "flaky-market")
+	_, extra := chaosQuickRun(t, &sc, strategy.Extra{ExtraNodes: 0, Portion: 0.2}, nil)
+	_, jup := chaosQuickRun(t, &sc, core.New(), nil)
+	if extra.Availability >= 0.95 {
+		t.Errorf("Extra availability %.6f under flaky-market not demonstrably broken (< 0.95)", extra.Availability)
+	}
+	if jup.Availability < 0.98 {
+		t.Errorf("Jupiter availability %.6f under flaky-market below 0.98", jup.Availability)
+	}
+	if jup.Availability <= extra.Availability {
+		t.Errorf("Jupiter (%.6f) not above Extra (%.6f) under flaky-market", jup.Availability, extra.Availability)
+	}
+}
+
+func mustBuiltin(t *testing.T, name string) chaos.Scenario {
+	t.Helper()
+	sc, ok := chaos.Builtin(name)
+	if !ok {
+		t.Fatalf("builtin scenario %q missing", name)
+	}
+	return sc
+}

@@ -14,9 +14,11 @@ package experiments
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/market"
@@ -51,6 +53,13 @@ type Env struct {
 	// (the trace fingerprint in the cache key keys different services'
 	// histories apart) or to read hit/train counters afterwards.
 	Models *modelcache.Cache
+	// Chaos, when set, arms every replay cell with this fault-injection
+	// scenario (see internal/chaos). All cells share the one scenario
+	// and chaos seed, so every strategy faces the identical fault
+	// schedule — the comparison the chaos suite is after.
+	Chaos *chaos.Scenario
+	// ChaosSeed overrides the scenario's seed when non-zero.
+	ChaosSeed uint64
 	// Observe, when set, builds the observers of each replay cell: it
 	// is called once per cell, before the replay starts, with the
 	// cell's coordinates, and its return value receives that cell's
@@ -115,6 +124,8 @@ func (e Env) replayOne(set *trace.Set, spec strategy.ServiceSpec, strat strategy
 		InjectHardwareFailures: true,
 		Models:                 e.Models,
 		Observers:              observers,
+		Chaos:                  e.Chaos,
+		ChaosSeed:              e.ChaosSeed,
 	})
 	if err == nil {
 		// Per-run observers (telemetry.Collector) finalize open state —
@@ -153,6 +164,20 @@ func sweepStrategies() []func() strategy.Strategy {
 	}
 }
 
+// runCell invokes one cell, converting a panic into an error carrying
+// the cell index and stack. Isolation matters most for the worker pool:
+// an unrecovered panic in one cell would tear down the whole process
+// mid-sweep; recovered, the bad cell reports like any failed one and
+// every other cell still finishes.
+func runCell(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiments: cell %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return fn(i)
+}
+
 // forEachCell runs fn for every index in [0, n) on a pool of jobs
 // workers. Output slots are indexed, and the first error by index wins
 // regardless of completion order, so a parallel run returns exactly
@@ -163,7 +188,7 @@ func forEachCell(n, jobs int, fn func(i int) error) error {
 	}
 	if jobs <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := runCell(i, fn); err != nil {
 				return err
 			}
 		}
@@ -182,7 +207,7 @@ func forEachCell(n, jobs int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = runCell(i, fn)
 			}
 		}()
 	}

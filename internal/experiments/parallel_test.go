@@ -3,6 +3,7 @@ package experiments
 import (
 	"errors"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -119,5 +120,39 @@ func TestForEachCellPreservesOrderAndErrors(t *testing.T) {
 	}
 	if calls.Load() != 2 {
 		t.Fatalf("ran %d cells, want 2", calls.Load())
+	}
+}
+
+// TestForEachCellIsolatesPanics pins that one panicking cell surfaces
+// as an error naming the cell — with a stack — while every other cell
+// of the pool still runs to completion.
+func TestForEachCellIsolatesPanics(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		var ran [8]atomic.Bool
+		err := forEachCell(len(ran), jobs, func(i int) error {
+			if i == 2 {
+				panic("boom at cell 2")
+			}
+			ran[i].Store(true)
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("jobs=%d: panic swallowed", jobs)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "cell 2 panicked") || !strings.Contains(msg, "boom at cell 2") {
+			t.Fatalf("jobs=%d: error lacks cell identity: %v", jobs, err)
+		}
+		if !strings.Contains(msg, "forEachCell") && !strings.Contains(msg, "goroutine") {
+			t.Fatalf("jobs=%d: error lacks a stack trace: %v", jobs, err)
+		}
+		if jobs > 1 {
+			// The worker pool finishes the remaining cells.
+			for i := range ran {
+				if i != 2 && !ran[i].Load() {
+					t.Fatalf("jobs=%d: cell %d never ran after the panic", jobs, i)
+				}
+			}
+		}
 	}
 }

@@ -19,6 +19,7 @@ package replay
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/cloud"
 	"repro/internal/engine"
 	"repro/internal/market"
@@ -84,6 +85,19 @@ type Config struct {
 	// Hooks run synchronously at the exact simulated minute; they must
 	// not mutate the run.
 	Observers []engine.Observer
+	// Chaos, when set, arms the fault-injection layer with this
+	// scenario: price-spike injectors rewrite the replayed traces,
+	// blackout/storm injectors become scheduled provider actions,
+	// request injectors gate spot launches, and trace gaps make the
+	// strategy's market view serve stale observations. A strategy that
+	// implements engine.Observer is additionally subscribed to the
+	// event stream so it can react to injected faults. Nil (the
+	// default) leaves the run untouched; a non-nil scenario with zero
+	// injectors is bit-identical to nil.
+	Chaos *chaos.Scenario
+	// ChaosSeed overrides the scenario's own seed when non-zero, so
+	// one scenario file can be re-rolled without editing it.
+	ChaosSeed uint64
 	// Models, when set, is the shared price-model provider handed to
 	// the strategy (any strategy implementing modelcache.Consumer —
 	// Jupiter and its wrappers do). Point every run of a sweep at one
@@ -135,17 +149,36 @@ type marketView struct {
 	p           *cloud.Provider
 	fingerprint uint64
 	obs         engine.Fanout
+	// chaos, when armed, rewrites observations inside injected trace
+	// gaps: the pre-gap price with growing age, history clamped to the
+	// gap start. Nil outside chaos runs.
+	chaos *chaos.Engine
 }
 
 func (v marketView) Now() int64      { return v.p.Now() }
 func (v marketView) Zones() []string { return v.p.Zones() }
 func (v marketView) SpotPrice(zone string) (market.Money, error) {
+	if v.chaos != nil {
+		if price, _, stale, err := v.chaos.StalePrice(v.p, zone, v.p.Now()); stale || err != nil {
+			return price, err
+		}
+	}
 	return v.p.SpotPrice(zone)
 }
 func (v marketView) SpotPriceAge(zone string) (int64, error) {
+	if v.chaos != nil {
+		if _, age, stale, err := v.chaos.StalePrice(v.p, zone, v.p.Now()); stale || err != nil {
+			return age, err
+		}
+	}
 	return v.p.SpotPriceAge(zone)
 }
 func (v marketView) PriceHistory(zone string, from, to int64) (*trace.Trace, error) {
+	if v.chaos != nil {
+		if gapStart, ok := v.chaos.GapAt(zone, v.p.Now()); ok && to > gapStart {
+			to = gapStart
+		}
+	}
 	return v.p.PriceHistory(zone, from, to)
 }
 func (v marketView) TraceFingerprint() uint64 { return v.fingerprint }
@@ -222,17 +255,39 @@ func Run(cfg Config) (*Result, error) {
 			c.UseModelCache(cfg.Models)
 		}
 	}
-	provider := cloud.NewProvider(cfg.Traces, cloud.Config{
+	traces := cfg.Traces
+	var chaosEng *chaos.Engine
+	if cfg.Chaos != nil {
+		var cerr error
+		chaosEng, cerr = chaos.New(*cfg.Chaos, cfg.ChaosSeed, cfg.Start)
+		if cerr != nil {
+			return nil, cerr
+		}
+		if traces, cerr = chaosEng.TransformTraces(cfg.Traces); cerr != nil {
+			return nil, cerr
+		}
+	}
+	provider := cloud.NewProvider(traces, cloud.Config{
 		Seed:                   cfg.Seed,
 		InjectHardwareFailures: cfg.InjectHardwareFailures,
 	})
+	fingerprint := traces.Fingerprint()
+	if chaosEng != nil {
+		fingerprint ^= chaosEng.FingerprintSalt()
+		chaosEng.Arm(provider)
+		// Let a fault-aware strategy (Jupiter's staged degradation)
+		// watch the stream it must react to.
+		if obs, ok := cfg.Strategy.(engine.Observer); ok {
+			provider.Subscribe(obs)
+		}
+	}
 	userObs := engine.Fanout(cfg.Observers)
 	r := &run{
 		cfg:      cfg,
 		lead:     lead,
 		end:      end,
 		provider: provider,
-		view:     marketView{p: provider, fingerprint: cfg.Traces.Fingerprint(), obs: userObs},
+		view:     marketView{p: provider, fingerprint: fingerprint, obs: userObs, chaos: chaosEng},
 		res:      &Result{Strategy: cfg.Strategy.Name(), IntervalMinutes: cfg.IntervalMinutes},
 		userObs:  userObs,
 	}

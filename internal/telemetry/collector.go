@@ -52,6 +52,9 @@ type Collector struct {
 	outageMins   *HistogramVec
 	billing      *CounterVec
 	trainings    *CounterVec
+	// faults has zone, fault-kind, and phase dimensions; fault events
+	// are rare enough that handles are resolved per event, uncached.
+	faults *CounterVec
 
 	zones map[string]*zoneHandles
 
@@ -129,6 +132,10 @@ func NewCollector(reg *Registry, base Labels) *Collector {
 	c.quorumLive = reg.Gauge("jupiter_quorum_live",
 		"Live member count at the last quorum transition.", baseLabels...).
 		With(base.Service, base.Strategy, base.Interval)
+
+	c.faults = reg.Counter("jupiter_faults_total",
+		"Chaos-layer fault injections and clearances by zone, fault kind, and phase.",
+		append(append([]string(nil), withZone...), "fault", "phase")...)
 
 	c.trainings = reg.Counter("jupiter_model_trainings_total",
 		"Price-model training passes by zone and mode.", append(append([]string(nil), withZone...), "mode")...)
@@ -250,6 +257,17 @@ func (c *Collector) OnModel(e engine.Event) {
 		h.trainScratch.Inc()
 		c.timeScratch.Observe(seconds)
 	}
+}
+
+// OnFault counts chaos fault injections and clearances. The zone label
+// is empty for market-wide faults (a price spike over all zones).
+func (c *Collector) OnFault(e engine.Event) {
+	c.count(e)
+	phase := "injected"
+	if e.Kind == engine.KindFaultCleared {
+		phase = "cleared"
+	}
+	c.faults.With(c.base.Service, c.base.Strategy, c.base.Interval, e.Zone, e.Fault, phase).Inc()
 }
 
 // CloseRun finalizes per-run state at the end of accounting: a still

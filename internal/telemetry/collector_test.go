@@ -30,6 +30,8 @@ func scriptedEvents() []engine.Event {
 		{Minute: 70, Kind: engine.KindQuorumUp, Size: 2},
 		{Minute: 80, Kind: engine.KindModelTrained, Zone: "us-east-1a", Size: 1, DurationNanos: 500_000},
 		{Minute: 90, Kind: engine.KindRequestFulfilled, Instance: "i-4", Request: "sir-1", Zone: "us-west-2b", Spot: true},
+		{Minute: 95, Kind: engine.KindFaultInjected, Fault: "reclaim-storm", Zone: "us-west-2b", Instance: "i-4"},
+		{Minute: 96, Kind: engine.KindFaultCleared, Fault: "zone-blackout", Zone: "us-east-1a", Until: 50},
 		{Minute: 99, Kind: engine.KindInstanceTerminated, Instance: "i-1", Zone: "us-east-1a", Spot: true, Cause: market.TerminatedByUser},
 		{Minute: 99, Kind: engine.KindBillingClose, Instance: "i-1", Zone: "us-east-1a", Spot: true, Amount: market.FromDollars(0.018)},
 	}
@@ -82,6 +84,11 @@ func TestCollectorGoldenSnapshot(t *testing.T) {
 		`jupiter_quorum_transitions_total{` + base + `,direction="up"} 1`,
 		`jupiter_downtime_minutes_sum{` + base + `} 10`,
 		`jupiter_quorum_live{` + base + `} 2`,
+		// chaos faults by zone, fault kind, and phase
+		`jupiter_events_total{` + base + `,kind="fault-injected"} 1`,
+		`jupiter_events_total{` + base + `,kind="fault-cleared"} 1`,
+		`jupiter_faults_total{` + base + `,zone="us-west-2b",fault="reclaim-storm",phase="injected"} 1`,
+		`jupiter_faults_total{` + base + `,zone="us-east-1a",fault="zone-blackout",phase="cleared"} 1`,
 		// model trainings split by mode, wall time in seconds
 		`jupiter_model_trainings_total{` + base + `,zone="us-east-1a",mode="scratch"} 1`,
 		`jupiter_model_trainings_total{` + base + `,zone="us-east-1a",mode="incremental"} 1`,

@@ -1,0 +1,30 @@
+package telemetry
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// RecordQuarantinedRows books a lenient trace read's quarantine counts
+// on the registry as jupiter_trace_rows_quarantined_total, labeled by
+// input source (typically the trace file path) and quarantine reason.
+// Nil registry, nil report, or a clean read are no-ops, so callers can
+// pass their optional instrumentation straight through. Reasons are
+// booked in sorted order, keeping registration order deterministic.
+func RecordQuarantinedRows(reg *Registry, source string, rep *trace.ReadReport) {
+	if reg == nil || rep == nil || rep.Quarantined == 0 {
+		return
+	}
+	vec := reg.Counter("jupiter_trace_rows_quarantined_total",
+		"Input trace rows quarantined by lenient reads, by source and reason.",
+		"source", "reason")
+	reasons := make([]string, 0, len(rep.Reasons))
+	for r := range rep.Reasons {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		vec.With(source, r).Add(int64(rep.Reasons[r]))
+	}
+}

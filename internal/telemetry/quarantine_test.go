@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRecordQuarantinedRows(t *testing.T) {
+	reg := NewRegistry()
+	rep := &trace.ReadReport{
+		Quarantined: 3,
+		Reasons: map[string]int{
+			trace.ReasonNaNPrice:  2,
+			trace.ReasonBadMinute: 1,
+		},
+	}
+	RecordQuarantinedRows(reg, "prices.csv", rep)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`jupiter_trace_rows_quarantined_total{source="prices.csv",reason="nan-price"} 2`,
+		`jupiter_trace_rows_quarantined_total{source="prices.csv",reason="bad-minute"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRecordQuarantinedRowsNoOps: nil registry, nil report, and a clean
+// report must neither panic nor register an empty metric family.
+func TestRecordQuarantinedRowsNoOps(t *testing.T) {
+	RecordQuarantinedRows(nil, "x", &trace.ReadReport{Quarantined: 1, Reasons: map[string]int{"r": 1}})
+
+	reg := NewRegistry()
+	RecordQuarantinedRows(reg, "x", nil)
+	RecordQuarantinedRows(reg, "x", &trace.ReadReport{})
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "jupiter_trace_rows_quarantined_total") {
+		t.Fatalf("clean reads registered the quarantine family:\n%s", sb.String())
+	}
+}

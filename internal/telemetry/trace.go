@@ -44,6 +44,7 @@ type TraceEvent struct {
 	Zone           string `json:"zone,omitempty"`
 	Spot           bool   `json:"spot,omitempty"`
 	Cause          string `json:"cause,omitempty"` // "provider" or "user"; terminations only
+	Fault          string `json:"fault,omitempty"` // injector name; chaos fault events only
 	AmountMicroUSD int64  `json:"amount_microusd,omitempty"`
 	Until          int64  `json:"until,omitempty"`
 	Size           int    `json:"size,omitempty"`
@@ -59,6 +60,7 @@ func Record(e engine.Event) TraceEvent {
 		Request:        e.Request,
 		Zone:           e.Zone,
 		Spot:           e.Spot,
+		Fault:          e.Fault,
 		AmountMicroUSD: int64(e.Amount),
 		Until:          e.Until,
 		Size:           e.Size,
@@ -96,6 +98,7 @@ func (te TraceEvent) Event() (engine.Event, error) {
 		Request:       te.Request,
 		Zone:          te.Zone,
 		Spot:          te.Spot,
+		Fault:         te.Fault,
 		Amount:        market.Money(te.AmountMicroUSD),
 		Until:         te.Until,
 		Size:          te.Size,
@@ -189,6 +192,9 @@ func (tw *TraceWriter) OnQuorum(e engine.Event) { tw.write(e) }
 
 // OnModel records model-training events.
 func (tw *TraceWriter) OnModel(e engine.Event) { tw.write(e) }
+
+// OnFault records chaos fault injections and clearances.
+func (tw *TraceWriter) OnFault(e engine.Event) { tw.write(e) }
 
 // Events returns the number of events written so far.
 func (tw *TraceWriter) Events() int64 {

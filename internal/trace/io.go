@@ -5,11 +5,84 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 
 	"repro/internal/market"
 )
+
+// ReadMode selects how the trace readers treat malformed input rows.
+type ReadMode int
+
+const (
+	// Strict rejects the first malformed row with an error naming its
+	// line. The default for every command-line tool.
+	Strict ReadMode = iota
+	// Lenient quarantines malformed rows — skips them and counts each
+	// by reason in the returned ReadReport — and keeps whatever parses.
+	// A zone whose rows were all quarantined is dropped rather than
+	// failing set validation.
+	Lenient
+)
+
+// Quarantine reasons reported by lenient reads.
+const (
+	ReasonTruncatedRow     = "truncated-row"
+	ReasonBadMinute        = "bad-minute"
+	ReasonBadPrice         = "bad-price"
+	ReasonNaNPrice         = "nan-price"
+	ReasonNonPositivePrice = "non-positive-price"
+	ReasonDuplicateMinute  = "duplicate-minute"
+	ReasonOutOfOrder       = "out-of-order-minute"
+	ReasonTypeMismatch     = "type-mismatch"
+	ReasonZoneDropped      = "zone-dropped"
+)
+
+// ReadReport accounts the rows a lenient read quarantined, by reason.
+// Surface it through the telemetry registry with
+// telemetry.RecordQuarantinedRows when the run is instrumented.
+type ReadReport struct {
+	// Quarantined is the total number of skipped rows (zone drops count
+	// once per zone).
+	Quarantined int
+	// Reasons maps a Reason* constant to its occurrence count.
+	Reasons map[string]int
+}
+
+func (r *ReadReport) add(reason string) {
+	if r.Reasons == nil {
+		r.Reasons = make(map[string]int)
+	}
+	r.Quarantined++
+	r.Reasons[reason]++
+}
+
+// checkPrice classifies a price in dollars; ok rows return "".
+func checkPrice(dollars float64) string {
+	if math.IsNaN(dollars) || math.IsInf(dollars, 0) {
+		return ReasonNaNPrice
+	}
+	if dollars <= 0 {
+		return ReasonNonPositivePrice
+	}
+	return ""
+}
+
+// checkOrder classifies a minute against the zone's previous one;
+// ok rows return "". prev is nil for a zone's first row.
+func checkOrder(prev *int64, minute int64) string {
+	if prev == nil {
+		return ""
+	}
+	if minute == *prev {
+		return ReasonDuplicateMinute
+	}
+	if minute < *prev {
+		return ReasonOutOfOrder
+	}
+	return ""
+}
 
 // CSV layout: header "zone,type,minute,price_usd" followed by one row per
 // price point, grouped by zone in ascending minute order.
@@ -38,39 +111,108 @@ func (s *Set) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a trace set written by WriteCSV. Span boundaries are
-// supplied by the caller because the CSV stores only change points.
+// ReadCSV parses a trace set written by WriteCSV in Strict mode. Span
+// boundaries are supplied by the caller because the CSV stores only
+// change points.
 func ReadCSV(r io.Reader, it market.InstanceType, start, end int64) (*Set, error) {
+	set, _, err := ReadCSVMode(r, it, start, end, Strict)
+	return set, err
+}
+
+// ReadCSVMode parses a trace set written by WriteCSV. Rows must arrive
+// in ascending minute order per zone; prices must be positive finite
+// numbers. Strict mode rejects the first violation with its line
+// number; Lenient mode quarantines violating rows and reports them.
+func ReadCSVMode(r io.Reader, it market.InstanceType, start, end int64, mode ReadMode) (*Set, *ReadReport, error) {
 	cr := csv.NewReader(r)
-	rows, err := cr.ReadAll()
+	cr.FieldsPerRecord = -1 // field count is checked per row below
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, nil, fmt.Errorf("trace: empty CSV")
+	}
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading CSV: %w", err)
+		return nil, nil, fmt.Errorf("trace: reading CSV: %w", err)
 	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("trace: empty CSV")
-	}
-	header := rows[0]
 	if len(header) != 4 || header[0] != "zone" || header[2] != "minute" {
-		return nil, fmt.Errorf("trace: unexpected CSV header %v", header)
+		return nil, nil, fmt.Errorf("trace: unexpected CSV header %v", header)
 	}
+	report := &ReadReport{}
 	byZone := map[string][]PricePoint{}
-	for i, row := range rows[1:] {
+	lastMinute := map[string]*int64{}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if mode == Lenient {
+				report.add(ReasonTruncatedRow)
+				continue
+			}
+			return nil, nil, fmt.Errorf("trace: reading CSV: %w", err)
+		}
+		quarantine := func(reason, format string, args ...any) error {
+			if mode == Lenient {
+				report.add(reason)
+				return nil
+			}
+			return fmt.Errorf("trace: line %d: %s", line, fmt.Sprintf(format, args...))
+		}
 		if len(row) != 4 {
-			return nil, fmt.Errorf("trace: row %d has %d fields", i+2, len(row))
+			if err := quarantine(ReasonTruncatedRow, "%d fields, want 4", len(row)); err != nil {
+				return nil, nil, err
+			}
+			continue
 		}
 		if market.InstanceType(row[1]) != it {
-			return nil, fmt.Errorf("trace: row %d type %q, want %q", i+2, row[1], it)
+			if err := quarantine(ReasonTypeMismatch, "type %q, want %q", row[1], it); err != nil {
+				return nil, nil, err
+			}
+			continue
 		}
-		minute, err := strconv.ParseInt(row[2], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: row %d minute: %v", i+2, err)
+		minute, perr := strconv.ParseInt(row[2], 10, 64)
+		if perr != nil {
+			if err := quarantine(ReasonBadMinute, "minute: %v", perr); err != nil {
+				return nil, nil, err
+			}
+			continue
 		}
-		dollars, err := strconv.ParseFloat(row[3], 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: row %d price: %v", i+2, err)
+		dollars, perr := strconv.ParseFloat(row[3], 64)
+		if perr != nil {
+			if err := quarantine(ReasonBadPrice, "price: %v", perr); err != nil {
+				return nil, nil, err
+			}
+			continue
 		}
-		byZone[row[0]] = append(byZone[row[0]], PricePoint{Minute: minute, Price: market.FromDollars(dollars)})
+		if reason := checkPrice(dollars); reason != "" {
+			if err := quarantine(reason, "price %v is not a positive finite number", row[3]); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		zone := row[0]
+		if reason := checkOrder(lastMinute[zone], minute); reason != "" {
+			if err := quarantine(reason, "zone %s minute %d not after %d", zone, minute, *lastMinute[zone]); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		m := minute
+		lastMinute[zone] = &m
+		byZone[zone] = append(byZone[zone], PricePoint{Minute: minute, Price: market.FromDollars(dollars)})
 	}
+	set, err := assembleSet(it, start, end, byZone, mode, report)
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, report, nil
+}
+
+// assembleSet validates per-zone points into a Set. In Lenient mode a
+// zone that fails validation (for example, every row quarantined, or a
+// first point past the span start) is dropped and counted rather than
+// failing the read; a set left with no zones at all is still an error.
+func assembleSet(it market.InstanceType, start, end int64, byZone map[string][]PricePoint, mode ReadMode, report *ReadReport) (*Set, error) {
 	set := NewSet(it, start, end)
 	zones := make([]string, 0, len(byZone))
 	for z := range byZone {
@@ -78,12 +220,17 @@ func ReadCSV(r io.Reader, it market.InstanceType, start, end int64) (*Set, error
 	}
 	sort.Strings(zones)
 	for _, z := range zones {
-		pts := byZone[z]
-		sort.Slice(pts, func(a, b int) bool { return pts[a].Minute < pts[b].Minute })
-		t := &Trace{Zone: z, Type: it, Start: start, End: end, Points: pts}
+		t := &Trace{Zone: z, Type: it, Start: start, End: end, Points: byZone[z]}
 		if err := set.Add(t); err != nil {
+			if mode == Lenient {
+				report.add(ReasonZoneDropped)
+				continue
+			}
 			return nil, err
 		}
+	}
+	if len(set.ByZone) == 0 {
+		return nil, fmt.Errorf("trace: no usable zones")
 	}
 	return set, nil
 }
@@ -121,21 +268,57 @@ func (s *Set) WriteJSON(w io.Writer) error {
 	return enc.Encode(js)
 }
 
-// ReadJSON parses a set written by WriteJSON.
+// ReadJSON parses a set written by WriteJSON in Strict mode.
 func ReadJSON(r io.Reader) (*Set, error) {
+	set, _, err := ReadJSONMode(r, Strict)
+	return set, err
+}
+
+// ReadJSONMode parses a set written by WriteJSON, enforcing the same
+// row discipline as ReadCSVMode: positive prices and strictly
+// ascending minutes per zone. Strict mode rejects the first violation,
+// naming the zone and point index; Lenient mode quarantines violating
+// points and reports them.
+func ReadJSONMode(r io.Reader, mode ReadMode) (*Set, *ReadReport, error) {
 	var js jsonSet
 	if err := json.NewDecoder(r).Decode(&js); err != nil {
-		return nil, fmt.Errorf("trace: reading JSON: %w", err)
+		return nil, nil, fmt.Errorf("trace: reading JSON: %w", err)
 	}
-	set := NewSet(js.Type, js.Start, js.End)
+	report := &ReadReport{}
+	byZone := map[string][]PricePoint{}
 	for _, jt := range js.Traces {
-		t := &Trace{Zone: jt.Zone, Type: js.Type, Start: js.Start, End: js.End}
-		for _, p := range jt.Points {
-			t.Points = append(t.Points, PricePoint{Minute: p.Minute, Price: market.Money(p.Micro)})
+		var last *int64
+		for i, p := range jt.Points {
+			quarantine := func(reason, format string, args ...any) error {
+				if mode == Lenient {
+					report.add(reason)
+					return nil
+				}
+				return fmt.Errorf("trace: zone %s point %d: %s", jt.Zone, i, fmt.Sprintf(format, args...))
+			}
+			if p.Micro <= 0 {
+				if err := quarantine(ReasonNonPositivePrice, "price %d micro-USD not positive", p.Micro); err != nil {
+					return nil, nil, err
+				}
+				continue
+			}
+			if reason := checkOrder(last, p.Minute); reason != "" {
+				if err := quarantine(reason, "minute %d not after %d", p.Minute, *last); err != nil {
+					return nil, nil, err
+				}
+				continue
+			}
+			m := p.Minute
+			last = &m
+			byZone[jt.Zone] = append(byZone[jt.Zone], PricePoint{Minute: p.Minute, Price: market.Money(p.Micro)})
 		}
-		if err := set.Add(t); err != nil {
-			return nil, err
+		if byZone[jt.Zone] == nil {
+			byZone[jt.Zone] = []PricePoint{} // keep the zone so an all-quarantined one is counted as dropped
 		}
 	}
-	return set, nil
+	set, err := assembleSet(js.Type, js.Start, js.End, byZone, mode, report)
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, report, nil
 }

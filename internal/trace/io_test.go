@@ -94,6 +94,99 @@ func TestCSVBadRows(t *testing.T) {
 	}
 }
 
+const csvHeader = "zone,type,minute,price_usd\n"
+
+// TestCSVStrictRejectsWithLineNumbers pins strict mode's contract: the
+// first malformed row fails the read with an error naming its line.
+func TestCSVStrictRejectsWithLineNumbers(t *testing.T) {
+	cases := []struct{ name, rows, wantLine string }{
+		{"nan-price", "us-east-1a,m1.small,0,NaN\n", "line 2"},
+		{"inf-price", "us-east-1a,m1.small,0,+Inf\n", "line 2"},
+		{"zero-price", "us-east-1a,m1.small,0,0\n", "line 2"},
+		{"negative-price", "us-east-1a,m1.small,0,-0.01\n", "line 2"},
+		{"duplicate-minute", "us-east-1a,m1.small,0,0.01\nus-east-1a,m1.small,0,0.02\n", "line 3"},
+		{"out-of-order-minute", "us-east-1a,m1.small,0,0.01\nus-east-1a,m1.small,10,0.02\nus-east-1a,m1.small,5,0.02\n", "line 4"},
+		{"truncated-row", "us-east-1a,m1.small,0,0.01\nus-east-1a,m1.small,5\n", "line 3"},
+		{"bad-minute", "us-east-1a,m1.small,later,0.01\n", "line 2"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(csvHeader+c.rows), market.M1Small, 0, 24*60)
+			if err == nil {
+				t.Fatal("malformed CSV accepted")
+			}
+			if !strings.Contains(err.Error(), c.wantLine) {
+				t.Fatalf("error %q does not name %s", err, c.wantLine)
+			}
+		})
+	}
+}
+
+// TestCSVLenientQuarantinesAndKeepsRest drives one of every violation
+// through a lenient read and checks the good rows survive while the
+// report accounts each bad one by reason.
+func TestCSVLenientQuarantinesAndKeepsRest(t *testing.T) {
+	body := csvHeader +
+		"us-east-1a,m1.small,0,0.01\n" + // good
+		"us-east-1a,m1.small,10,NaN\n" + // nan-price
+		"us-east-1a,m1.small,15,0\n" + // non-positive-price
+		"us-east-1a,m1.small,20,0.02\n" + // good
+		"us-east-1a,m1.small,20,0.03\n" + // duplicate-minute
+		"us-east-1a,m1.small,5,0.03\n" + // out-of-order-minute
+		"us-east-1a,m1.small,30\n" + // truncated-row
+		"us-east-1a,m1.small,later,0.01\n" + // bad-minute
+		"us-east-1a,m3.large,40,0.01\n" // type-mismatch
+	set, rep, err := ReadCSVMode(strings.NewReader(body), market.M1Small, 0, 24*60, Lenient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := set.ByZone["us-east-1a"].Points
+	if len(pts) != 2 || pts[0].Minute != 0 || pts[1].Minute != 20 {
+		t.Fatalf("kept points %+v, want minutes 0 and 20", pts)
+	}
+	if rep.Quarantined != 7 {
+		t.Fatalf("quarantined %d rows, want 7: %+v", rep.Quarantined, rep.Reasons)
+	}
+	for _, reason := range []string{
+		ReasonNaNPrice, ReasonNonPositivePrice, ReasonDuplicateMinute,
+		ReasonOutOfOrder, ReasonTruncatedRow, ReasonBadMinute, ReasonTypeMismatch,
+	} {
+		if rep.Reasons[reason] != 1 {
+			t.Errorf("reason %s counted %d times, want 1 (%+v)", reason, rep.Reasons[reason], rep.Reasons)
+		}
+	}
+}
+
+// TestCSVLenientDropsUnusableZone: a zone whose surviving rows cannot
+// form a valid trace (first point after the span start once the bad row
+// is gone) is dropped and counted, not fatal.
+func TestCSVLenientDropsUnusableZone(t *testing.T) {
+	body := csvHeader +
+		"eu-west-1b,m1.small,0,-1\n" + // quarantined, leaving the zone to start at 10
+		"eu-west-1b,m1.small,10,0.02\n" +
+		"us-east-1a,m1.small,0,0.01\n"
+	set, rep, err := ReadCSVMode(strings.NewReader(body), market.M1Small, 0, 24*60, Lenient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := set.ByZone["eu-west-1b"]; ok {
+		t.Fatal("unusable zone kept")
+	}
+	if _, ok := set.ByZone["us-east-1a"]; !ok {
+		t.Fatal("good zone dropped")
+	}
+	if rep.Reasons[ReasonZoneDropped] != 1 || rep.Reasons[ReasonNonPositivePrice] != 1 {
+		t.Fatalf("report %+v, want one zone-dropped and one non-positive-price", rep.Reasons)
+	}
+
+	// When every zone is unusable, even a lenient read must fail rather
+	// than return an empty set.
+	empty := csvHeader + "us-east-1a,m1.small,5,0.01\n" // first point after span start
+	if _, _, err := ReadCSVMode(strings.NewReader(empty), market.M1Small, 0, 24*60, Lenient); err == nil {
+		t.Fatal("zone-less lenient read accepted")
+	}
+}
+
 func TestJSONRoundTrip(t *testing.T) {
 	s := genSmallSet(t)
 	var buf bytes.Buffer
@@ -110,5 +203,54 @@ func TestJSONRoundTrip(t *testing.T) {
 func TestJSONGarbage(t *testing.T) {
 	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
 		t.Fatal("garbage JSON accepted")
+	}
+}
+
+// TestJSONStrictRejectsBadPoints mirrors the CSV strictness for the
+// JSON reader: violations name the zone and point index.
+func TestJSONStrictRejectsBadPoints(t *testing.T) {
+	cases := []struct{ name, body, wantSub string }{
+		{"non-positive-price",
+			`{"type":"m1.small","start":0,"end":100,"traces":[{"zone":"us-east-1a","points":[{"minute":0,"price_micro_usd":9000},{"minute":10,"price_micro_usd":-5}]}]}`,
+			"zone us-east-1a point 1"},
+		{"duplicate-minute",
+			`{"type":"m1.small","start":0,"end":100,"traces":[{"zone":"us-east-1a","points":[{"minute":0,"price_micro_usd":9000},{"minute":0,"price_micro_usd":8000}]}]}`,
+			"zone us-east-1a point 1"},
+		{"out-of-order-minute",
+			`{"type":"m1.small","start":0,"end":100,"traces":[{"zone":"us-east-1a","points":[{"minute":0,"price_micro_usd":9000},{"minute":20,"price_micro_usd":8000},{"minute":10,"price_micro_usd":7000}]}]}`,
+			"zone us-east-1a point 2"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadJSON(strings.NewReader(c.body))
+			if err == nil {
+				t.Fatal("malformed JSON trace accepted")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not name %s", err, c.wantSub)
+			}
+		})
+	}
+}
+
+// TestJSONLenientQuarantinesAndDropsZones: bad points are skipped and
+// counted; a zone left with no usable points at all is dropped.
+func TestJSONLenientQuarantinesAndDropsZones(t *testing.T) {
+	body := `{"type":"m1.small","start":0,"end":100,"traces":[` +
+		`{"zone":"us-east-1a","points":[{"minute":0,"price_micro_usd":9000},{"minute":10,"price_micro_usd":-5},{"minute":20,"price_micro_usd":8000}]},` +
+		`{"zone":"eu-west-1b","points":[{"minute":5,"price_micro_usd":0}]}]}`
+	set, rep, err := ReadJSONMode(strings.NewReader(body), Lenient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := set.ByZone["us-east-1a"].Points
+	if len(pts) != 2 || pts[0].Minute != 0 || pts[1].Minute != 20 {
+		t.Fatalf("kept points %+v, want minutes 0 and 20", pts)
+	}
+	if _, ok := set.ByZone["eu-west-1b"]; ok {
+		t.Fatal("all-quarantined zone kept")
+	}
+	if rep.Reasons[ReasonNonPositivePrice] != 2 || rep.Reasons[ReasonZoneDropped] != 1 {
+		t.Fatalf("report %+v, want 2 non-positive-price and 1 zone-dropped", rep.Reasons)
 	}
 }
