@@ -1,0 +1,182 @@
+// Command benchjson converts `go test -bench` text output into a
+// stable JSON document, so CI can archive benchmark runs as artifacts
+// (BENCH_5.json) and tooling can diff them across commits without
+// scraping the text format.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -count 5 ./... | benchjson -o BENCH_5.json
+//	benchjson -o BENCH_5.json bench-output.txt
+//
+// Every `BenchmarkName-P  N  V unit  [V unit ...]` line becomes a
+// sample of its benchmark; repeated lines (from -count or multiple
+// packages) aggregate into min/mean/max per metric. Non-benchmark
+// lines are ignored, so raw `go test` output can be piped in whole.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metricAgg summarizes one metric's samples for a benchmark.
+type metricAgg struct {
+	Min   float64 `json:"min"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+	Count int     `json:"count"`
+}
+
+// benchResult is one benchmark's aggregated samples.
+type benchResult struct {
+	Name       string               `json:"name"`
+	Iterations []int64              `json:"iterations"`
+	Metrics    map[string]metricAgg `json:"metrics"`
+}
+
+// report is the document benchjson emits.
+type report struct {
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// sample is one parsed benchmark line.
+type sample struct {
+	name   string
+	iters  int64
+	values map[string]float64
+}
+
+// parseLine parses one `go test -bench` output line, returning ok=false
+// for anything that is not a benchmark result.
+func parseLine(line string) (sample, bool) {
+	fields := strings.Fields(line)
+	// Name, iteration count, then at least one "value unit" pair.
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return sample{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || iters <= 0 {
+		return sample{}, false
+	}
+	s := sample{name: fields[0], iters: iters, values: make(map[string]float64)}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return sample{}, false
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return sample{}, false
+		}
+		s.values[rest[i+1]] = v
+	}
+	return s, true
+}
+
+// aggregate folds parsed samples into the report, benchmarks ordered by
+// first appearance.
+func aggregate(samples []sample) report {
+	index := make(map[string]int)
+	var out report
+	sums := make([]map[string]*metricAgg, 0)
+	for _, s := range samples {
+		i, seen := index[s.name]
+		if !seen {
+			i = len(out.Benchmarks)
+			index[s.name] = i
+			out.Benchmarks = append(out.Benchmarks, benchResult{
+				Name:    s.name,
+				Metrics: make(map[string]metricAgg),
+			})
+			sums = append(sums, make(map[string]*metricAgg))
+		}
+		b := &out.Benchmarks[i]
+		b.Iterations = append(b.Iterations, s.iters)
+		for unit, v := range s.values {
+			agg := sums[i][unit]
+			if agg == nil {
+				agg = &metricAgg{Min: v, Max: v}
+				sums[i][unit] = agg
+			}
+			if v < agg.Min {
+				agg.Min = v
+			}
+			if v > agg.Max {
+				agg.Max = v
+			}
+			agg.Mean += v // running sum; divided below
+			agg.Count++
+		}
+	}
+	for i := range out.Benchmarks {
+		units := make([]string, 0, len(sums[i]))
+		for u := range sums[i] {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			agg := *sums[i][u]
+			agg.Mean /= float64(agg.Count)
+			out.Benchmarks[i].Metrics[u] = agg
+		}
+	}
+	return out
+}
+
+// convert reads bench output from r and writes the JSON report to w.
+func convert(r io.Reader, w io.Writer) error {
+	var samples []sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if s, ok := parseLine(sc.Text()); ok {
+			samples = append(samples, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines in input")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(aggregate(samples))
+}
+
+func main() {
+	outPath := flag.String("o", "-", "output file ('-' = stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	out := io.Writer(os.Stdout)
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := convert(in, out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenEventsSHA256 pins the byte-exact JSONL event trace of a fixed
+// replay configuration. The forecast fast path (lock-free model reads,
+// flat-matrix DP, suffix-sum bid search) and the parallel zone build
+// are required to be observationally invisible; this hash is the
+// end-to-end witness. It was recorded before those optimizations
+// landed and must never change as a side effect of performance work.
+// (A deliberate semantic change to the simulation must update it, with
+// the reason in the commit.)
+const goldenEventsSHA256 = "5024363114c270e71d867cb5f66b5bf607bc4928c96be0426c92c964b75d7e40"
+
+func TestReplayEventTraceGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second full replay; skipped in -short")
+	}
+	out := filepath.Join(t.TempDir(), "events.jsonl")
+	o := options{
+		stratName:    "jupiter",
+		service:      "lock",
+		intervalSpec: "3",
+		weeks:        2,
+		train:        6,
+		seed:         2014,
+		jobs:         1,
+		eventsOut:    out,
+	}
+	// The detailed report goes to stdout; silence it for the test run.
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	oldStdout := os.Stdout
+	os.Stdout = devnull
+	runErr := run(o)
+	os.Stdout = oldStdout
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty event trace")
+	}
+	sum := sha256.Sum256(data)
+	if got := hex.EncodeToString(sum[:]); got != goldenEventsSHA256 {
+		t.Fatalf("event trace hash %s, want %s — the replay is no longer byte-identical", got, goldenEventsSHA256)
+	}
+}

@@ -9,6 +9,7 @@
 //	       [-trace file.csv] [-j N] [-model-stats]
 //	       [-chaos scenario] [-chaos-seed N]
 //	       [-events-out file.jsonl] [-manifest file.json] [-debug-addr host:port]
+//	       [-mutex-profile-fraction N] [-block-profile-rate N]
 //
 // Without -trace, a synthetic trace set is generated from the seed.
 // With several comma-separated intervals, the cells replay on a worker
@@ -20,7 +21,8 @@
 // `analyze diff`), -manifest writes an end-of-run summary (config,
 // seed, wall time, metric snapshot; "-" = stdout), and -debug-addr
 // serves live /metrics and /debug/pprof over HTTP while the run is in
-// flight.
+// flight (-mutex-profile-fraction / -block-profile-rate turn on the
+// runtime's contention sampling for the mutex and block profiles).
 package main
 
 import (
@@ -62,6 +64,8 @@ type options struct {
 	eventsOut    string
 	manifestOut  string
 	debugAddr    string
+	mutexFrac    int
+	blockRate    int
 	chaosSpec    string
 	chaosSeed    uint64
 	lenient      bool
@@ -84,6 +88,8 @@ func main() {
 	flag.StringVar(&o.eventsOut, "events-out", "", "write the simulation event trace as JSONL to this file ('-' = stdout)")
 	flag.StringVar(&o.manifestOut, "manifest", "", "write an end-of-run summary manifest (JSON) to this file ('-' = stdout)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve live /metrics and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
+	flag.IntVar(&o.mutexFrac, "mutex-profile-fraction", 0, "sample 1/N of mutex contention events for /debug/pprof/mutex (0 = off)")
+	flag.IntVar(&o.blockRate, "block-profile-rate", 0, "sample blocking events >= N ns for /debug/pprof/block (0 = off)")
 	flag.StringVar(&o.chaosSpec, "chaos", "", "fault-injection scenario: a builtin name (calm, zone-blackout, reclaim-storm, price-surge, flaky-market, stale-feed) or a JSON scenario file")
 	flag.Uint64Var(&o.chaosSeed, "chaos-seed", 0, "override the chaos scenario's seed (0 = use the scenario's own)")
 	flag.BoolVar(&o.lenient, "lenient-traces", false, "quarantine malformed trace rows instead of failing the read (default: strict, first bad row is an error)")
@@ -153,6 +159,15 @@ func newTelemetrySink(o options) (*telemetrySink, error) {
 		s.writer = tw
 	}
 	if o.debugAddr != "" {
+		// The mutex and block profiles are empty unless the runtime
+		// samples them; both rates cost nothing at 0 and only matter
+		// alongside a live pprof endpoint, so they are gated on it.
+		if o.mutexFrac > 0 {
+			runtime.SetMutexProfileFraction(o.mutexFrac)
+		}
+		if o.blockRate > 0 {
+			runtime.SetBlockProfileRate(o.blockRate)
+		}
 		d, err := telemetry.ServeDebug(o.debugAddr, s.reg)
 		if err != nil {
 			return nil, err

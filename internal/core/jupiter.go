@@ -24,7 +24,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/market"
@@ -264,6 +266,130 @@ type zoneBid struct {
 	bid  market.Money
 }
 
+// zoneState is one zone's failure estimator for the current interval,
+// shared across all group sizes of a Decide.
+type zoneState struct {
+	zone   string
+	minBid func(target float64) (market.Money, bool)
+	fpOf   func(bid market.Money) float64
+	levels []market.Money
+	cur    market.Money
+}
+
+// buildZoneStates assembles the per-zone estimators for one Decide.
+//
+// Model training and market reads run sequentially in zone order: they
+// mutate the retrain-cadence state and publish training events, whose
+// order is part of the deterministic event trace, and MarketView
+// implementations are not required to be goroutine-safe. The forecast
+// construction that follows — the semi-Markov DP, by far the dominant
+// cost on retrain minutes — is a pure function per zone, so it fans out
+// over a worker pool bounded by GOMAXPROCS. Results collect into a
+// slice indexed by zone order, keeping every downstream loop
+// deterministic.
+func (j *Jupiter) buildZoneStates(view strategy.MarketView, spec strategy.ServiceSpec, zones []string, now, intervalMinutes int64) ([]*zoneState, error) {
+	type zoneWork struct {
+		zone  string
+		model *smc.Model
+		cur   market.Money
+		age   int64
+		od    market.Money
+	}
+	work := make([]zoneWork, 0, len(zones))
+	for _, z := range zones {
+		if j.health != nil && j.health.quarantined(z, now) {
+			continue // zone quarantined after faults; re-probed once the backoff expires
+		}
+		m, err := j.model(view, z)
+		if err != nil {
+			continue // zone unusable this round (no history yet)
+		}
+		cur, err := view.SpotPrice(z)
+		if err != nil {
+			return nil, err
+		}
+		age, err := view.SpotPriceAge(z)
+		if err != nil {
+			return nil, err
+		}
+		od, err := market.OnDemandPrice(z, spec.Type)
+		if err != nil {
+			return nil, err
+		}
+		work = append(work, zoneWork{zone: z, model: m, cur: cur, age: age, od: od})
+	}
+
+	build := func(w zoneWork) *zoneState {
+		var f *smc.Forecast
+		var err error
+		switch j.Mode {
+		case ModeStationary:
+			f, err = w.model.Stationary()
+		case ModeOneStep:
+			model, cur, age, od := w.model, w.cur, w.age, w.od
+			return &zoneState{
+				zone: w.zone,
+				minBid: func(target float64) (market.Money, bool) {
+					return model.MinimalBidOneStep(cur, age, target, j.FP0, od)
+				},
+				fpOf: func(bid market.Money) float64 {
+					return model.OneStepFP(cur, age, bid, j.FP0)
+				},
+				levels: model.Prices(),
+				cur:    cur,
+			}
+		default:
+			f, err = w.model.Forecast(w.cur, w.age, intervalMinutes)
+		}
+		if err != nil {
+			return nil // zone unusable this round
+		}
+		fc, od := f, w.od
+		return &zoneState{
+			zone: w.zone,
+			minBid: func(target float64) (market.Money, bool) {
+				return fc.MinimalBid(target, j.FP0, od)
+			},
+			fpOf: func(bid market.Money) float64 {
+				return fc.FailureProbability(bid, j.FP0)
+			},
+			levels: fc.Levels(),
+			cur:    w.cur,
+		}
+	}
+
+	built := make([]*zoneState, len(work))
+	if workers := min(runtime.GOMAXPROCS(0), len(work)); workers <= 1 {
+		for i, w := range work {
+			built[i] = build(w)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					built[i] = build(work[i])
+				}
+			}()
+		}
+		for i := range work {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	states := built[:0]
+	for _, st := range built {
+		if st != nil {
+			states = append(states, st)
+		}
+	}
+	return states, nil
+}
+
 // Decide implements strategy.Strategy — the Fig. 3 online bidding
 // algorithm.
 func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, intervalMinutes int64) (strategy.Decision, error) {
@@ -283,71 +409,18 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 	j.lastStage = stage
 
 	// One failure estimator per zone, shared across all group sizes.
-	type zoneState struct {
-		minBid func(target float64) (market.Money, bool)
-		fpOf   func(bid market.Money) float64
-		levels []market.Money
-		cur    market.Money
-	}
-	states := make(map[string]*zoneState, len(zones))
-	for _, z := range zones {
-		if j.health != nil && j.health.quarantined(z, now) {
-			continue // zone quarantined after faults; re-probed once the backoff expires
-		}
-		m, err := j.model(view, z)
-		if err != nil {
-			continue // zone unusable this round (no history yet)
-		}
-		cur, err := view.SpotPrice(z)
-		if err != nil {
-			return strategy.Decision{}, err
-		}
-		age, err := view.SpotPriceAge(z)
-		if err != nil {
-			return strategy.Decision{}, err
-		}
-		od, err := market.OnDemandPrice(z, spec.Type)
-		if err != nil {
-			return strategy.Decision{}, err
-		}
-		var f *smc.Forecast
-		switch j.Mode {
-		case ModeStationary:
-			f, err = m.Stationary()
-		case ModeOneStep:
-			model := m
-			curZ, ageZ := cur, age
-			states[z] = &zoneState{
-				minBid: func(target float64) (market.Money, bool) {
-					return model.MinimalBidOneStep(curZ, ageZ, target, j.FP0, od)
-				},
-				fpOf: func(bid market.Money) float64 {
-					return model.OneStepFP(curZ, ageZ, bid, j.FP0)
-				},
-				levels: model.Prices(),
-				cur:    cur,
-			}
-			continue
-		default:
-			f, err = m.Forecast(cur, age, intervalMinutes)
-		}
-		if err != nil {
-			continue
-		}
-		fc := f
-		states[z] = &zoneState{
-			minBid: func(target float64) (market.Money, bool) {
-				return fc.MinimalBid(target, j.FP0, od)
-			},
-			fpOf: func(bid market.Money) float64 {
-				return fc.FailureProbability(bid, j.FP0)
-			},
-			levels: fc.Levels(),
-			cur:    cur,
-		}
+	// Forecast construction fans out over a bounded worker pool; the
+	// result is ordered by zone so every loop below is deterministic.
+	states, err := j.buildZoneStates(view, spec, zones, now, intervalMinutes)
+	if err != nil {
+		return strategy.Decision{}, err
 	}
 	if len(states) == 0 {
 		return j.fallback(view, spec)
+	}
+	byZone := make(map[string]*zoneState, len(states))
+	for _, st := range states {
+		byZone[st.zone] = st
 	}
 
 	maxNodes := j.MaxNodes
@@ -403,21 +476,19 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 		}
 		cand.FPTarget = fpTarget
 		var bids []zoneBid
-		for z, st := range states {
+		for _, st := range states {
 			bid, ok := st.minBid(fpTarget)
 			if !ok {
 				continue
 			}
 			// Constraint (9): the bid must clear the current price so
-			// the instance launches at all.
-			cur, err := view.SpotPrice(z)
-			if err != nil {
-				return strategy.Decision{}, err
-			}
-			if bid < cur {
+			// the instance launches at all. st.cur is the price already
+			// fetched for the forecast — the market cannot move within a
+			// Decide, so a second SpotPrice lookup would be redundant.
+			if bid < st.cur {
 				continue
 			}
-			bids = append(bids, zoneBid{zone: z, bid: bid})
+			bids = append(bids, zoneBid{zone: st.zone, bid: bid})
 		}
 		sort.Slice(bids, func(a, b int) bool {
 			if bids[a].bid != bids[b].bid {
@@ -476,7 +547,7 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 	if j.Refine && len(bestOD) == 0 && len(bestBids) > 0 {
 		k := spec.QuorumSize(len(bestBids))
 		bestBids = refineBids(bestBids, k, target, func(zone string) *refineZone {
-			st := states[zone]
+			st := byZone[zone]
 			if st == nil {
 				return nil
 			}
@@ -487,7 +558,7 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 	j.lastBidFPs = make(map[string]float64, len(bestBids))
 	for _, zb := range bestBids {
 		out.Bids = append(out.Bids, strategy.Bid{Zone: zb.zone, Price: zb.bid})
-		if st := states[zb.zone]; st != nil && st.fpOf != nil {
+		if st := byZone[zb.zone]; st != nil && st.fpOf != nil {
 			j.lastBidFPs[zb.zone] = st.fpOf(zb.bid)
 		}
 	}
@@ -537,7 +608,11 @@ type refineZone struct {
 
 // refineBids lowers bids one price level at a time — always the largest
 // available saving first — while the exact heterogeneous k-of-n
-// availability stays at or above the target.
+// availability stays at or above the target. Each descent iteration
+// builds one quorum.ThresholdEvaluator over the current probability
+// vector and probes every zone's next level with its O(n) leave-one-out
+// query, so an iteration costs O(n²) where the swap-and-recompute DP
+// was O(n³).
 func refineBids(bids []zoneBid, k int, target float64, zoneInfo func(zone string) *refineZone) []zoneBid {
 	n := len(bids)
 	infos := make([]*refineZone, n)
@@ -550,20 +625,19 @@ func refineBids(bids []zoneBid, k int, target float64, zoneInfo func(zone string
 		fps[i] = infos[i].fpOf(zb.bid)
 	}
 	// nextLower returns the largest candidate level strictly below the
-	// current bid but not below the zone's current spot price.
+	// current bid but not below the zone's current spot price. Levels
+	// are the model's learned prices, strictly ascending, so the
+	// predecessor of the first level >= bid is the only candidate.
 	nextLower := func(i int) (market.Money, bool) {
-		var best market.Money = -1
-		for _, lv := range infos[i].levels {
-			if lv < bids[i].bid && lv >= infos[i].cur && lv > best {
-				best = lv
-			}
-		}
-		if best < 0 {
+		levels := infos[i].levels
+		x := sort.Search(len(levels), func(j int) bool { return levels[j] >= bids[i].bid })
+		if x == 0 || levels[x-1] < infos[i].cur {
 			return 0, false
 		}
-		return best, true
+		return levels[x-1], true
 	}
 	for iter := 0; iter < 64*n; iter++ {
+		ev := quorum.NewThresholdEvaluator(k, fps)
 		bestIdx := -1
 		var bestSave market.Money
 		var bestBid market.Money
@@ -574,11 +648,7 @@ func refineBids(bids []zoneBid, k int, target float64, zoneInfo func(zone string
 				continue
 			}
 			newFP := infos[i].fpOf(lower)
-			old := fps[i]
-			fps[i] = newFP
-			feasible := quorum.ThresholdAvailability(k, fps) >= target
-			fps[i] = old
-			if !feasible {
+			if ev.WithNode(i, newFP) < target {
 				continue
 			}
 			if save := bids[i].bid - lower; save > bestSave {

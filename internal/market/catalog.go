@@ -3,6 +3,7 @@ package market
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Region is an EC2 geographic region with its isolated availability zones
@@ -47,28 +48,58 @@ var regionSpecs = []regionSpec{
 	{"sa-east-1", "Sao Paulo", 2, FromDollars(0.061), FromDollars(0.201)},
 }
 
-// Regions returns the Table 1 catalog: nine regions, 24 availability
-// zones in total.
-func Regions() []Region {
-	out := make([]Region, 0, len(regionSpecs))
-	for _, rs := range regionSpecs {
-		r := Region{Name: rs.name, Location: rs.location}
-		for i := 0; i < rs.zoneCount; i++ {
-			r.Zones = append(r.Zones, fmt.Sprintf("%s%c", rs.name, 'a'+i))
+// catalog is the expanded, immutable form of regionSpecs, built once:
+// the Decide hot path resolves zone -> on-demand price on every
+// forecast, so lookups must not re-derive zone names (each Regions()
+// rebuild cost dozens of fmt.Sprintf allocations per Decide).
+var catalog struct {
+	once      sync.Once
+	regions   []Region                 // template; Zones slices are never handed out directly
+	allZones  []string                 // sorted; never handed out directly
+	zoneIndex map[string]int           // zone -> index into regionSpecs/regions
+	odPrice   map[InstanceType][]Money // instance type -> price per regionSpecs index
+}
+
+func initCatalog() {
+	catalog.once.Do(func() {
+		catalog.zoneIndex = make(map[string]int)
+		catalog.odPrice = map[InstanceType][]Money{M1Small: nil, M3Large: nil}
+		for ri, rs := range regionSpecs {
+			r := Region{Name: rs.name, Location: rs.location}
+			for i := 0; i < rs.zoneCount; i++ {
+				z := fmt.Sprintf("%s%c", rs.name, 'a'+i)
+				r.Zones = append(r.Zones, z)
+				catalog.zoneIndex[z] = ri
+				catalog.allZones = append(catalog.allZones, z)
+			}
+			catalog.regions = append(catalog.regions, r)
+			catalog.odPrice[M1Small] = append(catalog.odPrice[M1Small], rs.odM1Small)
+			catalog.odPrice[M3Large] = append(catalog.odPrice[M3Large], rs.odM3Large)
 		}
-		out = append(out, r)
+		sort.Strings(catalog.allZones)
+	})
+}
+
+// Regions returns the Table 1 catalog: nine regions, 24 availability
+// zones in total. The result is a fresh copy the caller may mutate.
+func Regions() []Region {
+	initCatalog()
+	out := make([]Region, len(catalog.regions))
+	for i, r := range catalog.regions {
+		out[i] = Region{
+			Name:     r.Name,
+			Location: r.Location,
+			Zones:    append([]string(nil), r.Zones...),
+		}
 	}
 	return out
 }
 
 // AllZones returns every availability zone name in the catalog, sorted.
+// The result is a fresh copy the caller may mutate.
 func AllZones() []string {
-	var zones []string
-	for _, r := range Regions() {
-		zones = append(zones, r.Zones...)
-	}
-	sort.Strings(zones)
-	return zones
+	initCatalog()
+	return append([]string(nil), catalog.allZones...)
 }
 
 // ExperimentZones returns the 17 availability zones the paper's
@@ -94,38 +125,36 @@ func ExperimentZones() []string {
 }
 
 // RegionOfZone returns the region a zone belongs to, or an error for an
-// unknown zone name.
+// unknown zone name. The result is a fresh copy the caller may mutate.
 func RegionOfZone(zone string) (Region, error) {
-	for _, r := range Regions() {
-		for _, z := range r.Zones {
-			if z == zone {
-				return r, nil
-			}
-		}
+	initCatalog()
+	ri, ok := catalog.zoneIndex[zone]
+	if !ok {
+		return Region{}, fmt.Errorf("market: unknown availability zone %q", zone)
 	}
-	return Region{}, fmt.Errorf("market: unknown availability zone %q", zone)
+	r := catalog.regions[ri]
+	return Region{
+		Name:     r.Name,
+		Location: r.Location,
+		Zones:    append([]string(nil), r.Zones...),
+	}, nil
 }
 
 // OnDemandPrice returns the hourly on-demand price for the instance type
 // in the given zone. Prices are uniform within a region, as on EC2.
+// Allocation-free: this sits on the bidding framework's per-zone
+// decision path.
 func OnDemandPrice(zone string, it InstanceType) (Money, error) {
-	r, err := RegionOfZone(zone)
-	if err != nil {
-		return 0, err
+	initCatalog()
+	ri, ok := catalog.zoneIndex[zone]
+	if !ok {
+		return 0, fmt.Errorf("market: unknown availability zone %q", zone)
 	}
-	for _, rs := range regionSpecs {
-		if rs.name == r.Name {
-			switch it {
-			case M1Small:
-				return rs.odM1Small, nil
-			case M3Large:
-				return rs.odM3Large, nil
-			default:
-				return 0, fmt.Errorf("market: unknown instance type %q", it)
-			}
-		}
+	prices, ok := catalog.odPrice[it]
+	if !ok {
+		return 0, fmt.Errorf("market: unknown instance type %q", it)
 	}
-	return 0, fmt.Errorf("market: unknown region %q", r.Name)
+	return prices[ri], nil
 }
 
 // MaxBid returns the EC2 cap on a spot bid: four times the on-demand

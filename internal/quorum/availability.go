@@ -81,20 +81,6 @@ func AvailabilityEqual(n, k int, p float64) float64 {
 	return total
 }
 
-func binom(n, k int) float64 {
-	if k < 0 || k > n {
-		return 0
-	}
-	if k > n-k {
-		k = n - k
-	}
-	r := 1.0
-	for i := 0; i < k; i++ {
-		r = r * float64(n-i) / float64(i+1)
-	}
-	return r
-}
-
 // ThresholdAvailability evaluates a k-of-n threshold system under
 // heterogeneous failure probabilities in O(n²) via the Poisson-binomial
 // survivor-count DP — exact like Availability, but fast enough for

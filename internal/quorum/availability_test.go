@@ -291,6 +291,23 @@ func TestAvailabilityEqualMatchesThresholdDP(t *testing.T) {
 	}
 }
 
+// binom computes C(n, k) exactly for small arguments. It was once a
+// production helper; the closed forms all moved to running-term sums,
+// so it survives only as the oracle for their coefficient tests.
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
 func TestBinom(t *testing.T) {
 	cases := []struct {
 		n, k int

@@ -1,0 +1,160 @@
+package quorum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randProbs(rng *rand.Rand, n int) []float64 {
+	p := make([]float64, n)
+	for i := range p {
+		switch rng.Intn(5) {
+		case 0:
+			p[i] = 0
+		case 1:
+			p[i] = 1
+		default:
+			p[i] = rng.Float64()
+		}
+	}
+	return p
+}
+
+// TestEvaluatorAvailabilityBitIdentical pins that the evaluator's
+// baseline availability is bit-identical to the DP oracle: the prefix
+// build uses the oracle's exact recurrence and summation order.
+func TestEvaluatorAvailabilityBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(24)
+		k := rng.Intn(n + 1)
+		p := randProbs(rng, n)
+		ev := NewThresholdEvaluator(k, p)
+		if got, want := ev.Availability(), ThresholdAvailability(k, p); got != want {
+			t.Fatalf("trial %d (n=%d k=%d): Availability %v, oracle %v", trial, n, k, got, want)
+		}
+	}
+}
+
+// TestEvaluatorWithNode checks the O(n) leave-one-out probe against
+// rebuilding the oracle with the substituted probability. The two sum
+// the same terms in different orders, so agreement is to within a few
+// ulps rather than bit-exact.
+func TestEvaluatorWithNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(20)
+		k := rng.Intn(n + 1)
+		p := randProbs(rng, n)
+		ev := NewThresholdEvaluator(k, p)
+		for i := 0; i < n; i++ {
+			for _, pi := range []float64{0, 1, rng.Float64(), p[i]} {
+				sub := append([]float64(nil), p...)
+				sub[i] = pi
+				got := ev.WithNode(i, pi)
+				want := ThresholdAvailability(k, sub)
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("trial %d (n=%d k=%d i=%d pi=%v): WithNode %v, oracle %v (diff %g)",
+						trial, n, k, i, pi, got, want, got-want)
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluatorWithNodeUnchanged: probing a node with its own baseline
+// probability must agree with the baseline availability.
+func TestEvaluatorWithNodeUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(16)
+		k := rng.Intn(n + 1)
+		p := randProbs(rng, n)
+		ev := NewThresholdEvaluator(k, p)
+		base := ev.Availability()
+		for i := 0; i < n; i++ {
+			if got := ev.WithNode(i, p[i]); math.Abs(got-base) > 1e-12 {
+				t.Fatalf("trial %d (n=%d k=%d): WithNode(%d, p[%d]) = %v, baseline %v",
+					trial, n, k, i, i, got, base)
+			}
+		}
+	}
+}
+
+// TestEvaluatorEdgeCases covers the degenerate thresholds directly.
+func TestEvaluatorEdgeCases(t *testing.T) {
+	// k = 0: always available, whatever the probe.
+	ev := NewThresholdEvaluator(0, []float64{0.3, 0.9})
+	if a := ev.Availability(); a != 1 {
+		t.Fatalf("k=0 availability %v", a)
+	}
+	if a := ev.WithNode(1, 1); a != 1 {
+		t.Fatalf("k=0 WithNode %v", a)
+	}
+	// k = n with a certain failure: unavailable unless that node is probed
+	// back to certainty.
+	ev = NewThresholdEvaluator(2, []float64{0, 1})
+	if a := ev.Availability(); a != 0 {
+		t.Fatalf("certain-failure availability %v", a)
+	}
+	if a := ev.WithNode(1, 0); a != 1 {
+		t.Fatalf("probe to p=0: %v", a)
+	}
+	// Single node.
+	ev = NewThresholdEvaluator(1, []float64{0.25})
+	if a := ev.Availability(); a != 0.75 {
+		t.Fatalf("1-of-1 availability %v", a)
+	}
+	if a := ev.WithNode(0, 0.5); a != 0.5 {
+		t.Fatalf("1-of-1 probe %v", a)
+	}
+}
+
+// BenchmarkEvaluatorProbe measures a full descent iteration's
+// feasibility probes — build once, probe every node — against the
+// oracle-per-probe pattern it replaced.
+func BenchmarkEvaluatorProbe(b *testing.B) {
+	for _, n := range []int{5, 9, 15, 24} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = rng.Float64() * 0.1
+		}
+		k := n/2 + 1
+		b.Run("evaluator/n="+itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for it := 0; it < b.N; it++ {
+				ev := NewThresholdEvaluator(k, p)
+				for i := 0; i < n; i++ {
+					_ = ev.WithNode(i, p[i]*0.5)
+				}
+			}
+		})
+		b.Run("oracle/n="+itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for it := 0; it < b.N; it++ {
+				for i := 0; i < n; i++ {
+					old := p[i]
+					p[i] = old * 0.5
+					_ = ThresholdAvailability(k, p)
+					p[i] = old
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -83,6 +83,28 @@ func BenchmarkForecastWarm(b *testing.B) {
 	}
 }
 
+// BenchmarkForecastParallel hammers one shared warm model from many
+// goroutines — the shared-modelcache sweep shape, where every parallel
+// cell forecasts from the same trained model. Run with -cpu 1,4,8 to
+// see the cache-hit contention profile.
+func BenchmarkForecastParallel(b *testing.B) {
+	m, cur := benchModel(b)
+	if _, err := m.Forecast(cur, 5, 360); err != nil {
+		b.Fatal(err) // warm the profile cache
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		age := int64(1)
+		for pb.Next() {
+			if _, err := m.Forecast(cur, age, 360); err != nil {
+				b.Fatal(err)
+			}
+			age = age%200 + 1
+		}
+	})
+}
+
 func BenchmarkStationary(b *testing.B) {
 	m, _ := benchModel(b)
 	b.ResetTimer()

@@ -14,20 +14,41 @@ import (
 // bid in that minute, composed with the on-demand failure probability.
 //
 // Propagation is exact dynamic programming, not Monte Carlo. For each
-// state i, freshProfile computes the occupancy distribution over states
-// for every minute after *entering* i; a forecast from the current
-// (price, age) pair then conditions the residual sojourn of the current
-// run and convolves departures with the precomputed fresh profiles.
+// state i, the fresh-profile DP computes the occupancy distribution over
+// states for every minute after *entering* i; a forecast from the
+// current (price, age) pair then conditions the residual sojourn of the
+// current run and convolves departures with the precomputed fresh
+// profiles.
+//
+// Decide-time fast path: the lazily built tables (per-state sojourn
+// data, fresh profiles) are published through atomic pointers with
+// copy-on-write builds, so cache hits — the overwhelming majority of
+// reads once a model is warm, and *every* read when a shared modelcache
+// serves parallel sweep cells — take no lock at all. The model mutex
+// only serializes the builds themselves. The fresh-profile DP runs over
+// one flat []float64 with stride indexing instead of horizon×n separate
+// per-minute slices, preserving the original summation order exactly so
+// results stay bit-identical.
 
 // stateDist is an occupancy vector over the model's price states.
 type stateDist []float64
 
 // freshProfiles caches, for a given horizon, the cumulative occupancy
 // C[i][u][s]: expected number of minutes spent in state s during the
-// first u minutes after entering state i.
+// first u minutes after entering state i. The table is one flat backing
+// array indexed (i*(horizon+1)+u)*n + s; a published profile set is
+// immutable (a longer horizon builds and publishes a replacement).
 type freshProfiles struct {
 	horizon int64
-	cum     [][]stateDist // [state][minute+1] -> occupancy vector
+	n       int
+	cum     []float64
+}
+
+// at returns the cumulative occupancy vector u minutes after entering
+// state i, as a read-only window into the flat table.
+func (fp *freshProfiles) at(i int, u int64) []float64 {
+	off := (i*(int(fp.horizon)+1) + int(u)) * fp.n
+	return fp.cum[off : off+fp.n : off+fp.n]
 }
 
 // fitted per-state sojourn data derived lazily from the kernel.
@@ -42,27 +63,27 @@ type sojournData struct {
 }
 
 // sojourn returns (building if needed) the per-state sojourn tables.
-// Safe for concurrent use: the build happens under the model's mutex and
-// the returned data is immutable.
+// The hit path is a single atomic load; builds happen under the model's
+// mutex and publish an immutable table copy-on-write.
 func (m *Model) sojourn(i int) *sojournData {
+	if sd := m.soj[i].Load(); sd != nil {
+		return sd
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.sojournLocked(i)
 }
 
 func (m *Model) sojournLocked(i int) *sojournData {
-	if m.soj == nil {
-		m.soj = make([]*sojournData, len(m.prices))
-	}
-	if m.soj[i] != nil {
-		return m.soj[i]
+	if sd := m.soj[i].Load(); sd != nil {
+		return sd
 	}
 	n := len(m.prices)
 	sd := &sojournData{marginal: make(stateDist, n)}
 	if m.out[i] == 0 {
 		// Absorbing state: observed only as a destination.
 		sd.absorbing = true
-		m.soj[i] = sd
+		m.soj[i].Store(sd)
 		return sd
 	}
 	durations := make([]int64, 0, len(m.kernel[i]))
@@ -147,30 +168,37 @@ func (m *Model) sojournLocked(i int) *sojournData {
 		}
 	}
 	sd.survival[0] = 1
-	m.soj[i] = sd
+	m.soj[i].Store(sd)
 	return sd
 }
 
 // fresh returns (building if needed) fresh profiles covering at least
-// the requested horizon. Safe for concurrent use: the build happens
-// under the model's mutex and a published profile set is never mutated
-// (a longer horizon builds and publishes a replacement; readers holding
-// the old pointer stay consistent).
+// the requested horizon. The hit path is a single atomic load; a longer
+// horizon builds and publishes a replacement under the mutex, and
+// readers holding the old pointer stay consistent.
 func (m *Model) fresh(horizon int64) *freshProfiles {
+	if fp := m.profiles.Load(); fp != nil && fp.horizon >= horizon {
+		return fp
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.profiles != nil && m.profiles.horizon >= horizon {
-		return m.profiles
+	if fp := m.profiles.Load(); fp != nil && fp.horizon >= horizon {
+		return fp
 	}
 	n := len(m.prices)
-	occ := make([][]stateDist, n) // occ[i][t]
-	for i := range occ {
-		occ[i] = make([]stateDist, horizon)
+	h := int(horizon)
+	// occ[(i*h+t)*n + s] is the minute-t occupancy of state s after
+	// entering state i: the same DP as the old per-minute slices, over
+	// one zero-initialized flat array, in the same summation order.
+	occ := make([]float64, n*h*n)
+	at := func(i int, t int64) []float64 {
+		off := (i*h + int(t)) * n
+		return occ[off : off+n : off+n]
 	}
 	for t := int64(0); t < horizon; t++ {
 		for i := 0; i < n; i++ {
 			sd := m.sojournLocked(i)
-			v := make(stateDist, n)
+			v := at(i, t)
 			// Still in the entered state through minute t iff K >= t+1.
 			v[i] = sd.survivalAt(t + 1)
 			// Departures at minute d <= t hand off to fresh profiles.
@@ -183,35 +211,31 @@ func (m *Model) fresh(horizon int64) *freshProfiles {
 					continue
 				}
 				dest := sd.next[x]
-				prev := occ
 				for j, g := range dest {
 					if g == 0 {
 						continue
 					}
-					src := prev[j][t-d]
+					src := at(j, t-d)
 					wg := w * g
 					for s := range v {
 						v[s] += wg * src[s]
 					}
 				}
 			}
-			occ[i][t] = v
 		}
 	}
-	fp := &freshProfiles{horizon: horizon, cum: make([][]stateDist, n)}
+	fp := &freshProfiles{horizon: horizon, n: n, cum: make([]float64, n*(h+1)*n)}
 	for i := 0; i < n; i++ {
-		fp.cum[i] = make([]stateDist, horizon+1)
-		fp.cum[i][0] = make(stateDist, n)
 		for t := int64(0); t < horizon; t++ {
-			c := make(stateDist, n)
-			copy(c, fp.cum[i][t])
-			for s, o := range occ[i][t] {
-				c[s] += o
+			prev := fp.at(i, t)
+			next := fp.at(i, t+1)
+			o := at(i, t)
+			for s := range next {
+				next[s] = prev[s] + o[s]
 			}
-			fp.cum[i][t+1] = c
 		}
 	}
-	m.profiles = fp
+	m.profiles.Store(fp)
 	return fp
 }
 
@@ -234,9 +258,35 @@ func (sd *sojournData) survivalAt(a int64) float64 {
 // Forecast is the model's price distribution averaged over a bidding
 // interval, from which failure probabilities under any bid follow.
 type Forecast struct {
-	prices  []market.Money
-	avgOcc  stateDist // average per-minute occupancy per price
+	// prices is shared with the owning model and must never be mutated.
+	prices []market.Money
+	avgOcc stateDist
+	// suffix[x] is the total occupancy of price states x and above —
+	// the out-of-bid fraction for any bid in [prices[x-1], prices[x]).
+	// With it, OutOfBidFraction/FailureProbability are table lookups and
+	// MinimalBid a binary search over the monotone step function.
+	suffix  []float64
 	horizon int64
+}
+
+// newForecast freezes an occupancy vector into a queryable Forecast,
+// precomputing the suffix-sum table. Each suffix entry re-sums its tail
+// in ascending state order — the exact order the old linear scan used —
+// so lookups are bit-identical to direct summation (float addition is
+// not associative; a rolling right-to-left accumulation could drift in
+// the last ulp). Quadratic in the number of price levels, which is tiny
+// next to the propagation DP, and paid once per forecast.
+func newForecast(prices []market.Money, avgOcc stateDist, horizon int64) *Forecast {
+	n := len(prices)
+	suffix := make([]float64, n+1)
+	for x := n - 1; x >= 0; x-- {
+		s := 0.0
+		for t := x; t < n; t++ {
+			s += avgOcc[t]
+		}
+		suffix[x] = s
+	}
+	return &Forecast{prices: prices, avgOcc: avgOcc, suffix: suffix, horizon: horizon}
 }
 
 // Forecast propagates the chain from the current price and run age
@@ -267,7 +317,7 @@ func (m *Model) Forecast(cur market.Money, age, horizon int64) (*Forecast, error
 			if g == 0 {
 				continue
 			}
-			c := fp.cum[j][horizon]
+			c := fp.at(j, horizon)
 			for s := range tot {
 				tot[s] += g * c[s]
 			}
@@ -300,7 +350,7 @@ func (m *Model) Forecast(cur market.Money, age, horizon int64) (*Forecast, error
 				if g == 0 {
 					continue
 				}
-				c := fp.cum[j][rem]
+				c := fp.at(j, rem)
 				wg := w * g
 				for s := range tot {
 					tot[s] += wg * c[s]
@@ -309,39 +359,38 @@ func (m *Model) Forecast(cur market.Money, age, horizon int64) (*Forecast, error
 		}
 	}
 
-	avg := make(stateDist, n)
-	for s := range avg {
-		avg[s] = tot[s] / float64(horizon)
+	for s := range tot {
+		tot[s] = tot[s] / float64(horizon)
 	}
-	return &Forecast{prices: m.Prices(), avgOcc: avg, horizon: horizon}, nil
+	return newForecast(m.prices, tot, horizon), nil
 }
 
 // Levels returns the price levels at which the forecast's failure
 // probability steps, ascending — the candidate bid set for optimizers.
+// The returned slice is shared with the forecast and its model and must
+// be treated as read-only.
 func (f *Forecast) Levels() []market.Money {
-	return append([]market.Money(nil), f.prices...)
+	return f.prices
 }
 
-// OutOfBidFraction returns the expected fraction of the interval during
-// which the spot price strictly exceeds the bid.
-func (f *Forecast) OutOfBidFraction(bid market.Money) float64 {
-	out := 0.0
-	for s, p := range f.prices {
-		if p > bid {
-			out += f.avgOcc[s]
-		}
-	}
+// levelAbove returns the index of the first price level strictly above
+// the bid — the suffix-table cell holding the bid's out-of-bid mass.
+func (f *Forecast) levelAbove(bid market.Money) int {
+	return sort.Search(len(f.prices), func(i int) bool { return f.prices[i] > bid })
+}
+
+// outAt returns the out-of-bid fraction for the suffix cell x.
+func (f *Forecast) outAt(x int) float64 {
+	out := f.suffix[x]
 	if out > 1 {
 		out = 1
 	}
 	return out
 }
 
-// FailureProbability composes the out-of-bid fraction with the
-// on-demand failure probability fp0 (Equation 4):
-// FP = 1 - (1 - fp0)(1 - Pr(price > bid)).
-func (f *Forecast) FailureProbability(bid market.Money, fp0 float64) float64 {
-	fp := 1 - (1-fp0)*(1-f.OutOfBidFraction(bid))
+// failureAt composes outAt with fp0 (Equation 4).
+func (f *Forecast) failureAt(x int, fp0 float64) float64 {
+	fp := 1 - (1-fp0)*(1-f.outAt(x))
 	if fp < 0 {
 		return 0
 	}
@@ -351,20 +400,34 @@ func (f *Forecast) FailureProbability(bid market.Money, fp0 float64) float64 {
 	return fp
 }
 
+// OutOfBidFraction returns the expected fraction of the interval during
+// which the spot price strictly exceeds the bid. O(log n) via the
+// suffix-sum table.
+func (f *Forecast) OutOfBidFraction(bid market.Money) float64 {
+	return f.outAt(f.levelAbove(bid))
+}
+
+// FailureProbability composes the out-of-bid fraction with the
+// on-demand failure probability fp0 (Equation 4):
+// FP = 1 - (1 - fp0)(1 - Pr(price > bid)).
+func (f *Forecast) FailureProbability(bid market.Money, fp0 float64) float64 {
+	return f.failureAt(f.levelAbove(bid), fp0)
+}
+
 // MinimalBid returns the smallest bid not exceeding cap whose estimated
-// failure probability is at most target. Because FailureProbability is a
-// step function changing only at learned price levels, only those levels
-// (and the cap) need checking. ok is false when no such bid exists.
+// failure probability is at most target. Because FailureProbability is
+// a non-increasing step function changing only at learned price levels,
+// the cheapest adequate level is found by binary search; the cap itself
+// is the last resort. ok is false when no such bid exists.
 func (f *Forecast) MinimalBid(target, fp0 float64, cap market.Money) (bid market.Money, ok bool) {
-	for _, p := range f.prices {
-		if p > cap {
-			break
-		}
-		if f.FailureProbability(p, fp0) <= target {
-			return p, true
-		}
+	// Levels are strictly ascending, so level x's out-of-bid mass sits
+	// in suffix cell x+1, and feasibility is monotone in x.
+	nc := f.levelAbove(cap) // count of levels <= cap
+	x := sort.Search(nc, func(i int) bool { return f.failureAt(i+1, fp0) <= target })
+	if x < nc {
+		return f.prices[x], true
 	}
-	if f.FailureProbability(cap, fp0) <= target {
+	if f.failureAt(nc, fp0) <= target {
 		return cap, true
 	}
 	return 0, false

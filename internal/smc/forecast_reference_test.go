@@ -1,0 +1,271 @@
+package smc
+
+// Reference (pre-fast-path) implementations of the interval forecaster:
+// the per-minute slice-of-slices DP and the linear out-of-bid scans
+// exactly as they were before the flat-matrix/suffix-sum rewrite. The
+// equality tests in forecast_fast_test.go pin the optimized paths
+// bit-identical to these.
+
+import "repro/internal/market"
+
+// refSojourn rebuilds a state's sojourn tables from the kernel, fully
+// independently of the model's published cache.
+func refSojourn(m *Model, i int) *sojournData {
+	n := len(m.prices)
+	sd := &sojournData{marginal: make(stateDist, n)}
+	if m.out[i] == 0 {
+		sd.absorbing = true
+		return sd
+	}
+	durations := make([]int64, 0, len(m.kernel[i]))
+	for k := range m.kernel[i] {
+		durations = append(durations, k)
+	}
+	sortInt64s(durations)
+	sd.durations = durations
+	sd.maxDur = durations[len(durations)-1]
+	sd.pmf = make([]float64, len(durations))
+	sd.next = make([]stateDist, len(durations))
+	for x, k := range durations {
+		entries := m.kernel[i][k]
+		var total int64
+		for _, e := range entries {
+			total += e.count
+		}
+		dist := make(stateDist, n)
+		for _, e := range entries {
+			dist[e.to] = float64(e.count) / float64(total)
+			sd.marginal[e.to] += float64(e.count) / float64(m.out[i])
+		}
+		sd.next[x] = dist
+		sd.pmf[x] = float64(total) / float64(m.out[i])
+	}
+	const maxDurations = 96
+	if len(sd.durations) > maxDurations {
+		group := (len(sd.durations) + maxDurations - 1) / maxDurations
+		var mk []int64
+		var mp []float64
+		var mn []stateDist
+		for lo := 0; lo < len(sd.durations); lo += group {
+			hi := lo + group
+			if hi > len(sd.durations) {
+				hi = len(sd.durations)
+			}
+			var pSum, dSum float64
+			dist := make(stateDist, n)
+			for x := lo; x < hi; x++ {
+				pSum += sd.pmf[x]
+				dSum += float64(sd.durations[x]) * sd.pmf[x]
+				for s, g := range sd.next[x] {
+					dist[s] += g * sd.pmf[x]
+				}
+			}
+			if pSum == 0 {
+				continue
+			}
+			for s := range dist {
+				dist[s] /= pSum
+			}
+			d := int64(dSum/pSum + 0.5)
+			if d < 1 {
+				d = 1
+			}
+			if len(mk) > 0 && mk[len(mk)-1] >= d {
+				d = mk[len(mk)-1] + 1
+			}
+			mk = append(mk, d)
+			mp = append(mp, pSum)
+			mn = append(mn, dist)
+		}
+		sd.durations, sd.pmf, sd.next = mk, mp, mn
+		sd.maxDur = mk[len(mk)-1]
+	}
+	sd.survival = make([]float64, sd.maxDur+2)
+	tail := 1.0
+	x := 0
+	for a := int64(1); a <= sd.maxDur+1; a++ {
+		sd.survival[a] = tail
+		for x < len(sd.durations) && sd.durations[x] == a {
+			tail -= sd.pmf[x]
+			x++
+		}
+		if tail < 0 {
+			tail = 0
+		}
+	}
+	sd.survival[0] = 1
+	return sd
+}
+
+func sortInt64s(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// refFreshCum is the pre-rewrite fresh-profile DP: per-minute stateDist
+// allocations, cum[i][u] built by copy-then-add.
+func refFreshCum(m *Model, horizon int64, soj []*sojournData) [][]stateDist {
+	n := len(m.prices)
+	occ := make([][]stateDist, n)
+	for i := range occ {
+		occ[i] = make([]stateDist, horizon)
+	}
+	for t := int64(0); t < horizon; t++ {
+		for i := 0; i < n; i++ {
+			sd := soj[i]
+			v := make(stateDist, n)
+			v[i] = sd.survivalAt(t + 1)
+			for x, d := range sd.durations {
+				if d > t {
+					break
+				}
+				w := sd.pmf[x]
+				if w == 0 {
+					continue
+				}
+				dest := sd.next[x]
+				prev := occ
+				for j, g := range dest {
+					if g == 0 {
+						continue
+					}
+					src := prev[j][t-d]
+					wg := w * g
+					for s := range v {
+						v[s] += wg * src[s]
+					}
+				}
+			}
+			occ[i][t] = v
+		}
+	}
+	cum := make([][]stateDist, n)
+	for i := 0; i < n; i++ {
+		cum[i] = make([]stateDist, horizon+1)
+		cum[i][0] = make(stateDist, n)
+		for t := int64(0); t < horizon; t++ {
+			c := make(stateDist, n)
+			copy(c, cum[i][t])
+			for s, o := range occ[i][t] {
+				c[s] += o
+			}
+			cum[i][t+1] = c
+		}
+	}
+	return cum
+}
+
+// refForecast is the pre-rewrite Forecast: same conditioning and
+// convolution, reading the slice-of-slices profiles.
+func refForecast(m *Model, cur market.Money, age, horizon int64) *Forecast {
+	if age < 1 {
+		age = 1
+	}
+	if age > m.maxSojourn {
+		age = m.maxSojourn
+	}
+	n := len(m.prices)
+	soj := make([]*sojournData, n)
+	for i := range soj {
+		soj[i] = refSojourn(m, i)
+	}
+	i := m.nearestState(cur)
+	sd := soj[i]
+	cum := refFreshCum(m, horizon, soj)
+
+	tot := make(stateDist, n)
+	condSurv := sd.survivalAt(age)
+	if condSurv <= 0 {
+		for j, g := range sd.marginal {
+			if g == 0 {
+				continue
+			}
+			c := cum[j][horizon]
+			for s := range tot {
+				tot[s] += g * c[s]
+			}
+		}
+		if m.out[i] == 0 {
+			tot[i] += float64(horizon)
+		}
+	} else {
+		for t := int64(0); t < horizon; t++ {
+			tot[i] += sd.survivalAt(age+t+1) / condSurv
+		}
+		for x, k := range sd.durations {
+			if k < age {
+				continue
+			}
+			d := k - age
+			if d >= horizon {
+				break
+			}
+			w := sd.pmf[x] / condSurv
+			if w == 0 {
+				continue
+			}
+			rem := horizon - d
+			for j, g := range sd.next[x] {
+				if g == 0 {
+					continue
+				}
+				c := cum[j][rem]
+				wg := w * g
+				for s := range tot {
+					tot[s] += wg * c[s]
+				}
+			}
+		}
+	}
+
+	avg := make(stateDist, n)
+	for s := range avg {
+		avg[s] = tot[s] / float64(horizon)
+	}
+	return newForecast(m.prices, avg, horizon)
+}
+
+// refOutOfBidFraction is the pre-rewrite linear scan over price states.
+func refOutOfBidFraction(f *Forecast, bid market.Money) float64 {
+	out := 0.0
+	for s, p := range f.prices {
+		if p > bid {
+			out += f.avgOcc[s]
+		}
+	}
+	if out > 1 {
+		out = 1
+	}
+	return out
+}
+
+// refFailureProbability composes refOutOfBidFraction with fp0.
+func refFailureProbability(f *Forecast, bid market.Money, fp0 float64) float64 {
+	fp := 1 - (1-fp0)*(1-refOutOfBidFraction(f, bid))
+	if fp < 0 {
+		return 0
+	}
+	if fp > 1 {
+		return 1
+	}
+	return fp
+}
+
+// refMinimalBid is the pre-rewrite linear level scan.
+func refMinimalBid(f *Forecast, target, fp0 float64, cap market.Money) (market.Money, bool) {
+	for _, p := range f.prices {
+		if p > cap {
+			break
+		}
+		if refFailureProbability(f, p, fp0) <= target {
+			return p, true
+		}
+	}
+	if refFailureProbability(f, cap, fp0) <= target {
+		return cap, true
+	}
+	return 0, false
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/market"
 )
@@ -74,6 +75,7 @@ func ReadModel(r io.Reader) (*Model, error) {
 		out:        append([]int64(nil), jm.Out...),
 		kernel:     make([]map[int64][]kernelEntry, n),
 		sojPMF:     make([]map[int64]float64, n),
+		soj:        make([]atomic.Pointer[sojournData], n),
 	}
 	var prev market.Money = -1
 	for i, p := range jm.Prices {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/market"
 	"repro/internal/trace"
@@ -152,6 +153,7 @@ func (e *Estimator) Model() (*Model, error) {
 		out:        make([]int64, n),
 		kernel:     make([]map[int64][]kernelEntry, n),
 		sojPMF:     make([]map[int64]float64, n),
+		soj:        make([]atomic.Pointer[sojournData], n),
 	}
 	for from, byTo := range e.counts {
 		i := idx[from]
@@ -190,11 +192,13 @@ type kernelEntry struct {
 
 // Model is a frozen semi-Markov chain estimated from price history.
 // The estimated kernel itself is immutable; forecast state (sojourn
-// tables, fresh profiles) is built lazily under an internal mutex and
-// is immutable once published, so a Model is safe for concurrent use —
-// many goroutines may Forecast/Kernel/Stationary the same instance,
-// which is what lets the modelcache provider train once and serve every
-// parallel sweep cell.
+// tables, fresh profiles) is built lazily, published copy-on-write
+// through atomic pointers, and immutable once published, so a Model is
+// safe for concurrent use — many goroutines may Forecast/Kernel/
+// Stationary the same instance, which is what lets the modelcache
+// provider train once and serve every parallel sweep cell. Cache hits
+// are lock-free (a single atomic load); the mutex only serializes the
+// builds themselves.
 type Model struct {
 	maxSojourn int64
 	prices     []market.Money
@@ -203,9 +207,9 @@ type Model struct {
 	kernel     []map[int64][]kernelEntry // per source state: k -> destinations
 	sojPMF     []map[int64]float64       // per source state: k -> P(sojourn = k)
 
-	mu       sync.Mutex     // guards the lazy builds below
-	soj      []*sojournData // lazy per-state sojourn tables
-	profiles *freshProfiles // lazy fresh-entry occupancy cache
+	mu       sync.Mutex                    // serializes the lazy builds below
+	soj      []atomic.Pointer[sojournData] // published per-state sojourn tables
+	profiles atomic.Pointer[freshProfiles] // published fresh-entry occupancy cache
 }
 
 // Prices returns the learned price state space, ascending.

@@ -20,7 +20,7 @@ func (m *Model) Stationary() (*Forecast, error) {
 		return nil, fmt.Errorf("smc: empty model")
 	}
 	if n == 1 {
-		return &Forecast{prices: m.Prices(), avgOcc: stateDist{1}, horizon: 0}, nil
+		return newForecast(m.prices, stateDist{1}, 0), nil
 	}
 	// Embedded transition matrix and mean sojourns.
 	P := make([]stateDist, n)
@@ -109,7 +109,7 @@ func (m *Model) Stationary() (*Forecast, error) {
 	for i := range occ {
 		occ[i] /= norm
 	}
-	return &Forecast{prices: m.Prices(), avgOcc: occ, horizon: 0}, nil
+	return newForecast(m.prices, occ, 0), nil
 }
 
 // FractionAbove exposes a Forecast's expected time fraction above a

@@ -466,19 +466,3 @@ func (s *Service) Rebalance() error {
 	}
 	return nil
 }
-
-// shardBytesStored reports the total payload bytes stored across live
-// replicas — used by tests and benches to demonstrate the RS-Paxos
-// storage saving versus full replication.
-func (s *Service) shardBytesStored() int {
-	total := 0
-	for id, sm := range s.sms {
-		if s.cluster.Net.Crashed(id) {
-			continue
-		}
-		for _, rec := range sm.keys {
-			total += len(rec.payload)
-		}
-	}
-	return total
-}

@@ -26,6 +26,23 @@ func newStore(t *testing.T, n, m int, seed uint64) *Service {
 	return s
 }
 
+// shardBytesStored reports the total payload bytes stored across live
+// replicas — the oracle demonstrating the RS-Paxos storage saving
+// versus full replication. Test-only introspection; production code
+// never needs the raw byte count.
+func (s *Service) shardBytesStored() int {
+	total := 0
+	for id, sm := range s.sms {
+		if s.cluster.Net.Crashed(id) {
+			continue
+		}
+		for _, rec := range sm.keys {
+			total += len(rec.payload)
+		}
+	}
+	return total
+}
+
 func TestPutGetRoundTrip(t *testing.T) {
 	s := newStore(t, 5, 3, 1)
 	value := []byte("hello erasure-coded world")
