@@ -325,6 +325,65 @@ func BenchmarkSweepSharedCache(b *testing.B) {
 	})
 }
 
+// BenchmarkSweepSharedCachePools is the heterogeneous counterpart of
+// BenchmarkSweepSharedCache: the same Jupiter-only interval sweep over
+// the 4-type × 17-zone pool market (m1.small base plus three sibling
+// types per zone — 68 pools, 68 price models per training window), so
+// the pools-vs-zones cost of the capacity-weighted planner is on
+// record next to the zone-only figure.
+func BenchmarkSweepSharedCachePools(b *testing.B) {
+	env := experiments.QuickEnv()
+	env.Types = []market.InstanceType{market.M1Medium, market.C3Large, market.R3Large}
+	set, err := env.Traces(market.M1Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := experiments.LockSpec()
+	intervals := []int64{1, 3, 6, 12}
+	sweep := func(models *modelcache.Cache) (int64, error) {
+		var minutes atomic.Int64
+		errs := make([]error, len(intervals))
+		var wg sync.WaitGroup
+		for i, h := range intervals {
+			wg.Add(1)
+			go func(i int, h int64) {
+				defer wg.Done()
+				res, err := replay.Run(replay.Config{
+					Traces: set, Start: env.TrainWeeks * experiments.Week,
+					Spec:            spec,
+					Strategy:        core.New(),
+					IntervalMinutes: h * 60, Seed: env.Seed ^ uint64(h)<<32,
+					InjectHardwareFailures: true,
+					Models:                 models,
+				})
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				minutes.Add(res.TotalMinutes)
+			}(i, h)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return minutes.Load(), nil
+	}
+	b.Run("Shared", func(b *testing.B) {
+		var minutes int64
+		for i := 0; i < b.N; i++ {
+			n, err := sweep(modelcache.New())
+			if err != nil {
+				b.Fatal(err)
+			}
+			minutes += n
+		}
+		b.ReportMetric(float64(minutes)/b.Elapsed().Seconds(), "sim-min/s")
+	})
+}
+
 // BenchmarkReplayKernel compares the discrete-event replay kernel
 // against the legacy minute-polling loop on the paper's 11-week
 // lock-service replay (the Figures 6/7 workload: 13 training weeks,

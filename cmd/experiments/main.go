@@ -5,6 +5,7 @@
 // Usage:
 //
 //	experiments [-run all|table1|fig1|fig4|fig5|fig6|fig7|fig8|fig9|headline|example3] [-seed N] [-weeks N] [-j N] [-model-stats]
+//	            [-types a,b,c] [-min-vcpu N] [-min-mem G]
 //	            [-chaos scenario] [-chaos-seed N]
 //	            [-events-out file.jsonl] [-manifest file.json] [-debug-addr host:port]
 //
@@ -29,6 +30,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/market"
 	"repro/internal/modelcache"
 	"repro/internal/strategy"
 	"repro/internal/telemetry"
@@ -47,10 +49,21 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve live /metrics and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	chaosSpec := flag.String("chaos", "", "arm every replay cell with a fault-injection scenario: a builtin name or a JSON file")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "override the chaos scenario's seed (0 = use the scenario's own)")
+	typesSpec := flag.String("types", "", "comma-separated extra instance types: every sweep bids across (zone, type) pools instead of zones only")
+	minVCPU := flag.Int("min-vcpu", 0, "minimum vCPUs an instance type must offer to host the services (0 = unconstrained)")
+	minMem := flag.Float64("min-mem", 0, "minimum memory in GiB an instance type must offer (0 = unconstrained)")
 	flag.Parse()
 
 	start := time.Now()
-	env := experiments.Env{Seed: *seed, TrainWeeks: *train, ReplayWeeks: *weeks, Jobs: *jobs}
+	extraTypes, err := market.ParseTypes(*typesSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	env := experiments.Env{
+		Seed: *seed, TrainWeeks: *train, ReplayWeeks: *weeks, Jobs: *jobs,
+		Types: extraTypes, MinVCPU: *minVCPU, MinMemGiB: *minMem,
+	}
 	if *chaosSpec != "" {
 		sc, err := chaos.Load(*chaosSpec)
 		if err != nil {
@@ -96,6 +109,17 @@ func main() {
 				"chaos", *chaosSpec,
 				"chaos-seed", strconv.FormatUint(*chaosSeed, 10))
 		}
+		// Pool keys appear only on heterogeneous runs, keeping zone-only
+		// trace headers byte-identical.
+		if *typesSpec != "" {
+			kv = append(kv, "types", *typesSpec)
+		}
+		if *minVCPU > 0 {
+			kv = append(kv, "min-vcpu", strconv.Itoa(*minVCPU))
+		}
+		if *minMem > 0 {
+			kv = append(kv, "min-mem", strconv.FormatFloat(*minMem, 'g', -1, 64))
+		}
 		tw, err := telemetry.NewTraceWriter(w, telemetry.SortedMeta(kv...))
 		if err != nil {
 			fail(err)
@@ -129,7 +153,7 @@ func main() {
 		}
 	}
 
-	err := run(env, *runFlag, *csvOut)
+	err = run(env, *runFlag, *csvOut)
 	if writer != nil {
 		if werr := writer.Close(); werr != nil && err == nil {
 			err = werr

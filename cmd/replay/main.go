@@ -6,10 +6,18 @@
 //
 //	replay [-strategy jupiter|baseline|extra] [-extra-nodes N] [-extra-portion P]
 //	       [-service lock|storage] [-interval H[,H...]] [-weeks N] [-train N] [-seed N]
+//	       [-types a,b,c] [-min-vcpu N] [-min-mem G]
 //	       [-trace file.csv] [-j N] [-model-stats]
 //	       [-chaos scenario] [-chaos-seed N]
 //	       [-events-out file.jsonl] [-manifest file.json] [-debug-addr host:port]
 //	       [-mutex-profile-fraction N] [-block-profile-rate N]
+//
+// -types widens the market into heterogeneous (zone × instance type)
+// pools: each listed type adds one correlated pool per zone (synthetic
+// runs) or admits that type's rows from the trace file, and pool-aware
+// strategies bid across the whole portfolio with capacity-weighted
+// quorums. -min-vcpu / -min-mem constrain which instance shapes may
+// host the service; a constraint rejecting every pool is an error.
 //
 // Without -trace, a synthetic trace set is generated from the seed.
 // With several comma-separated intervals, the cells replay on a worker
@@ -40,6 +48,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/market"
 	"repro/internal/modelcache"
 	"repro/internal/replay"
 	"repro/internal/strategy"
@@ -69,6 +78,9 @@ type options struct {
 	chaosSpec    string
 	chaosSeed    uint64
 	lenient      bool
+	typesSpec    string
+	minVCPU      int
+	minMem       float64
 }
 
 func main() {
@@ -93,6 +105,9 @@ func main() {
 	flag.StringVar(&o.chaosSpec, "chaos", "", "fault-injection scenario: a builtin name (calm, zone-blackout, reclaim-storm, price-surge, flaky-market, stale-feed) or a JSON scenario file")
 	flag.Uint64Var(&o.chaosSeed, "chaos-seed", 0, "override the chaos scenario's seed (0 = use the scenario's own)")
 	flag.BoolVar(&o.lenient, "lenient-traces", false, "quarantine malformed trace rows instead of failing the read (default: strict, first bad row is an error)")
+	flag.StringVar(&o.typesSpec, "types", "", "comma-separated extra instance types: bid across (zone, type) pools instead of zones only")
+	flag.IntVar(&o.minVCPU, "min-vcpu", 0, "minimum vCPUs an instance type must offer to host the service (0 = unconstrained)")
+	flag.Float64Var(&o.minMem, "min-mem", 0, "minimum memory in GiB an instance type must offer (0 = unconstrained)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -242,6 +257,17 @@ func traceMeta(o options) map[string]string {
 			"chaos", o.chaosSpec,
 			"chaos-seed", strconv.FormatUint(o.chaosSeed, 10))
 	}
+	// Pool keys, likewise, appear only on heterogeneous runs so
+	// zone-only trace headers stay byte-identical.
+	if o.typesSpec != "" {
+		kv = append(kv, "types", o.typesSpec)
+	}
+	if o.minVCPU > 0 {
+		kv = append(kv, "min-vcpu", strconv.Itoa(o.minVCPU))
+	}
+	if o.minMem > 0 {
+		kv = append(kv, "min-mem", strconv.FormatFloat(o.minMem, 'g', -1, 64))
+	}
 	return telemetry.SortedMeta(kv...)
 }
 
@@ -262,6 +288,12 @@ func run(o options) error {
 	default:
 		return fmt.Errorf("unknown service %q", o.service)
 	}
+	extraTypes, err := market.ParseTypes(o.typesSpec)
+	if err != nil {
+		return err
+	}
+	spec.MinVCPU = o.minVCPU
+	spec.MinMemGiB = o.minMem
 
 	// Strategies may cache model state, so each replay builds its own.
 	mkStrat := func() (strategy.Strategy, error) {
@@ -300,9 +332,13 @@ func run(o options) error {
 		if o.lenient {
 			mode = trace.Lenient
 		}
-		set, readReport, err = trace.ReadCSVMode(f, spec.Type, 0, (o.train+o.weeks)*experiments.Week, mode)
+		if len(extraTypes) > 0 {
+			set, readReport, err = trace.ReadCSVPoolsMode(f, spec.Type, extraTypes, 0, (o.train+o.weeks)*experiments.Week, mode)
+		} else {
+			set, readReport, err = trace.ReadCSVMode(f, spec.Type, 0, (o.train+o.weeks)*experiments.Week, mode)
+		}
 	} else {
-		env := experiments.Env{Seed: o.seed, TrainWeeks: o.train, ReplayWeeks: o.weeks}
+		env := experiments.Env{Seed: o.seed, TrainWeeks: o.train, ReplayWeeks: o.weeks, Types: extraTypes}
 		set, err = env.Traces(spec.Type)
 	}
 	if err != nil {

@@ -4,7 +4,14 @@
 //
 // Usage:
 //
-//	tracegen [-type m1.small|m3.large] [-weeks N] [-seed N] [-zones a,b,c] [-format csv|json] [-o file]
+//	tracegen [-type m1.small|m3.large] [-types a,b,c] [-weeks N] [-seed N] [-zones a,b,c] [-format csv|json] [-o file]
+//
+// -types adds correlated sibling pools: each listed type gets its own
+// price column per zone, sharing the zone's demand shocks (level-walk
+// timing and spikes) with per-type level jitter, rendered on the
+// type's own price ladder. Rows for non-base types carry a fourth
+// (CSV) / "type" (JSON) column; zone-only output is byte-identical to
+// a run without -types.
 package main
 
 import (
@@ -19,7 +26,8 @@ import (
 )
 
 func main() {
-	itype := flag.String("type", "m1.small", "instance type: m1.small or m3.large")
+	itype := flag.String("type", "m1.small", "base instance type (any cataloged type, e.g. m1.small, m3.large)")
+	types := flag.String("types", "", "comma-separated extra instance types, one correlated pool per (zone, type)")
 	weeks := flag.Int64("weeks", 13, "trace length in weeks")
 	seed := flag.Uint64("seed", 2014, "generator seed")
 	zones := flag.String("zones", "", "comma-separated zones (default: the 17 experiment zones)")
@@ -27,23 +35,27 @@ func main() {
 	out := flag.String("o", "-", "output file ('-' = stdout)")
 	flag.Parse()
 
-	if err := run(*itype, *weeks, *seed, *zones, *format, *out); err != nil {
+	if err := run(*itype, *types, *weeks, *seed, *zones, *format, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(itype string, weeks int64, seed uint64, zones, format, out string) error {
+func run(itype, types string, weeks int64, seed uint64, zones, format, out string) error {
 	it := market.InstanceType(itype)
-	if it != market.M1Small && it != market.M3Large {
+	if _, err := market.Shape(it); err != nil {
 		return fmt.Errorf("unknown instance type %q", itype)
+	}
+	extra, err := market.ParseTypes(types)
+	if err != nil {
+		return err
 	}
 	zs := market.ExperimentZones()
 	if zones != "" {
 		zs = strings.Split(zones, ",")
 	}
 	set, err := trace.Generate(trace.GenConfig{
-		Seed: seed, Type: it, Zones: zs,
+		Seed: seed, Type: it, Types: extra, Zones: zs,
 		Start: 0, End: weeks * 7 * 24 * 60,
 	})
 	if err != nil {

@@ -278,9 +278,11 @@ func (p *Provider) PriceHistory(zone string, from, to int64) (*trace.Trace, erro
 }
 
 // startupDelay models 200–700 s boot times, varying mainly by region.
+// zone may be a pool key; every pool in a zone shares the zone's
+// regional component.
 func (p *Provider) startupDelay(zone string) int64 {
 	base := int64(4) // minutes
-	if r, err := market.RegionOfZone(zone); err == nil {
+	if r, err := market.RegionOfZone(market.PoolZone(zone)); err == nil {
 		base += int64(len(r.Name)) % 5 // stable per-region component
 	}
 	return base + p.rng.Int63n(4) // 4..12 minutes ≈ 240..720 s
@@ -387,7 +389,7 @@ func (p *Provider) RequestSpot(zone string, it market.InstanceType, bid market.M
 	if it != p.traces.Type {
 		return "", fmt.Errorf("cloud: provider serves %s, requested %s", p.traces.Type, it)
 	}
-	maxBid, err := market.MaxBid(zone, it)
+	maxBid, err := market.PoolMaxBid(zone, it)
 	if err != nil {
 		return "", err
 	}
@@ -411,9 +413,11 @@ func (p *Provider) RequestSpot(zone string, it market.InstanceType, bid market.M
 	return p.launch(zone, it, true, bid, nil, delay).ID, nil
 }
 
-// RequestOnDemand launches an on-demand instance.
+// RequestOnDemand launches an on-demand instance. zone may be a pool
+// key ("zone/type"), in which case the pool's own type is launched and
+// billed.
 func (p *Provider) RequestOnDemand(zone string, it market.InstanceType) (InstanceID, error) {
-	if _, err := market.OnDemandPrice(zone, it); err != nil {
+	if _, err := market.PoolOnDemandPrice(zone, it); err != nil {
 		return "", err
 	}
 	if down, until := p.zoneDown(zone); down {
@@ -427,9 +431,10 @@ func (p *Provider) RequestOnDemand(zone string, it market.InstanceType) (Instanc
 }
 
 // zoneDown reports whether the zone is inside an injected capacity
-// outage, and until when.
+// outage, and until when. Outages are per availability zone: a pool
+// key resolves to its zone, so every pool in a downed zone is down.
 func (p *Provider) zoneDown(zone string) (bool, int64) {
-	until, ok := p.zoneDownUntil[zone]
+	until, ok := p.zoneDownUntil[market.PoolZone(zone)]
 	return ok && until > p.now, until
 }
 
@@ -474,11 +479,14 @@ func (p *Provider) StartZoneOutage(zone string, until int64) {
 	if p.zoneDownUntil == nil {
 		p.zoneDownUntil = make(map[string]int64)
 	}
-	if until > p.zoneDownUntil[zone] {
-		p.zoneDownUntil[zone] = until
+	az := market.PoolZone(zone)
+	if until > p.zoneDownUntil[az] {
+		p.zoneDownUntil[az] = until
 	}
 	for _, inst := range p.active {
-		if inst.Zone == zone && inst.State != Terminated {
+		// The outage takes down the whole availability zone: every pool
+		// in it loses its instances, whatever the instance type.
+		if market.PoolZone(inst.Zone) == az && inst.State != Terminated {
 			p.terminate(inst, market.TerminatedByProvider, until)
 		}
 	}
@@ -762,7 +770,7 @@ func (p *Provider) Charge(id InstanceID) (market.Money, error) {
 		}
 		return market.SpotCharge(tr.PriceAt, start, end, cause), nil
 	}
-	od, err := market.OnDemandPrice(inst.Zone, inst.Type)
+	od, err := market.PoolOnDemandPrice(inst.Zone, inst.Type)
 	if err != nil {
 		return 0, err
 	}

@@ -37,7 +37,7 @@ func (p *Provider) RequestSpotPersistent(zone string, it market.InstanceType, bi
 	if it != p.traces.Type {
 		return "", fmt.Errorf("cloud: provider serves %s, requested %s", p.traces.Type, it)
 	}
-	maxBid, err := market.MaxBid(zone, it)
+	maxBid, err := market.PoolMaxBid(zone, it)
 	if err != nil {
 		return "", err
 	}

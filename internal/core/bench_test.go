@@ -103,9 +103,9 @@ func BenchmarkRefine(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				bids := make([]zoneBid, n)
+				bids := make([]poolBid, n)
 				for z := range bids {
-					bids[z] = zoneBid{zone: names[z], bid: levels[nLevels-1]}
+					bids[z] = poolBid{zone: names[z], bid: levels[nLevels-1]}
 				}
 				refineBids(bids, k, target, func(zone string) *refineZone {
 					return byName[zone]

@@ -97,7 +97,7 @@ func TestDecideParallelMatchesSequential(t *testing.T) {
 // naiveRefineBids is the pre-evaluator implementation — linear next-level
 // scan, full availability DP per probe — kept as the oracle for the
 // incremental descent.
-func naiveRefineBids(bids []zoneBid, k int, target float64, zoneInfo func(zone string) *refineZone) []zoneBid {
+func naiveRefineBids(bids []poolBid, k int, target float64, zoneInfo func(zone string) *refineZone) []poolBid {
 	n := len(bids)
 	infos := make([]*refineZone, n)
 	fps := make([]float64, n)
@@ -170,8 +170,8 @@ func TestRefineBidsMatchesNaive(t *testing.T) {
 			p += market.Money(1 + rng.Intn(150))
 		}
 		zones := make(map[string]*refineZone, n)
-		bids := make([]zoneBid, n)
-		naiveBids := make([]zoneBid, n)
+		bids := make([]poolBid, n)
+		naiveBids := make([]poolBid, n)
 		for zi := 0; zi < n; zi++ {
 			// Non-increasing FP staircase over the levels.
 			fp := make([]float64, nLevels)
@@ -195,7 +195,7 @@ func TestRefineBidsMatchesNaive(t *testing.T) {
 				cur:    levels[rng.Intn(nLevels/2+1)],
 			}
 			start := levels[nLevels/2+rng.Intn(nLevels-nLevels/2)]
-			bids[zi] = zoneBid{zone: names[zi], bid: start}
+			bids[zi] = poolBid{zone: names[zi], bid: start}
 			naiveBids[zi] = bids[zi]
 		}
 		k := n/2 + 1

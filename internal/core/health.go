@@ -32,6 +32,7 @@ import (
 	"math"
 
 	"repro/internal/engine"
+	"repro/internal/market"
 	"repro/internal/stats"
 )
 
@@ -186,4 +187,19 @@ func (t *healthTracker) quarantined(zone string, now int64) bool {
 	t.decayTo(now)
 	zh := t.zones[zone]
 	return zh != nil && now < zh.until
+}
+
+// quarantinedKey reports whether a pool key is quarantined: either the
+// pool itself (faults carry pool keys when a typed pool's instance
+// fails) or its whole availability zone (chaos blackouts name the
+// zone). For a bare-zone key both lookups coincide, so single-type
+// behavior is unchanged.
+func (t *healthTracker) quarantinedKey(key string, now int64) bool {
+	if t.quarantined(key, now) {
+		return true
+	}
+	if zone := market.PoolZone(key); zone != key {
+		return t.quarantined(zone, now)
+	}
+	return false
 }

@@ -260,15 +260,19 @@ func (j *Jupiter) publishTrain(view strategy.MarketView, zone string, now int64,
 	})
 }
 
-// zoneBid is a zone's minimal adequate bid for some failure target.
-type zoneBid struct {
+// poolBid is a pool's minimal adequate bid for some failure target.
+// zone holds the pool key — the bare zone name for base-type pools.
+type poolBid struct {
 	zone string
 	bid  market.Money
 }
 
-// zoneState is one zone's failure estimator for the current interval,
-// shared across all group sizes of a Decide.
-type zoneState struct {
+// poolSnapshot is one pool's failure estimator for the current
+// interval, shared across all group sizes of a Decide. zone holds the
+// pool key — the bare zone name for base-type pools, "zone/type"
+// otherwise — and every lookup downstream (models, prices, quarantine)
+// is keyed by it.
+type poolSnapshot struct {
 	zone   string
 	minBid func(target float64) (market.Money, bool)
 	fpOf   func(bid market.Money) float64
@@ -276,7 +280,7 @@ type zoneState struct {
 	cur    market.Money
 }
 
-// buildZoneStates assembles the per-zone estimators for one Decide.
+// buildPoolSnapshots assembles the per-pool estimators for one Decide.
 //
 // Model training and market reads run sequentially in zone order: they
 // mutate the retrain-cadence state and publish training events, whose
@@ -287,7 +291,7 @@ type zoneState struct {
 // over a worker pool bounded by GOMAXPROCS. Results collect into a
 // slice indexed by zone order, keeping every downstream loop
 // deterministic.
-func (j *Jupiter) buildZoneStates(view strategy.MarketView, spec strategy.ServiceSpec, zones []string, now, intervalMinutes int64) ([]*zoneState, error) {
+func (j *Jupiter) buildPoolSnapshots(view strategy.MarketView, spec strategy.ServiceSpec, zones []string, now, intervalMinutes int64) ([]*poolSnapshot, error) {
 	type zoneWork struct {
 		zone  string
 		model *smc.Model
@@ -297,12 +301,12 @@ func (j *Jupiter) buildZoneStates(view strategy.MarketView, spec strategy.Servic
 	}
 	work := make([]zoneWork, 0, len(zones))
 	for _, z := range zones {
-		if j.health != nil && j.health.quarantined(z, now) {
-			continue // zone quarantined after faults; re-probed once the backoff expires
+		if j.health != nil && j.health.quarantinedKey(z, now) {
+			continue // pool quarantined after faults; re-probed once the backoff expires
 		}
 		m, err := j.model(view, z)
 		if err != nil {
-			continue // zone unusable this round (no history yet)
+			continue // pool unusable this round (no history yet)
 		}
 		cur, err := view.SpotPrice(z)
 		if err != nil {
@@ -312,14 +316,14 @@ func (j *Jupiter) buildZoneStates(view strategy.MarketView, spec strategy.Servic
 		if err != nil {
 			return nil, err
 		}
-		od, err := market.OnDemandPrice(z, spec.Type)
+		od, err := market.PoolOnDemandPrice(z, spec.Type)
 		if err != nil {
 			return nil, err
 		}
 		work = append(work, zoneWork{zone: z, model: m, cur: cur, age: age, od: od})
 	}
 
-	build := func(w zoneWork) *zoneState {
+	build := func(w zoneWork) *poolSnapshot {
 		var f *smc.Forecast
 		var err error
 		switch j.Mode {
@@ -327,7 +331,7 @@ func (j *Jupiter) buildZoneStates(view strategy.MarketView, spec strategy.Servic
 			f, err = w.model.Stationary()
 		case ModeOneStep:
 			model, cur, age, od := w.model, w.cur, w.age, w.od
-			return &zoneState{
+			return &poolSnapshot{
 				zone: w.zone,
 				minBid: func(target float64) (market.Money, bool) {
 					return model.MinimalBidOneStep(cur, age, target, j.FP0, od)
@@ -345,7 +349,7 @@ func (j *Jupiter) buildZoneStates(view strategy.MarketView, spec strategy.Servic
 			return nil // zone unusable this round
 		}
 		fc, od := f, w.od
-		return &zoneState{
+		return &poolSnapshot{
 			zone: w.zone,
 			minBid: func(target float64) (market.Money, bool) {
 				return fc.MinimalBid(target, j.FP0, od)
@@ -358,7 +362,7 @@ func (j *Jupiter) buildZoneStates(view strategy.MarketView, spec strategy.Servic
 		}
 	}
 
-	built := make([]*zoneState, len(work))
+	built := make([]*poolSnapshot, len(work))
 	if workers := min(runtime.GOMAXPROCS(0), len(work)); workers <= 1 {
 		for i, w := range work {
 			built[i] = build(w)
@@ -397,6 +401,26 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 		return strategy.Decision{}, fmt.Errorf("core: interval %d <= 0", intervalMinutes)
 	}
 	zones := view.Zones()
+	// Minimum-shape constraint: drop pools whose instance type is too
+	// small for the service. An unsatisfiable constraint is a
+	// configuration error (market.ErrNoFeasiblePools), surfaced rather
+	// than silently falling back to on-demand.
+	if spec.Constrained() {
+		filtered, err := market.FilterPools(zones, spec.Type, spec.MinVCPU, spec.MinMemGiB)
+		if err != nil {
+			return strategy.Decision{}, err
+		}
+		zones = filtered
+	}
+	// A view exposing typed pools routes through the capacity-weighted
+	// path (pools.go). Views of only bare-zone pools — every single-type
+	// deployment — take the zone path below, byte-identical to the
+	// pre-pool framework.
+	for _, z := range zones {
+		if market.IsTypedPoolKey(z) {
+			return j.decidePools(view, spec, zones, intervalMinutes)
+		}
+	}
 	target := spec.TargetAvailability()
 	now := view.Now()
 
@@ -411,14 +435,14 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 	// One failure estimator per zone, shared across all group sizes.
 	// Forecast construction fans out over a bounded worker pool; the
 	// result is ordered by zone so every loop below is deterministic.
-	states, err := j.buildZoneStates(view, spec, zones, now, intervalMinutes)
+	states, err := j.buildPoolSnapshots(view, spec, zones, now, intervalMinutes)
 	if err != nil {
 		return strategy.Decision{}, err
 	}
 	if len(states) == 0 {
 		return j.fallback(view, spec)
 	}
-	byZone := make(map[string]*zoneState, len(states))
+	byZone := make(map[string]*poolSnapshot, len(states))
 	for _, st := range states {
 		byZone[st.zone] = st
 	}
@@ -464,7 +488,7 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 	j.lastDecision = j.lastDecision[:0]
 	bestCost := market.Money(0)
 	found := false
-	var bestBids []zoneBid
+	var bestBids []poolBid
 	var bestOD []string
 	for n := minNodes; n <= maxNodes; n++ {
 		k := spec.QuorumSize(n)
@@ -475,7 +499,7 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 			continue
 		}
 		cand.FPTarget = fpTarget
-		var bids []zoneBid
+		var bids []poolBid
 		for _, st := range states {
 			bid, ok := st.minBid(fpTarget)
 			if !ok {
@@ -488,7 +512,7 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 			if bid < st.cur {
 				continue
 			}
-			bids = append(bids, zoneBid{zone: st.zone, bid: bid})
+			bids = append(bids, poolBid{zone: st.zone, bid: bid})
 		}
 		sort.Slice(bids, func(a, b int) bool {
 			if bids[a].bid != bids[b].bid {
@@ -572,12 +596,12 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 // first, until a full quorum of the group runs on-demand — the
 // StageCritical posture, which keeps the service up even if every spot
 // member is lost at once (a correlated reclamation storm).
-func hardenQuorum(bids []zoneBid, od []string, spec strategy.ServiceSpec) ([]zoneBid, []string) {
+func hardenQuorum(bids []poolBid, od []string, spec strategy.ServiceSpec) ([]poolBid, []string) {
 	k := spec.QuorumSize(len(bids) + len(od))
 	if len(od) >= k {
 		return bids, od
 	}
-	byCost := append([]zoneBid(nil), bids...)
+	byCost := append([]poolBid(nil), bids...)
 	sort.Slice(byCost, func(a, b int) bool {
 		if byCost[a].bid != byCost[b].bid {
 			return byCost[a].bid > byCost[b].bid
@@ -613,7 +637,7 @@ type refineZone struct {
 // vector and probes every zone's next level with its O(n) leave-one-out
 // query, so an iteration costs O(n²) where the swap-and-recompute DP
 // was O(n³).
-func refineBids(bids []zoneBid, k int, target float64, zoneInfo func(zone string) *refineZone) []zoneBid {
+func refineBids(bids []poolBid, k int, target float64, zoneInfo func(zone string) *refineZone) []poolBid {
 	n := len(bids)
 	infos := make([]*refineZone, n)
 	fps := make([]float64, n)

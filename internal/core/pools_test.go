@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/market"
+	"repro/internal/quorum"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+)
+
+// allExtraTypes is every cataloged type beyond m1.small.
+func allExtraTypes() []market.InstanceType {
+	var out []market.InstanceType
+	for _, it := range market.Types() {
+		if it != market.M1Small {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// genPoolView builds a heterogeneous market view: every experiment zone
+// carries one pool per cataloged instance type.
+func genPoolView(t *testing.T, seed uint64, weeks int64) traceView {
+	t.Helper()
+	set, err := trace.Generate(trace.GenConfig{
+		Seed: seed, Type: market.M1Small, Types: allExtraTypes(),
+		Zones: market.ExperimentZones(),
+		Start: 0, End: weeks * week,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traceView{set: set, now: weeks*week - 1}
+}
+
+func TestJupiterDecidePoolsFeasible(t *testing.T) {
+	view := genPoolView(t, 42, 13)
+	j := New()
+	spec := lockSpec()
+	d, err := j.Decide(view, spec, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Bids)+len(d.OnDemand) == 0 {
+		t.Fatal("empty decision over a heterogeneous view")
+	}
+	known := make(map[string]bool)
+	for _, z := range view.Zones() {
+		known[z] = true
+	}
+	var units []int
+	var fps []float64
+	total := 0
+	for _, b := range d.Bids {
+		if !known[b.Zone] {
+			t.Fatalf("bid on unknown pool %q", b.Zone)
+		}
+		u, err := market.PoolCapacityUnits(b.Zone, spec.Type)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, ok := j.LastBidFailureProbabilities()[b.Zone]
+		if !ok {
+			t.Fatalf("no recorded failure probability for %q", b.Zone)
+		}
+		units = append(units, u)
+		fps = append(fps, fp)
+		total += u
+	}
+	// The chosen portfolio must meet the Equation 10 constraint under
+	// the exact unit-weighted quorum rule.
+	target := spec.TargetAvailability()
+	avail := quorum.WeightedThresholdAvailability(spec.QuorumUnits(total), units, fps)
+	if avail < target {
+		t.Fatalf("decision availability %v below target %v", avail, target)
+	}
+	if total < spec.DataShards*market.UnitsPerNode {
+		t.Fatalf("portfolio of %d units cannot host %d shards", total, spec.DataShards)
+	}
+}
+
+// TestJupiterPoolPlanningCostNotWorse pins the family-(b) guarantee:
+// over the same zones and models, the heterogeneous planner never plans
+// a costlier group than the zone-only planner, because the zone-only
+// selection itself stays in the candidate race.
+func TestJupiterPoolPlanningCostNotWorse(t *testing.T) {
+	const seed, weeks = 42, 13
+	spec := lockSpec()
+
+	zoneView := genView(t, seed, weeks)
+	jz := New()
+	dz, err := jz.Decide(zoneView, spec, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolView := genPoolView(t, seed, weeks)
+	jp := New()
+	dp, err := jp.Decide(poolView, spec, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned := func(d strategy.Decision) market.Money {
+		var c market.Money
+		for _, b := range d.Bids {
+			c += b.Price
+		}
+		for _, z := range d.OnDemand {
+			od, err := market.PoolOnDemandPrice(z, spec.Type)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c += od
+		}
+		return c
+	}
+	zc, pc := planned(dz), planned(dp)
+	if pc > zc {
+		t.Fatalf("heterogeneous plan costs %v, zone-only %v", pc, zc)
+	}
+}
+
+// TestJupiterPoolsMinShapeFilter: a satisfiable constraint restricts
+// bids to feasible pools; an unsatisfiable one surfaces the typed
+// market.ErrNoFeasiblePools instead of the generic on-demand fallback.
+func TestJupiterPoolsMinShapeFilter(t *testing.T) {
+	view := genPoolView(t, 42, 13)
+	spec := lockSpec()
+	spec.MinVCPU = 2 // only m3.large, c3.large, r3.large qualify
+	j := New()
+	d, err := j.Decide(view, spec, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The equalized per-node probability is derived for base-node
+	// groups; the group-specific rebid repair must still find a spot
+	// portfolio over the heavier feasible pools rather than falling
+	// back to on-demand.
+	if len(d.Bids) == 0 {
+		t.Fatal("constrained decision fell back to on-demand; rebid repair found no spot portfolio")
+	}
+	var units []int
+	var fps []float64
+	total := 0
+	for _, b := range d.Bids {
+		_, typ := market.ParsePool(b.Zone, spec.Type)
+		if !spec.Feasible(typ) {
+			t.Fatalf("bid on infeasible pool %q (type %s)", b.Zone, typ)
+		}
+		u, err := market.PoolCapacityUnits(b.Zone, spec.Type)
+		if err != nil {
+			t.Fatal(err)
+		}
+		units = append(units, u)
+		fps = append(fps, j.LastBidFailureProbabilities()[b.Zone])
+		total += u
+	}
+	target := spec.TargetAvailability()
+	if len(d.OnDemand) == 0 {
+		if avail := quorum.WeightedThresholdAvailability(spec.QuorumUnits(total), units, fps); avail < target {
+			t.Fatalf("constrained decision availability %v below target %v", avail, target)
+		}
+	}
+	for _, z := range d.OnDemand {
+		_, typ := market.ParsePool(z, spec.Type)
+		if !spec.Feasible(typ) {
+			t.Fatalf("on-demand in infeasible pool %q (type %s)", z, typ)
+		}
+	}
+
+	spec.MinVCPU = 1024
+	if _, err := New().Decide(view, spec, 60); !errors.Is(err, market.ErrNoFeasiblePools) {
+		t.Fatalf("want market.ErrNoFeasiblePools, got %v", err)
+	}
+}
+
+// TestDecideSingleTypeAllocBudget pins the zone path's allocation
+// budget: adding the pool dispatch must not regress the warmed
+// fast-path Decide beyond 300 allocations.
+func TestDecideSingleTypeAllocBudget(t *testing.T) {
+	view := genView(t, 42, 13)
+	j := New()
+	spec := lockSpec()
+	if _, err := j.Decide(view, spec, 60); err != nil { // warm models + caches
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := j.Decide(view, spec, 60); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 300 {
+		t.Fatalf("single-type Decide allocates %.0f times, budget 300", allocs)
+	}
+}
+
+// TestDecidePoolsUsesTypedPools: the heterogeneous path must actually
+// route through the pool planner — its candidate enumeration is keyed
+// in base-node equivalents and at least one typed pool appears among
+// the candidates the planner could select from.
+func TestDecidePoolsUsesTypedPools(t *testing.T) {
+	view := genPoolView(t, 42, 13)
+	j := New()
+	if _, err := j.Decide(view, lockSpec(), 60); err != nil {
+		t.Fatal(err)
+	}
+	if len(j.LastCandidates()) == 0 {
+		t.Fatal("pool path recorded no candidate group sizes")
+	}
+	typed := 0
+	for _, z := range view.Zones() {
+		if strings.IndexByte(z, '/') >= 0 {
+			typed++
+		}
+	}
+	if typed == 0 {
+		t.Fatal("pool view exposes no typed pools; test is vacuous")
+	}
+}

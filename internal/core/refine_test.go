@@ -32,7 +32,7 @@ func TestRefineBidsLowersCostWithinTarget(t *testing.T) {
 		"b": mkZone(map[market.Money]float64{100: 0.05, 200: 0.01, 300: 0.001}),
 		"c": mkZone(map[market.Money]float64{100: 0.02, 200: 0.01, 300: 0.001}),
 	}
-	bids := []zoneBid{{zone: "a", bid: 300}, {zone: "b", bid: 300}, {zone: "c", bid: 300}}
+	bids := []poolBid{{zone: "a", bid: 300}, {zone: "b", bid: 300}, {zone: "c", bid: 300}}
 	target := 0.999
 	out := refineBids(bids, 2, target, func(z string) *refineZone { return zones[z] })
 
@@ -65,7 +65,7 @@ func TestRefineBidsRespectsTarget(t *testing.T) {
 		levels: []market.Money{100, 200, 300},
 		cur:    100,
 	}
-	bids := []zoneBid{{zone: "a", bid: 300}, {zone: "b", bid: 300}, {zone: "c", bid: 300}}
+	bids := []poolBid{{zone: "a", bid: 300}, {zone: "b", bid: 300}, {zone: "c", bid: 300}}
 	out := refineBids(bids, 2, 0.9999, func(string) *refineZone { return z })
 	for _, zb := range out {
 		if zb.bid != 300 {

@@ -60,6 +60,17 @@ type Env struct {
 	Chaos *chaos.Scenario
 	// ChaosSeed overrides the scenario's seed when non-zero.
 	ChaosSeed uint64
+	// Types lists additional instance types to bid across, beyond each
+	// spec's base type: the market grows one correlated pool per (zone,
+	// extra type), and pool-aware strategies bid over the whole
+	// portfolio. Empty reproduces the paper's single-type market
+	// byte-identically.
+	Types []market.InstanceType
+	// MinVCPU and MinMemGiB, when non-zero, constrain every replayed
+	// spec's feasible instance shapes (strategy.ServiceSpec.MinVCPU /
+	// MinMemGiB).
+	MinVCPU   int
+	MinMemGiB float64
 	// Observe, when set, builds the observers of each replay cell: it
 	// is called once per cell, before the replay starts, with the
 	// cell's coordinates, and its return value receives that cell's
@@ -97,15 +108,29 @@ func StorageSpec() strategy.ServiceSpec {
 
 // Traces generates (deterministically) the market history for a spec:
 // a training prefix of TrainWeeks followed by ReplayWeeks of replayable
-// market, across the paper's 17 experiment zones.
+// market, across the paper's 17 experiment zones — plus one correlated
+// sibling pool per (zone, Env.Types entry) when types are configured.
 func (e Env) Traces(it market.InstanceType) (*trace.Set, error) {
 	return trace.Generate(trace.GenConfig{
 		Seed:  e.Seed,
 		Type:  it,
+		Types: e.Types,
 		Zones: market.ExperimentZones(),
 		Start: 0,
 		End:   (e.TrainWeeks + e.ReplayWeeks) * Week,
 	})
+}
+
+// applyConstraints stamps the Env's fleet-wide shape constraints onto a
+// spec.
+func (e Env) applyConstraints(spec strategy.ServiceSpec) strategy.ServiceSpec {
+	if e.MinVCPU > 0 {
+		spec.MinVCPU = e.MinVCPU
+	}
+	if e.MinMemGiB > 0 {
+		spec.MinMemGiB = e.MinMemGiB
+	}
+	return spec
 }
 
 // replayOne runs a single strategy/interval combination.
@@ -227,6 +252,7 @@ func forEachCell(n, jobs int, fn func(i int) error) error {
 // Env.Jobs > 1 they run concurrently and still produce the rows of the
 // sequential interval-major order.
 func (e Env) Sweep(spec strategy.ServiceSpec, serviceName string) ([]SweepRow, error) {
+	spec = e.applyConstraints(spec)
 	set, err := e.Traces(spec.Type)
 	if err != nil {
 		return nil, err

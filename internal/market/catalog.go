@@ -75,6 +75,15 @@ func initCatalog() {
 			catalog.regions = append(catalog.regions, r)
 			catalog.odPrice[M1Small] = append(catalog.odPrice[M1Small], rs.odM1Small)
 			catalog.odPrice[M3Large] = append(catalog.odPrice[M3Large], rs.odM3Large)
+			// Derived columns for the extra pool types (pool.go): exact
+			// integer ratios of the regional m1.small price, so the paper
+			// types' columns above stay byte-identical to Table 1.
+			for _, ts := range typeSpecs {
+				if ts.odDen == 0 {
+					continue
+				}
+				catalog.odPrice[ts.shape.Type] = append(catalog.odPrice[ts.shape.Type], rs.odM1Small.MulFrac(ts.odNum, ts.odDen))
+			}
 		}
 		sort.Strings(catalog.allZones)
 	})

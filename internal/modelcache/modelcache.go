@@ -43,7 +43,9 @@ type Key struct {
 	// different trace sets must set it; 0 is reserved for callers that
 	// guarantee a single history per cache.
 	Trace uint64
-	// Zone is the availability zone.
+	// Zone is the pool key (market.PoolKey): the bare availability-zone
+	// name for base-type pools, "zone/type" for other types. Each pool
+	// has its own price history, so each gets its own models.
 	Zone string
 	// From and Until bound the training window in minutes.
 	From, Until int64

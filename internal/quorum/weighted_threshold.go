@@ -1,0 +1,248 @@
+package quorum
+
+import (
+	"fmt"
+	"math"
+)
+
+// Capacity-weighted threshold quorums generalize the k-of-n rule to
+// heterogeneous pools: node i carries an integer capacity units[i] (a
+// base-capacity node carries market.UnitsPerNode), the service is up
+// when the unit sum of live nodes reaches a unit threshold t, and
+// Equation 11's observation that a node of weight w counts as w
+// survivors carries over verbatim — the Poisson-binomial survivor-count
+// DP simply walks unit sums instead of node counts.
+//
+// The weighted recurrences below intentionally perform the exact
+// floating-point operation sequence of their unweighted counterparts
+// (ThresholdAvailability, ThresholdEvaluator) whenever every unit is 1,
+// so an all-equal-weight fleet evaluates bit-identically; the property
+// tests pin this.
+
+// RSPaxosQuorumUnits is RSPaxosQuorumSize over capacity units: the
+// minimal live unit sum for an RS-Paxos group with totalUnits units of
+// capacity carrying shardUnits units of data chunks (m data chunks ×
+// the per-node unit quantum). For a fleet of n base-capacity nodes it
+// equals RSPaxosQuorumSize(n, m) whole nodes exactly:
+// ceil((Qn+Qm)/2) units is reached precisely by ceil((n+m)/2) nodes of
+// Q units each.
+func RSPaxosQuorumUnits(totalUnits, shardUnits int) int {
+	return (totalUnits + shardUnits + 1) / 2
+}
+
+// WeightedThresholdAvailability returns the probability that the unit
+// sum of live nodes reaches t, where node i fails independently with
+// probability p[i] and carries units[i] capacity units. t <= 0 is
+// trivially available; t beyond the total unit sum is unreachable.
+// Validation of p matches ThresholdAvailability; units must be
+// positive. O(n · total units).
+func WeightedThresholdAvailability(t int, units []int, p []float64) float64 {
+	n := len(p)
+	if len(units) != n {
+		panic(fmt.Sprintf("quorum: %d unit weights for %d nodes", len(units), n))
+	}
+	total := 0
+	for i, u := range units {
+		if u < 1 {
+			panic(fmt.Sprintf("quorum: units[%d] = %d not positive", i, u))
+		}
+		total += u
+	}
+	for i, pi := range p {
+		if pi < 0 || pi > 1 || math.IsNaN(pi) {
+			panic(fmt.Sprintf("quorum: p[%d] = %v outside [0, 1]", i, pi))
+		}
+	}
+	if t <= 0 {
+		return 1
+	}
+	if t > total {
+		return 0
+	}
+	// Survivor distribution over unit sums, folding one node at a time —
+	// the ThresholdAvailability recurrence with a stride of units[i].
+	dist := make([]float64, total+1)
+	dist[0] = 1
+	cum := 0
+	for i, pi := range p {
+		q := 1 - pi
+		u := units[i]
+		cum += u
+		for b := cum; b >= u; b-- {
+			dist[b] = dist[b]*pi + dist[b-u]*q
+		}
+		for b := u - 1; b >= 0; b-- {
+			dist[b] *= pi
+		}
+	}
+	sum := 0.0
+	for b := t; b <= total; b++ {
+		sum += dist[b]
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// WeightedThresholdEvaluator is ThresholdEvaluator over capacity
+// units: it answers "what is the availability of the unit-threshold-t
+// system if node i's failure probability were pi?" in O(total units)
+// per query. Build cost is O(n · total units).
+type WeightedThresholdEvaluator struct {
+	t, n  int
+	units []int
+	// prefix rows: row i (length preU[i]+1, at offset preOff[i]) holds
+	// P(exactly b units of nodes 0..i-1 alive).
+	prefix []float64
+	preOff []int
+	preU   []int
+	// sufTail rows: row i (stride totalUnits+2) holds P(at least b
+	// units of nodes i..n-1 alive) for b = 0..totalUnits+1.
+	sufTail []float64
+	stride  int
+	total   float64
+}
+
+// NewWeightedThresholdEvaluator builds the evaluator for the
+// unit-threshold-t system over failure probabilities p and capacity
+// units. Validation matches WeightedThresholdAvailability, with
+// t in [0, total units].
+func NewWeightedThresholdEvaluator(t int, units []int, p []float64) *WeightedThresholdEvaluator {
+	n := len(p)
+	if len(units) != n {
+		panic(fmt.Sprintf("quorum: %d unit weights for %d nodes", len(units), n))
+	}
+	totalU := 0
+	for i, u := range units {
+		if u < 1 {
+			panic(fmt.Sprintf("quorum: units[%d] = %d not positive", i, u))
+		}
+		totalU += u
+	}
+	if t < 0 || t > totalU {
+		panic(fmt.Sprintf("quorum: unit threshold %d outside [0, %d]", t, totalU))
+	}
+	for i, pi := range p {
+		if pi < 0 || pi > 1 || math.IsNaN(pi) {
+			panic(fmt.Sprintf("quorum: p[%d] = %v outside [0, 1]", i, pi))
+		}
+	}
+	ev := &WeightedThresholdEvaluator{
+		t: t, n: n,
+		units:  append([]int(nil), units...),
+		preOff: make([]int, n+1),
+		preU:   make([]int, n+1),
+		stride: totalU + 2,
+	}
+	preSize := 1
+	for i, u := range units {
+		ev.preOff[i+1] = ev.preOff[i] + ev.preU[i] + 1
+		ev.preU[i+1] = ev.preU[i] + u
+		preSize += ev.preU[i+1] + 1
+	}
+	ev.prefix = make([]float64, preSize)
+	ev.sufTail = make([]float64, (n+1)*ev.stride)
+	// Prefix survivor distributions, extending one node at a time with
+	// the same in-place recurrence (and therefore the same rounding) as
+	// WeightedThresholdAvailability.
+	dist := make([]float64, totalU+1)
+	dist[0] = 1
+	ev.prefix[0] = 1
+	off := 1
+	cum := 0
+	for i, pi := range p {
+		q := 1 - pi
+		u := units[i]
+		cum += u
+		for b := cum; b >= u; b-- {
+			dist[b] = dist[b]*pi + dist[b-u]*q
+		}
+		for b := u - 1; b >= 0; b-- {
+			dist[b] *= pi
+		}
+		copy(ev.prefix[off:off+cum+1], dist[:cum+1])
+		off += cum + 1
+	}
+	// The full-vector availability from the completed distribution —
+	// bit-identical to WeightedThresholdAvailability by construction.
+	for b := t; b <= totalU; b++ {
+		ev.total += dist[b]
+	}
+	if ev.total > 1 {
+		ev.total = 1
+	}
+	// Suffix tail tables, built right to left.
+	for b := range dist {
+		dist[b] = 0
+	}
+	dist[0] = 1
+	ev.setTail(n, dist[:1])
+	m := 0
+	for i := n - 1; i >= 0; i-- {
+		pi := p[i]
+		q := 1 - pi
+		u := units[i]
+		m += u
+		for b := m; b >= u; b-- {
+			dist[b] = dist[b]*pi + dist[b-u]*q
+		}
+		for b := u - 1; b >= 0; b-- {
+			dist[b] *= pi
+		}
+		ev.setTail(i, dist[:m+1])
+	}
+	return ev
+}
+
+// setTail fills sufTail row i from the unit-sum survivor distribution d
+// of nodes i..n-1.
+func (ev *WeightedThresholdEvaluator) setTail(i int, d []float64) {
+	row := ev.sufTail[i*ev.stride : (i+1)*ev.stride]
+	for b := len(d) - 1; b >= 0; b-- {
+		row[b] = row[b+1] + d[b]
+	}
+}
+
+// tailWithout returns P(unit sum of live nodes other than i >= t).
+func (ev *WeightedThresholdEvaluator) tailWithout(i, t int) float64 {
+	if t <= 0 {
+		return 1
+	}
+	pre := ev.prefix[ev.preOff[i] : ev.preOff[i]+ev.preU[i]+1]
+	suf := ev.sufTail[(i+1)*ev.stride : (i+2)*ev.stride]
+	s := 0.0
+	for a, pa := range pre {
+		if a >= t {
+			// Every remaining prefix term already clears t on its own;
+			// sufTail[·][0] = 1, so the sum telescopes to the prefix tail.
+			for _, rest := range pre[a:] {
+				s += rest
+			}
+			break
+		}
+		s += pa * suf[t-a]
+	}
+	return s
+}
+
+// Availability returns the weighted availability of the baseline
+// vector, bit-identical to WeightedThresholdAvailability over the same
+// inputs.
+func (ev *WeightedThresholdEvaluator) Availability() float64 { return ev.total }
+
+// WithNode returns the availability with node i's failure probability
+// replaced by pi. O(total units).
+func (ev *WeightedThresholdEvaluator) WithNode(i int, pi float64) float64 {
+	if i < 0 || i >= ev.n {
+		panic(fmt.Sprintf("quorum: node %d outside [0, %d)", i, ev.n))
+	}
+	if pi < 0 || pi > 1 || math.IsNaN(pi) {
+		panic(fmt.Sprintf("quorum: p = %v outside [0, 1]", pi))
+	}
+	a := (1-pi)*ev.tailWithout(i, ev.t-ev.units[i]) + pi*ev.tailWithout(i, ev.t)
+	if a > 1 {
+		a = 1
+	}
+	return a
+}

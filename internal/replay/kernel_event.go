@@ -3,6 +3,7 @@ package replay
 import (
 	"repro/internal/cloud"
 	"repro/internal/engine"
+	"repro/internal/market"
 	"repro/internal/strategy"
 )
 
@@ -27,13 +28,18 @@ type availTracker struct {
 	// Member slots of the current interval's fleet, keyed by the
 	// instance or persistent-request ID backing each slot. A slice of
 	// slots tolerates the degenerate case of one ID backing several
-	// slots.
-	instSlots  map[cloud.InstanceID][]int
-	reqSlots   map[cloud.RequestID][]int
-	alive      []bool
-	aliveCount int
-	n          int
-	quorum     int
+	// slots. Quorum is evaluated over capacity units (a pool of weight
+	// w counts as w·UnitsPerNode survivors; every slot of a single-type
+	// fleet weighs exactly UnitsPerNode, making the unit rule the node
+	// rule); aliveCount still tracks live slots for event payloads.
+	instSlots   map[cloud.InstanceID][]int
+	reqSlots    map[cloud.RequestID][]int
+	alive       []bool
+	units       []int
+	aliveCount  int
+	aliveUnits  int
+	n           int
+	quorumUnits int
 
 	started   bool // membership installed; spans accumulate
 	closed    bool // accounting over; ignore further events
@@ -85,10 +91,12 @@ func (t *availTracker) set(i int, v bool, minute int64) {
 	t.alive[i] = v
 	if v {
 		t.aliveCount++
+		t.aliveUnits += t.units[i]
 	} else {
 		t.aliveCount--
+		t.aliveUnits -= t.units[i]
 	}
-	down := t.n == 0 || t.aliveCount < t.quorum
+	down := t.n == 0 || t.aliveUnits < t.quorumUnits
 	if down == t.down {
 		return
 	}
@@ -115,9 +123,15 @@ func (t *availTracker) rebuild(members []member, minute int64) {
 	t.instSlots = make(map[cloud.InstanceID][]int, len(members))
 	t.reqSlots = make(map[cloud.RequestID][]int, len(members))
 	t.alive = make([]bool, len(members))
+	t.units = fleetUnits(members, t.spec, t.units[:0])
 	t.aliveCount = 0
+	t.aliveUnits = 0
 	t.n = len(members)
-	t.quorum = t.spec.QuorumSize(t.n)
+	totalUnits := 0
+	for _, u := range t.units {
+		totalUnits += u
+	}
+	t.quorumUnits = t.spec.QuorumUnits(totalUnits)
 	for i, mb := range members {
 		switch {
 		case mb.reqID != "":
@@ -129,15 +143,30 @@ func (t *availTracker) rebuild(members []member, minute int64) {
 		}
 		if t.alive[i] {
 			t.aliveCount++
+			t.aliveUnits += t.units[i]
 		}
 	}
-	t.down = t.n == 0 || t.aliveCount < t.quorum
+	t.down = t.n == 0 || t.aliveUnits < t.quorumUnits
 	if t.down {
 		t.downSince = minute
 	}
 	if t.down != wasDown {
 		t.emit(minute, t.down, t.aliveCount)
 	}
+}
+
+// fleetUnits returns each member's capacity units (appended to buf),
+// from the pool key's instance type. Unresolvable keys weigh one base
+// node, so quorum accounting never silently drops a member.
+func fleetUnits(members []member, spec strategy.ServiceSpec, buf []int) []int {
+	for _, mb := range members {
+		u, err := market.PoolCapacityUnits(mb.zone, spec.Type)
+		if err != nil {
+			u = market.UnitsPerNode
+		}
+		buf = append(buf, u)
+	}
+	return buf
 }
 
 // downThrough returns the total down minutes over [start, minute).

@@ -35,6 +35,8 @@ func (r *run) runPolling() error {
 		intervalStart = endMinute
 		intervalDown = 0
 	}
+	var units []int
+	quorumUnits := 0
 	for minute := r.cfg.Start; minute < end; minute++ {
 		r.provider.AdvanceTo(minute)
 		if boundaryPending {
@@ -44,20 +46,31 @@ func (r *run) runPolling() error {
 				return err
 			}
 			boundaryPending = false
+			// Quorum is over capacity units (the node rule exactly, when
+			// every member is a base-type pool of UnitsPerNode units).
+			units = fleetUnits(r.fleet, r.cfg.Spec, units[:0])
+			total := 0
+			for _, u := range units {
+				total += u
+			}
+			quorumUnits = r.cfg.Spec.QuorumUnits(total)
 		}
 		// Availability: a live quorum of the configured group.
 		n := len(r.fleet)
 		alive := 0
-		for _, mb := range r.fleet {
+		aliveUnits := 0
+		for i, mb := range r.fleet {
 			switch {
 			case mb.reqID != "" && r.provider.RequestAlive(mb.reqID):
 				alive++
+				aliveUnits += units[i]
 			case mb.id != "" && r.provider.Alive(mb.id):
 				alive++
+				aliveUnits += units[i]
 			}
 		}
 		res.TotalMinutes++
-		down := n == 0 || alive < r.cfg.Spec.QuorumSize(n)
+		down := n == 0 || aliveUnits < quorumUnits
 		if down {
 			res.DownMinutes++
 			intervalDown++

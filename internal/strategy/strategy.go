@@ -16,13 +16,18 @@ import (
 )
 
 // MarketView is what a strategy can observe at decision time: current
-// prices, their ages, and price history — never the future.
+// prices, their ages, and price history — never the future. Candidate
+// capacity sources are identified by pool key (market.PoolKey): the
+// bare zone name for pools of the service's base instance type,
+// "zone/type" for other types. A single-type view is therefore exactly
+// the zone-keyed view this interface always exposed.
 type MarketView interface {
 	// Now returns the current minute.
 	Now() int64
-	// Zones lists the candidate availability zones.
+	// Zones lists the candidate pool keys (zone names when the
+	// deployment uses a single instance type).
 	Zones() []string
-	// SpotPrice returns the current spot price in a zone.
+	// SpotPrice returns the current spot price of a pool.
 	SpotPrice(zone string) (market.Money, error)
 	// SpotPriceAge returns how long the current price has held, in
 	// minutes.
@@ -52,18 +57,48 @@ type EventPublisher interface {
 
 // ServiceSpec describes the distributed service being hosted.
 type ServiceSpec struct {
-	// Type is the instance type the service runs on.
+	// Type is the base instance type the service runs on: the unit of
+	// capacity accounting (one Type node = market.UnitsPerNode units)
+	// and the type of every bare-zone pool.
 	Type market.InstanceType
-	// BaseNodes is the on-demand deployment size (5 in the paper).
+	// BaseNodes is the on-demand deployment size (5 in the paper), in
+	// nodes of the base type.
 	BaseNodes int
 	// DataShards is m of the service's quorum regime: 1 for the
 	// replicated lock service, 3 for the θ(3,5) storage service.
 	DataShards int
+	// MinVCPU and MinMemGiB constrain which instance types may host
+	// the service: pools whose type offers less are filtered out
+	// before bidding (zero means unconstrained). An unsatisfiable
+	// constraint surfaces market.ErrNoFeasiblePools.
+	MinVCPU   int
+	MinMemGiB float64
 }
 
 // QuorumSize returns the quorum for a deployment of n nodes.
 func (s ServiceSpec) QuorumSize(n int) int {
 	return quorum.RSPaxosQuorumSize(n, s.DataShards)
+}
+
+// QuorumUnits returns the quorum over capacity units for a deployment
+// with the given total units: the unit-sum generalization of
+// QuorumSize, with the m data shards weighted at one base node each.
+// For totalUnits = n·UnitsPerNode it is exactly QuorumSize(n) whole
+// base nodes.
+func (s ServiceSpec) QuorumUnits(totalUnits int) int {
+	return quorum.RSPaxosQuorumUnits(totalUnits, s.DataShards*market.UnitsPerNode)
+}
+
+// Feasible reports whether an instance type satisfies the spec's
+// minimum shape.
+func (s ServiceSpec) Feasible(it market.InstanceType) bool {
+	return market.ShapeSatisfies(it, s.MinVCPU, s.MinMemGiB)
+}
+
+// Constrained reports whether the spec carries a minimum-shape
+// constraint at all.
+func (s ServiceSpec) Constrained() bool {
+	return s.MinVCPU > 0 || s.MinMemGiB > 0
 }
 
 // TargetAvailability returns the availability of the baseline
@@ -73,7 +108,8 @@ func (s ServiceSpec) TargetAvailability() float64 {
 	return quorum.AvailabilityEqual(s.BaseNodes, s.QuorumSize(s.BaseNodes), market.OnDemandFailureProbability)
 }
 
-// Bid is one zone's bid decision.
+// Bid is one pool's bid decision. Zone is the pool key: a bare zone
+// name for the base type, "zone/type" otherwise.
 type Bid struct {
 	Zone  string
 	Price market.Money
@@ -81,10 +117,10 @@ type Bid struct {
 
 // Decision is a strategy's output for one bidding interval.
 type Decision struct {
-	// Bids lists the spot bids to place, one per zone.
+	// Bids lists the spot bids to place, one per pool.
 	Bids []Bid
-	// OnDemand lists zones in which to run on-demand instances
-	// (baseline strategy).
+	// OnDemand lists pools in which to run on-demand instances
+	// (baseline strategy, and Jupiter's degraded-mode substitutions).
 	OnDemand []string
 }
 
@@ -157,8 +193,12 @@ func (e Extra) Decide(view MarketView, spec ServiceSpec, intervalMinutes int64) 
 
 // --- On-demand baseline (§5.2) ---
 
-// OnDemand is the baseline: BaseNodes on-demand instances in the
-// cheapest zones, never bidding.
+// OnDemand is the baseline: BaseNodes base nodes' worth of on-demand
+// capacity in the cheapest pools, never bidding. Over a single-type
+// view it picks exactly the BaseNodes cheapest zones, as the paper's
+// baseline does; over a heterogeneous view it ranks feasible pools by
+// on-demand price per capacity unit and fills BaseNodes·UnitsPerNode
+// units.
 type OnDemand struct{}
 
 // Name implements Strategy.
@@ -169,28 +209,48 @@ func (OnDemand) Decide(view MarketView, spec ServiceSpec, intervalMinutes int64)
 	type zp struct {
 		zone  string
 		price market.Money
+		units int
 	}
-	var zps []zp
-	for _, z := range view.Zones() {
-		od, err := market.OnDemandPrice(z, spec.Type)
+	pools := view.Zones()
+	if spec.Constrained() {
+		var err error
+		pools, err = market.FilterPools(pools, spec.Type, spec.MinVCPU, spec.MinMemGiB)
 		if err != nil {
 			return Decision{}, err
 		}
-		zps = append(zps, zp{z, od})
+	}
+	var zps []zp
+	for _, z := range pools {
+		od, err := market.PoolOnDemandPrice(z, spec.Type)
+		if err != nil {
+			return Decision{}, err
+		}
+		u, err := market.PoolCapacityUnits(z, spec.Type)
+		if err != nil {
+			return Decision{}, err
+		}
+		zps = append(zps, zp{z, od, u})
 	}
 	sort.Slice(zps, func(i, j int) bool {
-		if zps[i].price != zps[j].price {
-			return zps[i].price < zps[j].price
+		// Cheapest per capacity unit first: price_i/units_i <
+		// price_j/units_j, cross-multiplied to stay in integers. For a
+		// single-type view every pool has equal units, so this is
+		// exactly the by-price order the baseline always used.
+		a := int64(zps[i].price) * int64(zps[j].units)
+		b := int64(zps[j].price) * int64(zps[i].units)
+		if a != b {
+			return a < b
 		}
 		return zps[i].zone < zps[j].zone
 	})
-	n := spec.BaseNodes
-	if n > len(zps) {
-		n = len(zps)
-	}
+	need := spec.BaseNodes * market.UnitsPerNode
 	var zones []string
-	for _, z := range zps[:n] {
+	for _, z := range zps {
+		if need <= 0 {
+			break
+		}
 		zones = append(zones, z.zone)
+		need -= z.units
 	}
 	return Decision{OnDemand: zones}, nil
 }

@@ -23,6 +23,12 @@ type Labels struct {
 // histograms, and model-training counts and wall time split by the
 // incremental flag.
 //
+// The "zone" label carries whatever key the event's Zone field does: a
+// bare availability-zone name in single-type runs, a pool key
+// (market.PoolKey, "zone/type") for non-base-type pools in
+// heterogeneous runs — so per-pool series stay apart without any
+// schema change.
+//
 // A Collector belongs to ONE run: it keeps per-run state (the open
 // downtime span, cached metric handles) and its hooks are called
 // synchronously by that run's goroutine, so they take no locks. To

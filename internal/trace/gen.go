@@ -165,13 +165,21 @@ func lnMean(mean, sigma float64) float64 {
 	return math.Log(mean) - sigma*sigma/2
 }
 
-// Generate draws one trace from the ground-truth process over
-// [start, end). The caller supplies the RNG so multiple draws from the
-// same model are independent.
-func (m *ZoneModel) Generate(r *stats.RNG, start, end int64) *Trace {
-	t := &Trace{Zone: m.Zone, Type: m.Type, Start: start, End: end}
+// walkStep is one visit of the level walk underlying a generated
+// trace: the process sits at Levels[level] from minute until the next
+// step.
+type walkStep struct {
+	minute int64
+	level  int
+}
+
+// walk draws the level walk of the semi-Markov process over
+// [start, end) — the zone's demand shock, independent of the price
+// ladder it is rendered on. Correlated sibling types replay the same
+// walk on their own ladders (see Generate).
+func (m *ZoneModel) walk(r *stats.RNG, start, end int64) []walkStep {
 	if end <= start {
-		return t
+		return nil
 	}
 	cats := make([]*stats.Categorical, len(m.Trans))
 	for i, row := range m.Trans {
@@ -181,14 +189,56 @@ func (m *ZoneModel) Generate(r *stats.RNG, start, end int64) *Trace {
 	// of its time there, mirroring real spot floors.
 	level := r.Intn(2)
 	now := start
+	var steps []walkStep
 	for now < end {
-		t.Points = append(t.Points, PricePoint{Minute: now, Price: m.Levels[level]})
+		steps = append(steps, walkStep{minute: now, level: level})
 		d := int64(m.sampleSojourn(r, level))
 		if d < 1 {
 			d = 1
 		}
 		now += d
 		level = cats[level].Sample(r)
+	}
+	return steps
+}
+
+// Generate draws one trace from the ground-truth process over
+// [start, end). The caller supplies the RNG so multiple draws from the
+// same model are independent.
+func (m *ZoneModel) Generate(r *stats.RNG, start, end int64) *Trace {
+	t := &Trace{Zone: m.Zone, Type: m.Type, Start: start, End: end}
+	for _, s := range m.walk(r, start, end) {
+		t.Points = append(t.Points, PricePoint{Minute: s.minute, Price: m.Levels[s.level]})
+	}
+	return t
+}
+
+// renderWalk renders a sibling type's trace from the zone's shared
+// level walk: the same change minutes and base levels (the demand
+// shock), the sibling's own price ladder, plus a deterministic
+// per-type level offset drawn from the sibling's RNG so the columns
+// are correlated but not copies. Spikes are shared — when the zone
+// spikes, every type in it spikes.
+func (m *ZoneModel) renderWalk(r *stats.RNG, steps []walkStep, start, end int64) *Trace {
+	t := &Trace{Zone: m.Zone, Type: m.Type, Start: start, End: end}
+	spikeIdx := len(m.Levels) - 1
+	for _, s := range steps {
+		lvl := s.level
+		if lvl < spikeIdx {
+			switch u := r.Float64(); {
+			case u < 0.12:
+				lvl++
+			case u < 0.24:
+				lvl--
+			}
+			if lvl < 0 {
+				lvl = 0
+			}
+			if lvl >= spikeIdx {
+				lvl = spikeIdx - 1
+			}
+		}
+		t.Points = append(t.Points, PricePoint{Minute: s.minute, Price: m.Levels[lvl]})
 	}
 	return t
 }
@@ -204,14 +254,31 @@ type GenConfig struct {
 	Zones []string
 	Start int64 // inclusive, minutes
 	End   int64 // exclusive, minutes
+	// Types lists additional instance types to generate per zone, as
+	// correlated pool columns: each sibling type replays the zone's
+	// base-type level walk (the shared demand shock) on its own price
+	// ladder with a deterministic per-type offset. The base Type's
+	// column is byte-identical with or without Types. Entries equal to
+	// Type or repeated are ignored.
+	Types []market.InstanceType
 }
 
-// Generate produces a trace set with one independent trace per zone.
-// Traces are reproducible: the same config yields the same set, and each
-// zone's trace is independent of the order or presence of other zones.
+// Generate produces a trace set with one independent trace per zone —
+// plus, when cfg.Types is set, one correlated trace per (zone, extra
+// type) pool keyed "zone/type". Traces are reproducible: the same
+// config yields the same set, and each zone's traces are independent of
+// the order or presence of other zones.
 func Generate(cfg GenConfig) (*Set, error) {
 	if cfg.End < cfg.Start {
 		return nil, fmt.Errorf("trace: generate span [%d, %d) invalid", cfg.Start, cfg.End)
+	}
+	var extras []market.InstanceType
+	seen := map[market.InstanceType]bool{cfg.Type: true}
+	for _, it := range cfg.Types {
+		if !seen[it] {
+			seen[it] = true
+			extras = append(extras, it)
+		}
 	}
 	set := NewSet(cfg.Type, cfg.Start, cfg.End)
 	for _, zone := range cfg.Zones {
@@ -220,9 +287,23 @@ func Generate(cfg GenConfig) (*Set, error) {
 			return nil, err
 		}
 		r := stats.NewRNG(cfg.Seed ^ hashZone(zone, cfg.Type) ^ 0xabcdef123456)
-		tr := model.Generate(r, cfg.Start, cfg.End)
+		steps := model.walk(r, cfg.Start, cfg.End)
+		tr := &Trace{Zone: model.Zone, Type: model.Type, Start: cfg.Start, End: cfg.End}
+		for _, s := range steps {
+			tr.Points = append(tr.Points, PricePoint{Minute: s.minute, Price: model.Levels[s.level]})
+		}
 		if err := set.Add(tr); err != nil {
 			return nil, err
+		}
+		for _, it := range extras {
+			sib, err := ZoneModelFor(zone, it, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			rs := stats.NewRNG(cfg.Seed ^ hashZone(zone, it) ^ 0xabcdef123456)
+			if err := set.AddPool(sib.renderWalk(rs, steps, cfg.Start, cfg.End)); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return set, nil

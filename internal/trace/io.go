@@ -85,7 +85,9 @@ func checkOrder(prev *int64, minute int64) string {
 }
 
 // CSV layout: header "zone,type,minute,price_usd" followed by one row per
-// price point, grouped by zone in ascending minute order.
+// price point, grouped by zone in ascending minute order. Typed pools
+// write their real zone and type per row; ReadCSVPools reconstructs
+// the pool keys from them.
 
 // WriteCSV serializes the set in the CSV layout above.
 func (s *Set) WriteCSV(w io.Writer) error {
@@ -97,7 +99,7 @@ func (s *Set) WriteCSV(w io.Writer) error {
 		t := s.ByZone[zone]
 		for _, p := range t.Points {
 			row := []string{
-				zone,
+				t.Zone,
 				string(t.Type),
 				strconv.FormatInt(p.Minute, 10),
 				strconv.FormatFloat(p.Price.Dollars(), 'f', -1, 64),
@@ -208,20 +210,22 @@ func ReadCSVMode(r io.Reader, it market.InstanceType, start, end int64, mode Rea
 	return set, report, nil
 }
 
-// assembleSet validates per-zone points into a Set. In Lenient mode a
-// zone that fails validation (for example, every row quarantined, or a
-// first point past the span start) is dropped and counted rather than
-// failing the read; a set left with no zones at all is still an error.
+// assembleSet validates per-pool points into a Set; map keys are pool
+// keys (bare zone names for the base type). In Lenient mode a pool that
+// fails validation (for example, every row quarantined, or a first
+// point past the span start) is dropped and counted rather than failing
+// the read; a set left with no pools at all is still an error.
 func assembleSet(it market.InstanceType, start, end int64, byZone map[string][]PricePoint, mode ReadMode, report *ReadReport) (*Set, error) {
 	set := NewSet(it, start, end)
-	zones := make([]string, 0, len(byZone))
+	keys := make([]string, 0, len(byZone))
 	for z := range byZone {
-		zones = append(zones, z)
+		keys = append(keys, z)
 	}
-	sort.Strings(zones)
-	for _, z := range zones {
-		t := &Trace{Zone: z, Type: it, Start: start, End: end, Points: byZone[z]}
-		if err := set.Add(t); err != nil {
+	sort.Strings(keys)
+	for _, key := range keys {
+		zone, typ := market.ParsePool(key, it)
+		t := &Trace{Zone: zone, Type: typ, Start: start, End: end, Points: byZone[key]}
+		if err := set.addKeyed(key, t); err != nil {
 			if mode == Lenient {
 				report.add(ReasonZoneDropped)
 				continue
@@ -235,6 +239,118 @@ func assembleSet(it market.InstanceType, start, end int64, byZone map[string][]P
 	return set, nil
 }
 
+// ReadCSVPools parses a heterogeneous pool trace set in Strict mode;
+// see ReadCSVPoolsMode.
+func ReadCSVPools(r io.Reader, base market.InstanceType, types []market.InstanceType, start, end int64) (*Set, error) {
+	set, _, err := ReadCSVPoolsMode(r, base, types, start, end, Strict)
+	return set, err
+}
+
+// ReadCSVPoolsMode parses a trace set that may span several instance
+// types into pool-keyed traces. The type column is optional: 3-field
+// rows (zone, minute, price) map to the base type, as do 4-field rows
+// naming it; 4-field rows naming another type in types become
+// "zone/type" pools. Rows naming a type outside {base} ∪ types are
+// type-mismatch violations. Row discipline and Strict/Lenient handling
+// match ReadCSVMode, per pool.
+func ReadCSVPoolsMode(r io.Reader, base market.InstanceType, types []market.InstanceType, start, end int64, mode ReadMode) (*Set, *ReadReport, error) {
+	allowed := map[market.InstanceType]bool{base: true}
+	for _, it := range types {
+		allowed[it] = true
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // field count is checked per row below
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, nil, fmt.Errorf("trace: empty CSV")
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: reading CSV: %w", err)
+	}
+	switch {
+	case len(header) == 4 && header[0] == "zone" && header[2] == "minute":
+	case len(header) == 3 && header[0] == "zone" && header[1] == "minute":
+	default:
+		return nil, nil, fmt.Errorf("trace: unexpected CSV header %v", header)
+	}
+	report := &ReadReport{}
+	byKey := map[string][]PricePoint{}
+	lastMinute := map[string]*int64{}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if mode == Lenient {
+				report.add(ReasonTruncatedRow)
+				continue
+			}
+			return nil, nil, fmt.Errorf("trace: reading CSV: %w", err)
+		}
+		quarantine := func(reason, format string, args ...any) error {
+			if mode == Lenient {
+				report.add(reason)
+				return nil
+			}
+			return fmt.Errorf("trace: line %d: %s", line, fmt.Sprintf(format, args...))
+		}
+		if len(row) != 3 && len(row) != 4 {
+			if err := quarantine(ReasonTruncatedRow, "%d fields, want 3 or 4", len(row)); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		typ := base
+		minuteCol, priceCol := 1, 2
+		if len(row) == 4 {
+			typ = market.InstanceType(row[1])
+			minuteCol, priceCol = 2, 3
+			if !allowed[typ] {
+				if err := quarantine(ReasonTypeMismatch, "type %q not among requested types", row[1]); err != nil {
+					return nil, nil, err
+				}
+				continue
+			}
+		}
+		minute, perr := strconv.ParseInt(row[minuteCol], 10, 64)
+		if perr != nil {
+			if err := quarantine(ReasonBadMinute, "minute: %v", perr); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		dollars, perr := strconv.ParseFloat(row[priceCol], 64)
+		if perr != nil {
+			if err := quarantine(ReasonBadPrice, "price: %v", perr); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		if reason := checkPrice(dollars); reason != "" {
+			if err := quarantine(reason, "price %v is not a positive finite number", row[priceCol]); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		key := market.PoolKey(row[0], typ, base)
+		if reason := checkOrder(lastMinute[key], minute); reason != "" {
+			if err := quarantine(reason, "pool %s minute %d not after %d", key, minute, *lastMinute[key]); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		m := minute
+		lastMinute[key] = &m
+		byKey[key] = append(byKey[key], PricePoint{Minute: minute, Price: market.FromDollars(dollars)})
+	}
+	set, err := assembleSet(base, start, end, byKey, mode, report)
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, report, nil
+}
+
 // jsonSet mirrors Set for encoding/json with explicit field names.
 type jsonSet struct {
 	Type   market.InstanceType `json:"type"`
@@ -244,8 +360,12 @@ type jsonSet struct {
 }
 
 type jsonTrace struct {
-	Zone   string      `json:"zone"`
-	Points []jsonPoint `json:"points"`
+	Zone string `json:"zone"`
+	// Type is set only for pools of a non-base type; base-type traces
+	// omit it, keeping single-type output byte-identical to the
+	// pre-pool format.
+	Type   market.InstanceType `json:"type,omitempty"`
+	Points []jsonPoint         `json:"points"`
 }
 
 type jsonPoint struct {
@@ -258,7 +378,10 @@ func (s *Set) WriteJSON(w io.Writer) error {
 	js := jsonSet{Type: s.Type, Start: s.Start, End: s.End}
 	for _, zone := range s.Zones() {
 		t := s.ByZone[zone]
-		jt := jsonTrace{Zone: zone}
+		jt := jsonTrace{Zone: t.Zone}
+		if t.Type != s.Type {
+			jt.Type = t.Type
+		}
 		for _, p := range t.Points {
 			jt.Points = append(jt.Points, jsonPoint{Minute: p.Minute, Micro: int64(p.Price)})
 		}
@@ -287,6 +410,19 @@ func ReadJSONMode(r io.Reader, mode ReadMode) (*Set, *ReadReport, error) {
 	report := &ReadReport{}
 	byZone := map[string][]PricePoint{}
 	for _, jt := range js.Traces {
+		if jt.Type != "" {
+			if _, terr := market.Shape(jt.Type); terr != nil {
+				if mode == Lenient {
+					report.add(ReasonTypeMismatch)
+					continue
+				}
+				return nil, nil, fmt.Errorf("trace: zone %s: %v", jt.Zone, terr)
+			}
+		}
+		key := jt.Zone
+		if jt.Type != "" {
+			key = market.PoolKey(jt.Zone, jt.Type, js.Type)
+		}
 		var last *int64
 		for i, p := range jt.Points {
 			quarantine := func(reason, format string, args ...any) error {
@@ -310,10 +446,10 @@ func ReadJSONMode(r io.Reader, mode ReadMode) (*Set, *ReadReport, error) {
 			}
 			m := p.Minute
 			last = &m
-			byZone[jt.Zone] = append(byZone[jt.Zone], PricePoint{Minute: p.Minute, Price: market.Money(p.Micro)})
+			byZone[key] = append(byZone[key], PricePoint{Minute: p.Minute, Price: market.Money(p.Micro)})
 		}
-		if byZone[jt.Zone] == nil {
-			byZone[jt.Zone] = []PricePoint{} // keep the zone so an all-quarantined one is counted as dropped
+		if byZone[key] == nil {
+			byZone[key] = []PricePoint{} // keep the pool so an all-quarantined one is counted as dropped
 		}
 	}
 	set, err := assembleSet(js.Type, js.Start, js.End, byZone, mode, report)

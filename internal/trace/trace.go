@@ -192,8 +192,12 @@ func (t *Trace) FractionAbove(threshold market.Money) float64 {
 	return float64(above) / float64(t.End-t.Start)
 }
 
-// Set is a collection of traces keyed by zone, all for the same
-// instance type and time span.
+// Set is a collection of traces keyed by pool identifier, sharing one
+// time span. Type is the set's base instance type: its traces are keyed
+// by bare zone name, exactly as zone-keyed sets always were, while
+// traces of other types are keyed "zone/type" (see market.PoolKey). A
+// single-type set therefore has the same keys, bytes, and fingerprint
+// it had before pools existed.
 type Set struct {
 	Type   market.InstanceType
 	Start  int64
@@ -201,27 +205,46 @@ type Set struct {
 	ByZone map[string]*Trace
 }
 
-// NewSet creates an empty trace set.
+// NewSet creates an empty trace set with the given base type.
 func NewSet(it market.InstanceType, start, end int64) *Set {
 	return &Set{Type: it, Start: start, End: end, ByZone: make(map[string]*Trace)}
 }
 
-// Add inserts a trace, validating span and type consistency.
-func (s *Set) Add(t *Trace) error {
-	if t.Type != s.Type {
-		return fmt.Errorf("trace: set type %s, trace type %s", s.Type, t.Type)
-	}
+// addKeyed inserts a trace under an explicit pool key after span and
+// structural validation.
+func (s *Set) addKeyed(key string, t *Trace) error {
 	if t.Start != s.Start || t.End != s.End {
 		return fmt.Errorf("trace: set span [%d,%d), trace span [%d,%d)", s.Start, s.End, t.Start, t.End)
 	}
 	if err := t.Validate(); err != nil {
 		return err
 	}
-	s.ByZone[t.Zone] = t
+	s.ByZone[key] = t
 	return nil
 }
 
-// Zones returns the zone names present, sorted.
+// Add inserts a base-type trace keyed by its zone, validating span and
+// type consistency. An existing trace for the zone is replaced.
+func (s *Set) Add(t *Trace) error {
+	if t.Type != s.Type {
+		return fmt.Errorf("trace: set type %s, trace type %s", s.Type, t.Type)
+	}
+	return s.addKeyed(t.Zone, t)
+}
+
+// AddPool inserts a trace of any cataloged type keyed by its pool
+// identifier (bare zone for the base type, "zone/type" otherwise).
+// Unlike Add it rejects a duplicate pool rather than replacing it.
+func (s *Set) AddPool(t *Trace) error {
+	key := market.PoolKey(t.Zone, t.Type, s.Type)
+	if _, ok := s.ByZone[key]; ok {
+		return fmt.Errorf("trace: duplicate pool %s", key)
+	}
+	return s.addKeyed(key, t)
+}
+
+// Zones returns the pool keys present, sorted. For a single-type set
+// these are exactly the zone names.
 func (s *Set) Zones() []string {
 	zs := make([]string, 0, len(s.ByZone))
 	for z := range s.ByZone {
