@@ -432,3 +432,29 @@ func BenchmarkReplayKernel(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTournament runs the strategy arena at the quick scale with a
+// reduced two-seed grid (full roster, every builtin chaos scenario) and
+// reports Jupiter's headline numbers: scenarios where it meets the
+// availability bound, and its mean replay cost in dollars.
+func BenchmarkTournament(b *testing.B) {
+	env := quickEnv()
+	env.Jobs = 4
+	var met, cost float64
+	for i := 0; i < b.N; i++ {
+		res, err := env.Tournament(experiments.TournamentConfig{
+			Seeds: []uint64{2014, 2015},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Strategy == "Jupiter" {
+				met = float64(row.ScenariosMet)
+				cost = row.MeanCostDollars
+			}
+		}
+	}
+	b.ReportMetric(met, "jupiter-scenarios-met")
+	b.ReportMetric(cost, "jupiter-mean-cost-$")
+}

@@ -8,6 +8,14 @@
 //	            [-types a,b,c] [-min-vcpu N] [-min-mem G]
 //	            [-chaos scenario] [-chaos-seed N]
 //	            [-events-out file.jsonl] [-manifest file.json] [-debug-addr host:port]
+//	experiments tournament [-strategies specs] [-scenarios names] [-seeds a,b,c]
+//	            [-weeks N] [-train N] [-interval H] [-epsilon F] [-j N]
+//	            [-json file] [-manifest file] [-list]
+//
+// The tournament subcommand runs the strategy arena: every registered
+// strategy of the roster replays under every chaos scenario and seed,
+// and a leaderboard ranks them by availability bounds met, then mean
+// cost (see DESIGN.md §2.7).
 //
 // Telemetry: -events-out streams every replay cell's event history to
 // one JSONL file (cells of a parallel sweep interleave; use -j 1 for a
@@ -37,6 +45,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "tournament" {
+		if err := runTournament(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: tournament:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	runFlag := flag.String("run", "all", "experiment to run: all, table1, fig1, fig4, fig5, fig6, fig7, fig8, fig9, headline, example3, ablation, adaptive, refine, weighted")
 	seed := flag.Uint64("seed", 2014, "master seed for trace generation and replay")
 	weeks := flag.Int64("weeks", 11, "replay length in weeks (paper: 11)")

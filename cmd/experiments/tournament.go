@@ -1,0 +1,132 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/experiments"
+	"repro/internal/strategy"
+	"repro/internal/telemetry"
+)
+
+// runTournament is the "experiments tournament" subcommand: the
+// strategy arena. Every roster strategy replays under every chaos
+// scenario and seed; the leaderboard ranks them by availability bounds
+// met, then mean cost.
+func runTournament(args []string) error {
+	fs := flag.NewFlagSet("tournament", flag.ExitOnError)
+	strategies := fs.String("strategies", "", "comma-separated strategy specs (default: the shipped arena roster); see -list")
+	scenarios := fs.String("scenarios", "", "comma-separated chaos scenarios, builtin names or JSON files (default: every builtin)")
+	seedsSpec := fs.String("seeds", "", "comma-separated replay seeds (default 2014,2015,2016)")
+	weeks := fs.Int64("weeks", 1, "replay length in weeks")
+	train := fs.Int64("train", 6, "training prefix in weeks")
+	jobs := fs.Int("j", runtime.NumCPU(), "worker-pool width for grid cells")
+	interval := fs.Int64("interval", 3, "bidding interval in hours")
+	epsilon := fs.Float64("epsilon", experiments.DefaultTournamentEpsilon, "availability slack below the clean baseline")
+	jsonOut := fs.String("json", "", "write the leaderboard as JSON to this file ('-' = stdout)")
+	manifestOut := fs.String("manifest", "", "write an end-of-run telemetry manifest (JSON) to this file ('-' = stdout)")
+	list := fs.Bool("list", false, "list registered strategies and builtin scenarios, then exit")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: experiments tournament [flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println("strategies:")
+		for _, name := range strategy.Default.Names() {
+			reg, _ := strategy.Default.Lookup(name)
+			fmt.Printf("  %-20s %s\n", reg.Usage, reg.Description)
+		}
+		fmt.Println("scenarios:")
+		for _, name := range chaos.BuiltinNames() {
+			sc, _ := chaos.Builtin(name)
+			fmt.Printf("  %-20s %s\n", name, sc.Description)
+		}
+		return nil
+	}
+
+	start := time.Now()
+	cfg := experiments.TournamentConfig{
+		IntervalHours: *interval,
+		Epsilon:       *epsilon,
+	}
+	if *strategies != "" {
+		specs, err := strategy.SplitSpecList(*strategies)
+		if err != nil {
+			return err
+		}
+		cfg.Specs = specs
+	}
+	if *scenarios != "" {
+		for _, s := range strings.Split(*scenarios, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				cfg.Scenarios = append(cfg.Scenarios, s)
+			}
+		}
+	}
+	if *seedsSpec != "" {
+		for _, s := range strings.Split(*seedsSpec, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			seed, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				return fmt.Errorf("tournament: bad seed %q: %w", s, err)
+			}
+			cfg.Seeds = append(cfg.Seeds, seed)
+		}
+	}
+	var reg *telemetry.Registry
+	if *manifestOut != "" {
+		reg = telemetry.NewRegistry()
+		cfg.Registry = reg
+	}
+
+	env := experiments.Env{TrainWeeks: *train, ReplayWeeks: *weeks, Jobs: *jobs}
+	res, err := env.Tournament(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Strategy arena ==")
+	fmt.Println(experiments.RenderTournament(res))
+	if *jsonOut != "" {
+		b, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		if *jsonOut == "-" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(*jsonOut, b, 0o644); err != nil {
+			return err
+		} else {
+			fmt.Println("wrote leaderboard to", *jsonOut)
+		}
+	}
+	if *manifestOut != "" {
+		seeds := make([]string, len(res.Seeds))
+		for i, s := range res.Seeds {
+			seeds[i] = strconv.FormatUint(s, 10)
+		}
+		m := telemetry.NewManifest("experiments tournament", res.Seeds[0], map[string]string{
+			"seeds":     strings.Join(seeds, ","),
+			"scenarios": strings.Join(res.Scenarios, ","),
+			"weeks":     strconv.FormatInt(*weeks, 10),
+			"train":     strconv.FormatInt(*train, 10),
+			"interval":  strconv.FormatInt(*interval, 10),
+			"jobs":      strconv.Itoa(*jobs),
+		}, start, reg)
+		if err := m.WriteFile(*manifestOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -45,6 +45,15 @@ var builtins = map[string]Scenario{
 			{Kind: RequestDelay, DelayMinutes: 30, Probability: 1, From: 1440, Until: 1440 + 24*60},
 		},
 	},
+	"storm-surge": {
+		Name:        "storm-surge",
+		Description: "Compound failure: a correlated reclaim storm on day 2, then a market-wide 5x price spike for 4 hours on day 3.",
+		Seed:        61,
+		Injectors: []Injector{
+			{Kind: ReclaimStorm, Count: 4, SpreadMinutes: 20, From: 1500},
+			{Kind: PriceSpike, Factor: 5, From: 2880, Until: 2880 + 4*60},
+		},
+	},
 	"stale-feed": {
 		Name:        "stale-feed",
 		Description: "Price feed silent for 12 hours: strategies decide on stale prices and clamped history.",

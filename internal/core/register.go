@@ -1,0 +1,52 @@
+package core
+
+import "repro/internal/strategy"
+
+// The Jupiter family registers itself on the Default strategy registry
+// at init, mirroring how the strategy package registers its own
+// bidders. The strategy package cannot import core (it would invert the
+// dependency), so the roster grows by importing this package — the
+// experiment drivers already do, and tests that want the full arena
+// blank-import it.
+func init() {
+	strategy.Register(strategy.Registration{
+		Name:        "jupiter",
+		Description: "the paper's bidding framework: availability-model DP over bid levels (§3–4)",
+		Usage:       "jupiter",
+		Example:     "jupiter",
+		Build: func(args []string) (strategy.Builder, error) {
+			if err := strategy.WantArgs("jupiter", args, 0, 0); err != nil {
+				return nil, err
+			}
+			return func() strategy.Strategy { return New() }, nil
+		},
+	})
+	strategy.Register(strategy.Registration{
+		Name:        "jupiter-refine",
+		Description: "jupiter with the §4.3 refinement pass over adjacent bid levels",
+		Usage:       "jupiter-refine",
+		Example:     "jupiter-refine",
+		Build: func(args []string) (strategy.Builder, error) {
+			if err := strategy.WantArgs("jupiter-refine", args, 0, 0); err != nil {
+				return nil, err
+			}
+			return func() strategy.Strategy {
+				j := New()
+				j.Refine = true
+				return j
+			}, nil
+		},
+	})
+	strategy.Register(strategy.Registration{
+		Name:        "jupiter-adaptive",
+		Description: "jupiter wrapped with the volatility-driven interval chooser",
+		Usage:       "jupiter-adaptive",
+		Example:     "jupiter-adaptive",
+		Build: func(args []string) (strategy.Builder, error) {
+			if err := strategy.WantArgs("jupiter-adaptive", args, 0, 0); err != nil {
+				return nil, err
+			}
+			return func() strategy.Strategy { return NewAdaptive() }, nil
+		},
+	})
+}

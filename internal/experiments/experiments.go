@@ -19,7 +19,6 @@ import (
 	"sync/atomic"
 
 	"repro/internal/chaos"
-	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/market"
 	"repro/internal/modelcache"
@@ -178,15 +177,28 @@ type SweepRow struct {
 // SweepIntervals are the bidding intervals of §5.5.
 var SweepIntervals = []int64{1, 3, 6, 9, 12}
 
-// sweepStrategies builds the §5.5 strategy roster. Jupiter is
-// constructed fresh per run so model caches never leak across runs.
+// sweepSpecs is the §5.5 roster as registry specs, in the paper's
+// figure order. The specs resolve against strategy.Default — core's
+// Jupiter registration rides in on this package's core import — so the
+// sweep roster is the same construction path as any user-supplied
+// strategy list.
+var sweepSpecs = []string{"jupiter", "extra(0, 0.2)", "extra(2, 0.2)", "baseline"}
+
+// sweepStrategies builds the §5.5 strategy roster from the registry.
+// Each builder constructs a fresh instance per run so model caches and
+// controller state never leak across runs.
 func sweepStrategies() []func() strategy.Strategy {
-	return []func() strategy.Strategy{
-		func() strategy.Strategy { return core.New() },
-		func() strategy.Strategy { return strategy.Extra{ExtraNodes: 0, Portion: 0.2} },
-		func() strategy.Strategy { return strategy.Extra{ExtraNodes: 2, Portion: 0.2} },
-		func() strategy.Strategy { return strategy.OnDemand{} },
+	builders, err := strategy.Default.BuildSpecs(sweepSpecs)
+	if err != nil {
+		// The roster is fixed at compile time; a resolution failure is a
+		// programming error (e.g. core's registration import dropped).
+		panic(err)
 	}
+	out := make([]func() strategy.Strategy, len(builders))
+	for i, b := range builders {
+		out[i] = b
+	}
+	return out
 }
 
 // runCell invokes one cell, converting a panic into an error carrying

@@ -1,0 +1,382 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/engine"
+	"repro/internal/modelcache"
+	"repro/internal/strategy"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// TournamentConfig shapes a strategy tournament: every strategy of the
+// roster replays under every chaos scenario and every seed, and the
+// per-cell results fold into a leaderboard.
+type TournamentConfig struct {
+	// Specs is the roster as registry specs ("jupiter", "extra(2, 0.2)",
+	// ...). Empty means DefaultTournamentSpecs().
+	Specs []string
+	// Scenarios lists chaos scenarios — builtin names or JSON files,
+	// resolved through chaos.Load. Empty means every builtin.
+	Scenarios []string
+	// Seeds drive trace generation and replay jitter, one full
+	// strategy x scenario grid per seed. Empty means
+	// DefaultTournamentSeeds.
+	Seeds []uint64
+	// IntervalHours is the bidding interval (default 3, the chaos
+	// suite's interval).
+	IntervalHours int64
+	// Epsilon is the availability slack below the clean on-demand
+	// baseline a strategy may keep and still "meet the bound" — the
+	// paper's Eq. 10 guarantee measured the way the chaos suite
+	// measures it (default chaosGuaranteeEpsilon).
+	Epsilon float64
+	// Registry, when set, attaches a telemetry.Collector to every cell
+	// with the scenario name as a fourth base label, so the metric
+	// snapshot (and any manifest built from it) keys series by
+	// service/strategy/interval/scenario.
+	Registry *telemetry.Registry
+}
+
+// DefaultTournamentSeeds replays three independent markets; the first
+// is the seed every other experiment uses.
+var DefaultTournamentSeeds = []uint64{2014, 2015, 2016}
+
+// DefaultTournamentEpsilon is the default availability slack under
+// fault injection, matching the chaos guarantee suite: decisions land
+// only at interval boundaries, so a mid-interval fault can structurally
+// cost up to one bidding interval of quorum before the next
+// make-before-break repair.
+const DefaultTournamentEpsilon = 0.02
+
+// DefaultTournamentSpecs is the shipped arena roster: the Jupiter
+// family's main variants, the paper's §5.2 comparisons, and the rival
+// strategies from the literature.
+func DefaultTournamentSpecs() []string {
+	return []string{
+		"jupiter",
+		"jupiter-adaptive",
+		"extra(2, 0.2)",
+		"baseline",
+		"feedback",
+		"portfolio",
+		"checkpoint",
+	}
+}
+
+// TournamentCell is one replay of the grid.
+type TournamentCell struct {
+	Strategy     string  `json:"strategy"`
+	Scenario     string  `json:"scenario"`
+	Seed         uint64  `json:"seed"`
+	CostDollars  float64 `json:"cost_dollars"`
+	Availability float64 `json:"availability"`
+	OutOfBid     int     `json:"out_of_bid"`
+}
+
+// ScenarioScore aggregates one strategy's cells under one scenario
+// across the seed list.
+type ScenarioScore struct {
+	Scenario         string  `json:"scenario"`
+	MeanCostDollars  float64 `json:"mean_cost_dollars"`
+	MeanAvailability float64 `json:"mean_availability"`
+	// MeetsBound is the availability verdict: mean availability at
+	// least the clean baseline's minus epsilon.
+	MeetsBound bool `json:"meets_bound"`
+}
+
+// TournamentRow is one strategy's leaderboard line.
+type TournamentRow struct {
+	Rank     int    `json:"rank"`
+	Strategy string `json:"strategy"`
+	Spec     string `json:"spec"`
+	// ScenariosMet counts scenarios whose availability bound held.
+	ScenariosMet     int             `json:"scenarios_met"`
+	MeanCostDollars  float64         `json:"mean_cost_dollars"`
+	MeanAvailability float64         `json:"mean_availability"`
+	Scenarios        []ScenarioScore `json:"scenarios"`
+	// DominatedOn lists scenarios where Jupiter Pareto-dominates this
+	// strategy: no dearer and no less available, strictly better in one.
+	DominatedOn []string `json:"dominated_on,omitempty"`
+	// BeatsJupiterOn lists scenarios where this strategy meets the
+	// bound at strictly lower mean cost than Jupiter.
+	BeatsJupiterOn []string `json:"beats_jupiter_on,omitempty"`
+}
+
+// TournamentResult is the full outcome: config echo, the availability
+// bound, the ranked leaderboard, and the raw cell grid. Marshalling it
+// is deterministic — every slice is explicitly ordered and nothing is
+// stamped with wall-clock time.
+type TournamentResult struct {
+	Service       string   `json:"service"`
+	IntervalHours int64    `json:"interval_hours"`
+	Epsilon       float64  `json:"epsilon"`
+	Seeds         []uint64 `json:"seeds"`
+	Scenarios     []string `json:"scenarios"`
+	// BaselineAvailability is the clean (chaos-free) on-demand
+	// baseline's mean availability over the seeds; the bound every
+	// scenario score is judged against is this minus Epsilon.
+	BaselineAvailability float64          `json:"baseline_availability"`
+	Bound                float64          `json:"bound"`
+	Rows                 []TournamentRow  `json:"rows"`
+	Cells                []TournamentCell `json:"cells"`
+}
+
+// JSON renders the leaderboard for machines (leaderboard.json).
+func (r *TournamentResult) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Tournament replays every roster strategy under every chaos scenario
+// and seed — the strategy arena — and ranks them: most availability
+// bounds met first, mean cost as the tiebreaker. The Env's TrainWeeks,
+// ReplayWeeks, Jobs, and Models are honoured; its Seed, Chaos, and
+// Observe are superseded by the grid coordinates.
+func (e Env) Tournament(cfg TournamentConfig) (*TournamentResult, error) {
+	specs := cfg.Specs
+	if len(specs) == 0 {
+		specs = DefaultTournamentSpecs()
+	}
+	builders, err := strategy.Default.BuildSpecs(specs)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(builders))
+	for i, b := range builders {
+		names[i] = b().Name()
+	}
+	scenarioNames := cfg.Scenarios
+	if len(scenarioNames) == 0 {
+		scenarioNames = chaos.BuiltinNames()
+	}
+	scenarios := make([]chaos.Scenario, len(scenarioNames))
+	for i, s := range scenarioNames {
+		sc, err := chaos.Load(s)
+		if err != nil {
+			return nil, err
+		}
+		scenarios[i] = sc
+	}
+	seeds := cfg.Seeds
+	if len(seeds) == 0 {
+		seeds = DefaultTournamentSeeds
+	}
+	hours := cfg.IntervalHours
+	if hours == 0 {
+		hours = 3
+	}
+	eps := cfg.Epsilon
+	if eps == 0 {
+		eps = DefaultTournamentEpsilon
+	}
+
+	spec := e.applyConstraints(LockSpec())
+	if e.Models == nil {
+		// One cache for the whole grid: chaos overlays and seeds salt
+		// the trace fingerprints, so cells never read each other's
+		// models by accident — they only deduplicate identical training.
+		e.Models = modelcache.New()
+	}
+
+	// Per-seed market histories, generated once and shared read-only by
+	// every cell of that seed's grid.
+	sets := make(map[uint64]*trace.Set, len(seeds))
+	for _, seed := range seeds {
+		se := e
+		se.Seed = seed
+		set, err := se.Traces(spec.Type)
+		if err != nil {
+			return nil, err
+		}
+		sets[seed] = set
+	}
+
+	// The availability bound: the clean on-demand baseline, per seed,
+	// chaos-free — what the paper's Eq. 10 guarantee promises to match.
+	var baseAvail float64
+	for _, seed := range seeds {
+		se := e
+		se.Seed = seed
+		res, err := se.replayOne(sets[seed], spec, strategy.OnDemand{}, hours)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: tournament baseline seed %d: %w", seed, err)
+		}
+		baseAvail += res.Availability
+	}
+	baseAvail /= float64(len(seeds))
+	bound := baseAvail - eps
+
+	// The grid, strategy-major so each strategy's cells are contiguous.
+	nS, nC, nK := len(builders), len(scenarios), len(seeds)
+	cells := make([]TournamentCell, nS*nC*nK)
+	err = forEachCell(len(cells), e.Jobs, func(i int) error {
+		si := i / (nC * nK)
+		ci := (i / nK) % nC
+		ki := i % nK
+		ce := e
+		ce.Seed = seeds[ki]
+		ce.Chaos = &scenarios[ci]
+		if cfg.Registry != nil {
+			reg, scenario := cfg.Registry, scenarioNames[ci]
+			ce.Observe = func(spec strategy.ServiceSpec, strategyName string, intervalHours int64) []engine.Observer {
+				return []engine.Observer{telemetry.NewCollector(reg, telemetry.Labels{
+					Service:  "lock",
+					Strategy: strategyName,
+					Interval: fmt.Sprintf("%dh", intervalHours),
+					Scenario: scenario,
+				})}
+			}
+		} else {
+			ce.Observe = nil
+		}
+		strat := builders[si]()
+		res, err := ce.replayOne(sets[seeds[ki]], spec, strat, hours)
+		if err != nil {
+			return fmt.Errorf("experiments: tournament %s/%s/seed %d: %w",
+				names[si], scenarioNames[ci], seeds[ki], err)
+		}
+		cells[i] = TournamentCell{
+			Strategy:     names[si],
+			Scenario:     scenarioNames[ci],
+			Seed:         seeds[ki],
+			CostDollars:  res.Cost.Dollars(),
+			Availability: res.Availability,
+			OutOfBid:     res.OutOfBid,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Fold cells into per-strategy rows.
+	rows := make([]TournamentRow, nS)
+	for si := 0; si < nS; si++ {
+		row := TournamentRow{Strategy: names[si], Spec: specs[si]}
+		for ci := 0; ci < nC; ci++ {
+			score := ScenarioScore{Scenario: scenarioNames[ci]}
+			for ki := 0; ki < nK; ki++ {
+				c := cells[(si*nC+ci)*nK+ki]
+				score.MeanCostDollars += c.CostDollars
+				score.MeanAvailability += c.Availability
+			}
+			score.MeanCostDollars /= float64(nK)
+			score.MeanAvailability /= float64(nK)
+			score.MeetsBound = score.MeanAvailability >= bound
+			if score.MeetsBound {
+				row.ScenariosMet++
+			}
+			row.MeanCostDollars += score.MeanCostDollars
+			row.MeanAvailability += score.MeanAvailability
+			row.Scenarios = append(row.Scenarios, score)
+		}
+		row.MeanCostDollars /= float64(nC)
+		row.MeanAvailability /= float64(nC)
+		rows[si] = row
+	}
+
+	// Dominance annotations against the Jupiter row, when present.
+	if ji := rowIndex(rows, "Jupiter"); ji >= 0 {
+		for i := range rows {
+			if i == ji {
+				continue
+			}
+			for ci := range rows[i].Scenarios {
+				r, j := rows[i].Scenarios[ci], rows[ji].Scenarios[ci]
+				if j.MeanCostDollars <= r.MeanCostDollars && j.MeanAvailability >= r.MeanAvailability &&
+					(j.MeanCostDollars < r.MeanCostDollars || j.MeanAvailability > r.MeanAvailability) {
+					rows[i].DominatedOn = append(rows[i].DominatedOn, r.Scenario)
+				}
+				if r.MeetsBound && r.MeanCostDollars < j.MeanCostDollars {
+					rows[i].BeatsJupiterOn = append(rows[i].BeatsJupiterOn, r.Scenario)
+				}
+			}
+		}
+	}
+
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].ScenariosMet != rows[j].ScenariosMet {
+			return rows[i].ScenariosMet > rows[j].ScenariosMet
+		}
+		if rows[i].MeanCostDollars != rows[j].MeanCostDollars {
+			return rows[i].MeanCostDollars < rows[j].MeanCostDollars
+		}
+		return rows[i].Strategy < rows[j].Strategy
+	})
+	for i := range rows {
+		rows[i].Rank = i + 1
+	}
+
+	return &TournamentResult{
+		Service:              "lock",
+		IntervalHours:        hours,
+		Epsilon:              eps,
+		Seeds:                seeds,
+		Scenarios:            scenarioNames,
+		BaselineAvailability: baseAvail,
+		Bound:                bound,
+		Rows:                 rows,
+		Cells:                cells,
+	}, nil
+}
+
+// rowIndex finds a leaderboard row by strategy name.
+func rowIndex(rows []TournamentRow, name string) int {
+	for i, r := range rows {
+		if r.Strategy == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// RenderTournament renders the leaderboard as a text table with
+// dominance annotations.
+func RenderTournament(r *TournamentResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy arena: %d strategies x %d scenarios x %d seeds, %dh interval\n",
+		len(r.Rows), len(r.Scenarios), len(r.Seeds), r.IntervalHours)
+	fmt.Fprintf(&b, "availability bound: %.6f (clean baseline %.6f - epsilon %.2f)\n\n",
+		r.Bound, r.BaselineAvailability, r.Epsilon)
+	fmt.Fprintf(&b, "%-4s %-18s %-10s %13s %13s  %s\n",
+		"rank", "strategy", "bound met", "mean cost $", "mean avail", "notes")
+	for _, row := range r.Rows {
+		note := ""
+		switch {
+		case len(row.BeatsJupiterOn) > 0:
+			note = "beats Jupiter on " + strings.Join(row.BeatsJupiterOn, ", ")
+		case len(row.DominatedOn) == len(r.Scenarios) && len(r.Scenarios) > 0:
+			note = "dominated by Jupiter everywhere"
+		case len(row.DominatedOn) > 0:
+			note = "dominated by Jupiter on " + strings.Join(row.DominatedOn, ", ")
+		}
+		fmt.Fprintf(&b, "%-4d %-18s %6d/%-3d %13.2f %13.6f  %s\n",
+			row.Rank, row.Strategy, row.ScenariosMet, len(r.Scenarios),
+			row.MeanCostDollars, row.MeanAvailability, note)
+	}
+	var worst []string
+	for _, row := range r.Rows {
+		if row.ScenariosMet < len(r.Scenarios) {
+			var miss []string
+			for _, s := range row.Scenarios {
+				if !s.MeetsBound {
+					miss = append(miss, s.Scenario)
+				}
+			}
+			worst = append(worst, fmt.Sprintf("%s misses %s", row.Strategy, strings.Join(miss, ", ")))
+		}
+	}
+	if len(worst) > 0 {
+		fmt.Fprintf(&b, "\nbound violations: %s\n", strings.Join(worst, "; "))
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// quickTournament runs the shipped arena — the full default roster,
+// every builtin scenario, the default three seeds — at the quick scale.
+func quickTournament(t *testing.T, reg *telemetry.Registry) *TournamentResult {
+	t.Helper()
+	e := QuickEnv()
+	e.Jobs = 4
+	res, err := e.Tournament(TournamentConfig{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestTournamentAcceptance is the arena's headline property: Jupiter
+// meets the availability bound on every scenario, and every rival
+// either violates the bound somewhere or pays more on average.
+func TestTournamentAcceptance(t *testing.T) {
+	res := quickTournament(t, nil)
+	if len(res.Rows) < 6 {
+		t.Fatalf("roster of %d strategies, want >= 6", len(res.Rows))
+	}
+	if len(res.Scenarios) < 5 {
+		t.Fatalf("%d scenarios, want >= 5", len(res.Scenarios))
+	}
+	if len(res.Seeds) < 3 {
+		t.Fatalf("%d seeds, want >= 3", len(res.Seeds))
+	}
+	ji := rowIndex(res.Rows, "Jupiter")
+	if ji < 0 {
+		t.Fatal("no Jupiter row")
+	}
+	jup := res.Rows[ji]
+	if jup.ScenariosMet != len(res.Scenarios) {
+		var miss []string
+		for _, s := range jup.Scenarios {
+			if !s.MeetsBound {
+				miss = append(miss, s.Scenario)
+			}
+		}
+		t.Fatalf("Jupiter misses the availability bound on %s", strings.Join(miss, ", "))
+	}
+	brokenRival := false
+	for _, row := range res.Rows {
+		if row.Strategy == "Jupiter" {
+			continue
+		}
+		if row.ScenariosMet < len(res.Scenarios) || row.MeanCostDollars > jup.MeanCostDollars {
+			brokenRival = true
+		} else {
+			t.Errorf("rival %s meets every bound at mean cost %.2f <= Jupiter's %.2f",
+				row.Strategy, row.MeanCostDollars, jup.MeanCostDollars)
+		}
+	}
+	if !brokenRival {
+		t.Error("no rival violates a bound or costs more than Jupiter — the arena proves nothing")
+	}
+	// The grid must be complete: every (strategy, scenario, seed) cell.
+	if want := len(res.Rows) * len(res.Scenarios) * len(res.Seeds); len(res.Cells) != want {
+		t.Fatalf("%d cells, want %d", len(res.Cells), want)
+	}
+}
+
+// TestTournamentDeterminism: equal-seed tournaments render
+// byte-identical leaderboards, JSON and table alike, at any
+// parallelism.
+func TestTournamentDeterminism(t *testing.T) {
+	a := quickTournament(t, nil)
+	e := QuickEnv()
+	e.Jobs = 1 // sequential must equal parallel
+	b, err := e.Tournament(TournamentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("equal-seed leaderboards differ:\n%s\nvs\n%s", aj, bj)
+	}
+	if ra, rb := RenderTournament(a), RenderTournament(b); ra != rb {
+		t.Fatalf("equal-seed tables differ:\n%s\nvs\n%s", ra, rb)
+	}
+}
+
+// TestTournamentScenarioLabel: with a registry attached, every cell's
+// collector stamps the scenario as a fourth base label, so the
+// deterministic snapshot keys series per scenario.
+func TestTournamentScenarioLabel(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	res := quickTournament(t, reg)
+	snap := reg.Snapshot()
+	found := map[string]bool{}
+	for _, fam := range snap.Families {
+		for _, s := range fam.Series {
+			for i, l := range fam.Labels {
+				if l == "scenario" {
+					found[s.LabelValues[i]] = true
+				}
+			}
+		}
+	}
+	for _, sc := range res.Scenarios {
+		if !found[sc] {
+			t.Errorf("no series labeled scenario=%q in the snapshot", sc)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package replay
+
+import (
+	"testing"
+
+	"repro/internal/strategy"
+)
+
+// fixedChooser is a stub IntervalChooser: it decides like the baseline
+// but asks for a fixed interval of its own, recording both the chooser
+// consultations and the interval each Decide call was given.
+type fixedChooser struct {
+	strategy.OnDemand
+	choose    int64
+	chosen    int
+	intervals []int64
+}
+
+func (f *fixedChooser) Name() string { return "fixed-chooser" }
+
+func (f *fixedChooser) ChooseInterval(view strategy.MarketView, spec strategy.ServiceSpec) int64 {
+	f.chosen++
+	return f.choose
+}
+
+func (f *fixedChooser) Decide(view strategy.MarketView, spec strategy.ServiceSpec, intervalMinutes int64) (strategy.Decision, error) {
+	f.intervals = append(f.intervals, intervalMinutes)
+	return f.OnDemand.Decide(view, spec, intervalMinutes)
+}
+
+// TestIntervalChooserHonored pins the optional-interface path of the
+// kernel: a strategy that chooses its own bidding interval is consulted
+// before every decision, every Decide call receives the chosen length,
+// and the run makes as many decisions as the chosen cadence implies —
+// not the configured one.
+func TestIntervalChooserHonored(t *testing.T) {
+	set := genTraces(t, 7, 1, lockSpec().Type)
+	const chosen = int64(120)
+	fc := &fixedChooser{choose: chosen}
+	res, err := Run(Config{
+		Traces: set, Start: 13 * week,
+		Spec: lockSpec(), Strategy: fc,
+		IntervalMinutes: 360, // the configured interval the chooser overrides
+		Seed:            7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.chosen == 0 {
+		t.Fatal("ChooseInterval never consulted")
+	}
+	if len(fc.intervals) == 0 {
+		t.Fatal("no decisions made")
+	}
+	for i, iv := range fc.intervals {
+		if iv != chosen {
+			t.Fatalf("decision %d received interval %d, want chosen %d", i, iv, chosen)
+		}
+	}
+	// One replayed week at a 2h cadence is ~84 decisions; the configured
+	// 6h interval would make only ~28.
+	wantMin := int(res.TotalMinutes/chosen) - 2
+	if res.Decisions < wantMin {
+		t.Fatalf("%d decisions over %d minutes; configured interval won over the chooser (want >= %d)",
+			res.Decisions, res.TotalMinutes, wantMin)
+	}
+}
+
+// TestIntervalChooserFallback: a chosen interval too short to schedule
+// around the decision lead (iv <= 2*lead) falls back to the configured
+// interval.
+func TestIntervalChooserFallback(t *testing.T) {
+	set := genTraces(t, 7, 1, lockSpec().Type)
+	fc := &fixedChooser{choose: 20} // below 2*lead = 30
+	_, err := Run(Config{
+		Traces: set, Start: 13 * week,
+		Spec: lockSpec(), Strategy: fc,
+		IntervalMinutes: 180,
+		Seed:            7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.chosen == 0 {
+		t.Fatal("ChooseInterval never consulted")
+	}
+	for i, iv := range fc.intervals {
+		if iv != 180 {
+			t.Fatalf("decision %d received interval %d, want configured 180", i, iv)
+		}
+	}
+}

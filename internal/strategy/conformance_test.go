@@ -1,0 +1,19 @@
+package strategy_test
+
+import (
+	"testing"
+
+	"repro/internal/strategy"
+	"repro/internal/strategy/strategytest"
+
+	// The Jupiter family registers itself on the Default registry at
+	// init; importing core is what puts it on the conformance roster.
+	_ "repro/internal/core"
+)
+
+// TestRegisteredStrategyConformance drives every registered family —
+// the paper's strategies, the Jupiter variants, and the literature
+// rivals alike — through the strategytest contract checks.
+func TestRegisteredStrategyConformance(t *testing.T) {
+	strategytest.Conformance(t, strategy.Default)
+}

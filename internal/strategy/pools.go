@@ -1,0 +1,60 @@
+package strategy
+
+import (
+	"sort"
+
+	"repro/internal/market"
+)
+
+// pricedPool is one candidate pool with a ranking price and its
+// capacity in base-type units — the shared currency of the
+// heterogeneous pool view (see market.CapacityUnits).
+type pricedPool struct {
+	key   string
+	price market.Money
+	units int
+}
+
+// feasiblePools returns the view's candidate pools after the spec's
+// minimum-shape constraint (market.FilterPools). Unconstrained specs
+// see the view untouched, so single-type decisions stay byte-identical
+// to the pre-filter behaviour.
+func feasiblePools(view MarketView, spec ServiceSpec) ([]string, error) {
+	pools := view.Zones()
+	if !spec.Constrained() {
+		return pools, nil
+	}
+	return market.FilterPools(pools, spec.Type, spec.MinVCPU, spec.MinMemGiB)
+}
+
+// sortPerUnit orders pools cheapest per capacity unit first:
+// price_i/units_i < price_j/units_j, cross-multiplied to stay in
+// integers, ties broken by pool key. For a single-type view every pool
+// has equal units, so this is exactly the by-price order the paper's
+// strategies always used.
+func sortPerUnit(pools []pricedPool) {
+	sort.Slice(pools, func(i, j int) bool {
+		a := int64(pools[i].price) * int64(pools[j].units)
+		b := int64(pools[j].price) * int64(pools[i].units)
+		if a != b {
+			return a < b
+		}
+		return pools[i].key < pools[j].key
+	})
+}
+
+// fillUnits takes the prefix of (already ranked) pools that covers the
+// requested capacity units — one instance per pool, each contributing
+// its full unit weight.
+func fillUnits(pools []pricedPool, units int) []pricedPool {
+	need := units
+	out := pools[:0:0]
+	for _, p := range pools {
+		if need <= 0 {
+			break
+		}
+		out = append(out, p)
+		need -= p.units
+	}
+	return out
+}

@@ -1,14 +1,16 @@
 // Package strategy defines the bidding-strategy interface the replay
-// harness drives, plus the paper's comparison strategies: the
-// Extra(m, p) heuristics and the on-demand baseline (§5.2). The paper's
-// own framework, Jupiter, lives in internal/core and implements the
-// same interface.
+// harness drives, a plug-in Registry the experiment sweeps and the
+// tournament build their rosters from, and the comparison strategies:
+// the paper's Extra(m, p) heuristics and on-demand baseline (§5.2),
+// plus rivals from the related literature — feedback-control bidding
+// (feedback.go), optimized on-demand/spot portfolio contracts
+// (portfolio.go), and checkpoint/restart low bidding (checkpoint.go).
+// The paper's own framework, Jupiter, lives in internal/core,
+// implements the same interface, and registers itself in the Default
+// registry.
 package strategy
 
 import (
-	"fmt"
-	"sort"
-
 	"repro/internal/engine"
 	"repro/internal/market"
 	"repro/internal/quorum"
@@ -140,117 +142,4 @@ type Strategy interface {
 // correspondingly"). The replay harness consults it before each Decide.
 type IntervalChooser interface {
 	ChooseInterval(view MarketView, spec ServiceSpec) int64
-}
-
-// --- Extra(m, p) heuristic (§5.2) ---
-
-// Extra is the paper's heuristic comparison strategy: pick the
-// BaseNodes+ExtraNodes cheapest zones by current spot price and bid the
-// spot price plus an extra portion (e.g. 0.1 or 0.2).
-type Extra struct {
-	// ExtraNodes is m of Extra(m, p).
-	ExtraNodes int
-	// Portion is p of Extra(m, p), e.g. 0.2 for a 20% margin.
-	Portion float64
-}
-
-// Name implements Strategy.
-func (e Extra) Name() string {
-	return fmt.Sprintf("Extra(%d, %g)", e.ExtraNodes, e.Portion)
-}
-
-// Decide implements Strategy.
-func (e Extra) Decide(view MarketView, spec ServiceSpec, intervalMinutes int64) (Decision, error) {
-	type zp struct {
-		zone  string
-		price market.Money
-	}
-	var zps []zp
-	for _, z := range view.Zones() {
-		p, err := view.SpotPrice(z)
-		if err != nil {
-			return Decision{}, err
-		}
-		zps = append(zps, zp{z, p})
-	}
-	sort.Slice(zps, func(i, j int) bool {
-		if zps[i].price != zps[j].price {
-			return zps[i].price < zps[j].price
-		}
-		return zps[i].zone < zps[j].zone
-	})
-	n := spec.BaseNodes + e.ExtraNodes
-	if n > len(zps) {
-		n = len(zps)
-	}
-	var bids []Bid
-	for _, z := range zps[:n] {
-		bid := z.price.Scale(1 + e.Portion)
-		bids = append(bids, Bid{Zone: z.zone, Price: bid})
-	}
-	return Decision{Bids: bids}, nil
-}
-
-// --- On-demand baseline (§5.2) ---
-
-// OnDemand is the baseline: BaseNodes base nodes' worth of on-demand
-// capacity in the cheapest pools, never bidding. Over a single-type
-// view it picks exactly the BaseNodes cheapest zones, as the paper's
-// baseline does; over a heterogeneous view it ranks feasible pools by
-// on-demand price per capacity unit and fills BaseNodes·UnitsPerNode
-// units.
-type OnDemand struct{}
-
-// Name implements Strategy.
-func (OnDemand) Name() string { return "Baseline" }
-
-// Decide implements Strategy.
-func (OnDemand) Decide(view MarketView, spec ServiceSpec, intervalMinutes int64) (Decision, error) {
-	type zp struct {
-		zone  string
-		price market.Money
-		units int
-	}
-	pools := view.Zones()
-	if spec.Constrained() {
-		var err error
-		pools, err = market.FilterPools(pools, spec.Type, spec.MinVCPU, spec.MinMemGiB)
-		if err != nil {
-			return Decision{}, err
-		}
-	}
-	var zps []zp
-	for _, z := range pools {
-		od, err := market.PoolOnDemandPrice(z, spec.Type)
-		if err != nil {
-			return Decision{}, err
-		}
-		u, err := market.PoolCapacityUnits(z, spec.Type)
-		if err != nil {
-			return Decision{}, err
-		}
-		zps = append(zps, zp{z, od, u})
-	}
-	sort.Slice(zps, func(i, j int) bool {
-		// Cheapest per capacity unit first: price_i/units_i <
-		// price_j/units_j, cross-multiplied to stay in integers. For a
-		// single-type view every pool has equal units, so this is
-		// exactly the by-price order the baseline always used.
-		a := int64(zps[i].price) * int64(zps[j].units)
-		b := int64(zps[j].price) * int64(zps[i].units)
-		if a != b {
-			return a < b
-		}
-		return zps[i].zone < zps[j].zone
-	})
-	need := spec.BaseNodes * market.UnitsPerNode
-	var zones []string
-	for _, z := range zps {
-		if need <= 0 {
-			break
-		}
-		zones = append(zones, z.zone)
-		need -= z.units
-	}
-	return Decision{OnDemand: zones}, nil
 }

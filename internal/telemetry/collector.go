@@ -14,6 +14,13 @@ type Labels struct {
 	Strategy string
 	// Interval is the bidding interval, e.g. "3h".
 	Interval string
+	// Scenario is the chaos scenario of the run ("calm", "storm-surge").
+	// Optional: when empty, the collector keeps the original three-label
+	// schema, so existing consumers see byte-identical series names.
+	// Mixing empty and non-empty Scenario on one Registry is a schema
+	// conflict (label counts differ) — a tournament sets it on every
+	// cell or on none.
+	Scenario string
 }
 
 // Collector folds the simulation event stream into registry metrics:
@@ -38,6 +45,9 @@ type Labels struct {
 type Collector struct {
 	engine.BaseObserver
 	base Labels
+	// vals is the base label value tuple — three values, or four when
+	// base.Scenario is set.
+	vals []string
 
 	events      [engine.KindCount]*Counter
 	decisions   *Counter
@@ -97,13 +107,18 @@ const (
 // stamping base onto every series.
 func NewCollector(reg *Registry, base Labels) *Collector {
 	baseLabels := []string{"service", "strategy", "interval"}
-	withZone := append(append([]string(nil), baseLabels...), "zone")
 	c := &Collector{base: base, zones: make(map[string]*zoneHandles), downSince: -1}
+	c.vals = []string{base.Service, base.Strategy, base.Interval}
+	if base.Scenario != "" {
+		baseLabels = append(baseLabels, "scenario")
+		c.vals = append(c.vals, base.Scenario)
+	}
+	withZone := append(append([]string(nil), baseLabels...), "zone")
 
 	events := reg.Counter("jupiter_events_total",
 		"Simulation events by kind.", append(append([]string(nil), baseLabels...), "kind")...)
 	for k := engine.Kind(0); k < engine.KindCount; k++ {
-		c.events[k] = events.With(base.Service, base.Strategy, base.Interval, k.String())
+		c.events[k] = events.With(c.lv(k.String())...)
 	}
 
 	c.launches = reg.Counter("jupiter_instance_launches_total",
@@ -123,21 +138,21 @@ func NewCollector(reg *Registry, base Labels) *Collector {
 		append(append([]string(nil), withZone...), "tier")...)
 
 	c.decisions = reg.Counter("jupiter_decisions_total",
-		"Bidding decisions made.", baseLabels...).With(base.Service, base.Strategy, base.Interval)
+		"Bidding decisions made.", baseLabels...).With(c.lv()...)
 	c.groupSize = reg.Histogram("jupiter_group_size",
 		"Group sizes chosen by bidding decisions.", 1, 100, 6, baseLabels...).
-		With(base.Service, base.Strategy, base.Interval)
+		With(c.lv()...)
 
 	trans := reg.Counter("jupiter_quorum_transitions_total",
 		"Service quorum transitions by direction.", append(append([]string(nil), baseLabels...), "direction")...)
-	c.transUp = trans.With(base.Service, base.Strategy, base.Interval, "up")
-	c.transDown = trans.With(base.Service, base.Strategy, base.Interval, "down")
+	c.transUp = trans.With(c.lv("up")...)
+	c.transDown = trans.With(c.lv("down")...)
 	c.downtime = reg.Histogram("jupiter_downtime_minutes",
 		"Lengths of quorum-down intervals, in simulated minutes.", 1, 100000, 3, baseLabels...).
-		With(base.Service, base.Strategy, base.Interval)
+		With(c.lv()...)
 	c.quorumLive = reg.Gauge("jupiter_quorum_live",
 		"Live member count at the last quorum transition.", baseLabels...).
-		With(base.Service, base.Strategy, base.Interval)
+		With(c.lv()...)
 
 	c.faults = reg.Counter("jupiter_faults_total",
 		"Chaos-layer fault injections and clearances by zone, fault kind, and phase.",
@@ -148,9 +163,15 @@ func NewCollector(reg *Registry, base Labels) *Collector {
 	times := reg.Histogram("jupiter_model_train_seconds",
 		"Wall-clock price-model training time by mode, in seconds.", 1e-6, 100, 2,
 		append(append([]string(nil), baseLabels...), "mode")...)
-	c.timeScratch = times.With(base.Service, base.Strategy, base.Interval, "scratch")
-	c.timeIncr = times.With(base.Service, base.Strategy, base.Interval, "incremental")
+	c.timeScratch = times.With(c.lv("scratch")...)
+	c.timeIncr = times.With(c.lv("incremental")...)
 	return c
+}
+
+// lv returns the base label values extended with extra, freshly
+// allocated so handle resolutions never share backing arrays.
+func (c *Collector) lv(extra ...string) []string {
+	return append(append(make([]string, 0, len(c.vals)+len(extra)), c.vals...), extra...)
 }
 
 // zone resolves (building on first sight) the per-zone handles.
@@ -159,18 +180,18 @@ func (c *Collector) zone(z string) *zoneHandles {
 		return h
 	}
 	h := &zoneHandles{
-		launchSpot:   c.launches.With(c.base.Service, c.base.Strategy, c.base.Interval, z, tierSpot),
-		launchOD:     c.launches.With(c.base.Service, c.base.Strategy, c.base.Interval, z, tierOnDemand),
-		bid:          c.bids.With(c.base.Service, c.base.Strategy, c.base.Interval, z),
-		outOfBid:     c.outOfBid.With(c.base.Service, c.base.Strategy, c.base.Interval, z),
-		termProvider: c.terminations.With(c.base.Service, c.base.Strategy, c.base.Interval, z, "provider"),
-		termUser:     c.terminations.With(c.base.Service, c.base.Strategy, c.base.Interval, z, "user"),
-		outages:      c.outages.With(c.base.Service, c.base.Strategy, c.base.Interval, z),
-		outageMins:   c.outageMins.With(c.base.Service, c.base.Strategy, c.base.Interval, z),
-		billedSpot:   c.billing.With(c.base.Service, c.base.Strategy, c.base.Interval, z, tierSpot),
-		billedOD:     c.billing.With(c.base.Service, c.base.Strategy, c.base.Interval, z, tierOnDemand),
-		trainScratch: c.trainings.With(c.base.Service, c.base.Strategy, c.base.Interval, z, "scratch"),
-		trainIncr:    c.trainings.With(c.base.Service, c.base.Strategy, c.base.Interval, z, "incremental"),
+		launchSpot:   c.launches.With(c.lv(z, tierSpot)...),
+		launchOD:     c.launches.With(c.lv(z, tierOnDemand)...),
+		bid:          c.bids.With(c.lv(z)...),
+		outOfBid:     c.outOfBid.With(c.lv(z)...),
+		termProvider: c.terminations.With(c.lv(z, "provider")...),
+		termUser:     c.terminations.With(c.lv(z, "user")...),
+		outages:      c.outages.With(c.lv(z)...),
+		outageMins:   c.outageMins.With(c.lv(z)...),
+		billedSpot:   c.billing.With(c.lv(z, tierSpot)...),
+		billedOD:     c.billing.With(c.lv(z, tierOnDemand)...),
+		trainScratch: c.trainings.With(c.lv(z, "scratch")...),
+		trainIncr:    c.trainings.With(c.lv(z, "incremental")...),
 	}
 	c.zones[z] = h
 	return h
@@ -273,7 +294,7 @@ func (c *Collector) OnFault(e engine.Event) {
 	if e.Kind == engine.KindFaultCleared {
 		phase = "cleared"
 	}
-	c.faults.With(c.base.Service, c.base.Strategy, c.base.Interval, e.Zone, e.Fault, phase).Inc()
+	c.faults.With(c.lv(e.Zone, e.Fault, phase)...).Inc()
 }
 
 // CloseRun finalizes per-run state at the end of accounting: a still
