@@ -8,6 +8,8 @@
 //
 //	analyze [-trace file.csv] [-type m1.small] [-weeks N] [-seed N] [-zones a,b,c]
 //	analyze diff a.jsonl b.jsonl
+//	analyze explain [-minute M | -decision N] [-strategy s] [-scenario c] [-seed N] spans.jsonl
+//	analyze attribute [-json] [-end M] attrib.json|events.jsonl
 //
 // Without -trace a synthetic trace set is generated.
 //
@@ -17,6 +19,20 @@
 // diverging runs get a first-divergence report naming the simulated
 // event where the histories fork. Exit status 1 means the traces
 // differ.
+//
+// The explain subcommand reconstructs "why this bid at minute M" from
+// a decision-provenance spans stream (`replay -spans-out`,
+// `experiments -spans-out`, `experiments tournament -spans`): the
+// pools considered, the candidate group sizes and their feasibility,
+// the dominance rule that rejected the losing candidate family, the
+// refine descent, and the chosen bids with their exact Eq. 10
+// availability margin.
+//
+// The attribute subcommand renders the cost/downtime attribution
+// ledger — every billed cent and downtime minute in one (pool, cause)
+// cell — from an attribution document (`-attrib-out`/`-attrib`), or
+// directly from an event trace by folding it through a fresh ledger.
+// See DESIGN.md §2.8.
 package main
 
 import (
@@ -41,6 +57,20 @@ func main() {
 		}
 		if !equal {
 			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		if err := runExplain(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "analyze explain:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "attribute" {
+		if err := runAttribute(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "analyze attribute:", err)
+			os.Exit(2)
 		}
 		return
 	}

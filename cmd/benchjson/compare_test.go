@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeReport marshals a benchjson report to a temp file and returns
+// its path.
+func writeReport(t *testing.T, name string, rep report) string {
+	t.Helper()
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(name string, ns, allocs float64) benchResult {
+	return benchResult{Name: name, Metrics: map[string]metricAgg{
+		"ns/op":     {Min: ns, Mean: ns, Max: ns, Count: 1},
+		"allocs/op": {Min: allocs, Mean: allocs, Max: allocs, Count: 1},
+	}}
+}
+
+// TestRunCompare pins the compare subcommand's verdicts: deltas within
+// the threshold pass, regressions beyond it are flagged and flip the
+// return, and benchmarks present in only one report are noted without
+// affecting the verdict.
+func TestRunCompare(t *testing.T) {
+	old := writeReport(t, "old.json", report{Benchmarks: []benchResult{
+		bench("BenchmarkDecide-8", 1000, 100),
+		bench("BenchmarkRefine-8", 2000, 50),
+		bench("BenchmarkDropped-8", 10, 1),
+	}})
+
+	// Within threshold: +5% ns/op, allocs flat.
+	ok := writeReport(t, "ok.json", report{Benchmarks: []benchResult{
+		bench("BenchmarkDecide-8", 1050, 100),
+		bench("BenchmarkRefine-8", 1900, 50),
+		bench("BenchmarkNew-8", 7, 7),
+	}})
+	var buf bytes.Buffer
+	regressed, err := runCompare([]string{old, ok}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("+5%% flagged as regression at the 10%% default:\n%s", buf.String())
+	}
+	for _, want := range []string{"BENCHMARK", "ns/op", "+5.0%", "note: BenchmarkNew-8 (new)", "note: BenchmarkDropped-8 (dropped)"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("compare output missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	// Beyond threshold: +50% allocs on one benchmark.
+	bad := writeReport(t, "bad.json", report{Benchmarks: []benchResult{
+		bench("BenchmarkDecide-8", 1000, 150),
+		bench("BenchmarkRefine-8", 2000, 50),
+	}})
+	buf.Reset()
+	regressed, err = runCompare([]string{old, bad}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("+50%% allocs not flagged:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("REGRESSION marker missing:\n%s", buf.String())
+	}
+
+	// A tighter threshold flips the first verdict too.
+	buf.Reset()
+	if regressed, err = runCompare([]string{"-threshold", "0.01", old, ok}, &buf); err != nil || !regressed {
+		t.Fatalf("1%% threshold: regressed=%v err=%v", regressed, err)
+	}
+
+	// Disjoint reports are an explicit error, not a silent pass.
+	lone := writeReport(t, "lone.json", report{Benchmarks: []benchResult{bench("BenchmarkOther-8", 5, 5)}})
+	if _, err := runCompare([]string{old, lone}, &buf); err == nil || !strings.Contains(err.Error(), "no common benchmarks") {
+		t.Fatalf("disjoint reports error = %v", err)
+	}
+	if _, err := runCompare([]string{old}, &buf); err == nil {
+		t.Fatal("single-argument call accepted")
+	}
+}

@@ -7,11 +7,16 @@
 //
 //	go test -bench . -benchmem -count 5 ./... | benchjson -o BENCH_5.json
 //	benchjson -o BENCH_5.json bench-output.txt
+//	benchjson compare [-metric ns/op,allocs/op] [-threshold 0.10] old.json new.json
 //
 // Every `BenchmarkName-P  N  V unit  [V unit ...]` line becomes a
 // sample of its benchmark; repeated lines (from -count or multiple
 // packages) aggregate into min/mean/max per metric. Non-benchmark
 // lines are ignored, so raw `go test` output can be piped in whole.
+//
+// The compare subcommand diffs two reports' metric means and exits 1
+// when any benchmark regressed by more than the threshold — CI runs it
+// against the last committed BENCH file as a warn-only step.
 package main
 
 import (
@@ -152,6 +157,17 @@ func convert(r io.Reader, w io.Writer) error {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		regressed, err := runCompare(os.Args[2:], os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson compare:", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 	outPath := flag.String("o", "-", "output file ('-' = stdout)")
 	flag.Parse()
 

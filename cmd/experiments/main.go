@@ -8,9 +8,11 @@
 //	            [-types a,b,c] [-min-vcpu N] [-min-mem G]
 //	            [-chaos scenario] [-chaos-seed N]
 //	            [-events-out file.jsonl] [-manifest file.json] [-debug-addr host:port]
-//	experiments tournament [-strategies specs] [-scenarios names] [-seeds a,b,c]
-//	            [-weeks N] [-train N] [-interval H] [-epsilon F] [-j N]
+//	            [-spans-out file.jsonl] [-spans-sample N] [-attrib-out file.json]
+//	experiments tournament [-strategies specs | -roster file] [-scenarios names]
+//	            [-seeds a,b,c] [-weeks N] [-train N] [-interval H] [-epsilon F] [-j N]
 //	            [-json file] [-manifest file] [-list]
+//	            [-spans file.jsonl] [-spans-sample N] [-attrib file.json]
 //
 // The tournament subcommand runs the strategy arena: every registered
 // strategy of the roster replays under every chaos scenario and seed,
@@ -24,6 +26,11 @@
 // -debug-addr serves live /metrics and /debug/pprof while the
 // experiments run — the per-cell series are kept apart by
 // service/strategy/interval labels.
+//
+// Provenance: -spans-out records every replay cell's decision spans
+// (why each bid was chosen; inspect with "analyze explain"), and
+// -attrib-out writes the per-cell cost/downtime attribution ledger
+// (render with "analyze attribute"). See DESIGN.md §2.8.
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/market"
 	"repro/internal/modelcache"
+	"repro/internal/provenance"
 	"repro/internal/strategy"
 	"repro/internal/telemetry"
 )
@@ -60,6 +68,9 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "worker-pool width for sweep cells (1 = sequential; results are identical either way)")
 	modelStats := flag.Bool("model-stats", false, "share one price-model cache across all experiments and print its hit/train counters at the end")
 	eventsOut := flag.String("events-out", "", "write every replay cell's event trace as JSONL to this file ('-' = stdout)")
+	spansOut := flag.String("spans-out", "", "write every replay cell's decision-provenance spans as JSONL to this file (see cmd/analyze explain)")
+	spansSample := flag.Int("spans-sample", 1, "with -spans-out, trace every Nth decision per cell (1 = all)")
+	attribOut := flag.String("attrib-out", "", "write the per-cell cost/downtime attribution as JSON to this file ('-' = stdout)")
 	manifestOut := flag.String("manifest", "", "write an end-of-run summary manifest (JSON) to this file ('-' = stdout)")
 	debugAddr := flag.String("debug-addr", "", "serve live /metrics and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	chaosSpec := flag.String("chaos", "", "arm every replay cell with a fault-injection scenario: a builtin name or a JSON file")
@@ -149,7 +160,12 @@ func main() {
 		debug = d
 		fmt.Fprintf(os.Stderr, "experiments: serving /metrics and /debug/pprof on http://%s\n", d.Addr())
 	}
-	if reg != nil || writer != nil {
+	var sink *provSink
+	if *spansOut != "" || *attribOut != "" {
+		sink = newProvSink(*spansSample, *seed)
+		env.Spans = sink.recorder
+	}
+	if reg != nil || writer != nil || sink != nil {
 		// One collector per replay cell: the collector keeps per-run
 		// state, while the registry and trace writer are shared sinks.
 		env.Observe = func(spec strategy.ServiceSpec, strategyName string, intervalHours int64) []engine.Observer {
@@ -164,6 +180,9 @@ func main() {
 			if writer != nil {
 				obs = append(obs, writer)
 			}
+			if sink != nil {
+				obs = append(obs, sink.observe(spec, strategyName, intervalHours))
+			}
 			return obs
 		}
 	}
@@ -172,6 +191,31 @@ func main() {
 	if writer != nil {
 		if werr := writer.Close(); werr != nil && err == nil {
 			err = werr
+		}
+	}
+	if sink != nil && err == nil {
+		if *spansOut != "" {
+			f, serr := os.Create(*spansOut)
+			if serr == nil {
+				kv := []string{
+					"command", "experiments",
+					"run", *runFlag,
+					"seed", strconv.FormatUint(*seed, 10),
+					"spans-sample", strconv.Itoa(*spansSample),
+				}
+				serr = provenance.WriteSpans(f, telemetry.SortedMeta(kv...), sink.spans())
+				if cerr := f.Close(); serr == nil {
+					serr = cerr
+				}
+			}
+			if serr != nil {
+				err = serr
+			} else {
+				fmt.Println("wrote decision spans to", *spansOut)
+			}
+		}
+		if *attribOut != "" && err == nil {
+			err = writeAttribution(*attribOut, sink.attribution())
 		}
 	}
 	if *manifestOut != "" {

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/provenance"
+	"repro/internal/strategy"
+)
+
+// writeAttribution renders an attribution document as indented JSON to
+// path ('-' = stdout).
+func writeAttribution(path string, doc provenance.Doc) error {
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(b)
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote attribution to", path)
+	return nil
+}
+
+// provSink collects one decision-provenance recorder and one
+// attribution ledger per replay cell of the main experiments command.
+// Cells of a parallel sweep complete in nondeterministic order, so the
+// sink sorts its outputs by (service, strategy, interval) before
+// writing; attribution cells with the same label merge commutatively,
+// so -j never changes the attribution document. Only the relative
+// order of spans from identically-labelled cells depends on -j — use
+// -j 1 for byte-stable spans, as with -events-out.
+type provSink struct {
+	sample int
+	seed   uint64
+
+	mu      sync.Mutex
+	entries []*provEntry
+	pending map[string][]*provEntry
+}
+
+type provEntry struct {
+	service, strategy, interval string
+	rec                         *provenance.Recorder
+	led                         *provenance.Ledger
+}
+
+func (e *provEntry) key() string { return e.service + "|" + e.strategy + "|" + e.interval }
+
+func newProvSink(sample int, seed uint64) *provSink {
+	return &provSink{sample: sample, seed: seed, pending: map[string][]*provEntry{}}
+}
+
+// observe opens a cell: it pairs a fresh recorder with a fresh ledger
+// (the ledger watches the recorder's stage spans for quarantine
+// attribution) and returns the ledger for the cell's observer list.
+// The paired recorder is claimed by the cell's subsequent Env.Spans
+// call — replayOne invokes Env.Observe first, then Env.Spans.
+func (s *provSink) observe(spec strategy.ServiceSpec, strategyName string, intervalHours int64) engine.Observer {
+	e := &provEntry{
+		service:  serviceName(spec),
+		strategy: strategyName,
+		interval: fmt.Sprintf("%dh", intervalHours),
+		rec:      provenance.NewRecorder(s.sample),
+		led:      provenance.NewLedger(),
+	}
+	e.led.WatchStages(e.rec)
+	s.mu.Lock()
+	s.entries = append(s.entries, e)
+	s.pending[e.key()] = append(s.pending[e.key()], e)
+	s.mu.Unlock()
+	return e.led
+}
+
+// recorder hands back the recorder paired by the matching observe
+// call.
+func (s *provSink) recorder(spec strategy.ServiceSpec, strategyName string, intervalHours int64) *provenance.Recorder {
+	key := serviceName(spec) + "|" + strategyName + "|" + fmt.Sprintf("%dh", intervalHours)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.pending[key]
+	if len(q) == 0 {
+		// Spans without a preceding observe for this label: record into
+		// a detached recorder rather than fail the run.
+		return provenance.NewRecorder(s.sample)
+	}
+	e := q[len(q)-1]
+	s.pending[key] = q[:len(q)-1]
+	return e.rec
+}
+
+// sorted snapshots the entries in (service, strategy, interval) order.
+func (s *provSink) sorted() []*provEntry {
+	s.mu.Lock()
+	entries := append([]*provEntry(nil), s.entries...)
+	s.mu.Unlock()
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].service != entries[j].service {
+			return entries[i].service < entries[j].service
+		}
+		if entries[i].strategy != entries[j].strategy {
+			return entries[i].strategy < entries[j].strategy
+		}
+		return entries[i].interval < entries[j].interval
+	})
+	return entries
+}
+
+// spans returns every cell's spans, stamped with the cell label and
+// the master seed, in sorted cell order.
+func (s *provSink) spans() []provenance.Span {
+	var out []provenance.Span
+	for _, e := range s.sorted() {
+		e.rec.Stamp(provenance.Stamp{
+			Strategy: e.strategy, Service: e.service, Interval: e.interval, Seed: s.seed,
+		})
+		out = append(out, e.rec.Spans()...)
+	}
+	return out
+}
+
+// attribution folds the ledgers into one document, merging cells that
+// share a (service, strategy, interval) label.
+func (s *provSink) attribution() provenance.Doc {
+	var runs []provenance.DocCell
+	for _, e := range s.sorted() {
+		a := e.led.Attribution()
+		if n := len(runs); n > 0 &&
+			runs[n-1].Strategy == e.strategy &&
+			runs[n-1].Service == e.service &&
+			runs[n-1].Interval == e.interval {
+			runs[n-1].Attribution = runs[n-1].Attribution.Merge(a)
+			continue
+		}
+		runs = append(runs, provenance.DocCell{
+			Strategy: e.strategy, Service: e.service, Interval: e.interval,
+			Seed: s.seed, Attribution: a,
+		})
+	}
+	return provenance.NewDoc(runs)
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/experiments"
+	"repro/internal/provenance"
 	"repro/internal/strategy"
 	"repro/internal/telemetry"
 )
@@ -22,6 +23,7 @@ import (
 func runTournament(args []string) error {
 	fs := flag.NewFlagSet("tournament", flag.ExitOnError)
 	strategies := fs.String("strategies", "", "comma-separated strategy specs (default: the shipped arena roster); see -list")
+	roster := fs.String("roster", "", "read the roster from a strategy-list file (one spec per line, '#' comments); mutually exclusive with -strategies")
 	scenarios := fs.String("scenarios", "", "comma-separated chaos scenarios, builtin names or JSON files (default: every builtin)")
 	seedsSpec := fs.String("seeds", "", "comma-separated replay seeds (default 2014,2015,2016)")
 	weeks := fs.Int64("weeks", 1, "replay length in weeks")
@@ -31,6 +33,9 @@ func runTournament(args []string) error {
 	epsilon := fs.Float64("epsilon", experiments.DefaultTournamentEpsilon, "availability slack below the clean baseline")
 	jsonOut := fs.String("json", "", "write the leaderboard as JSON to this file ('-' = stdout)")
 	manifestOut := fs.String("manifest", "", "write an end-of-run telemetry manifest (JSON) to this file ('-' = stdout)")
+	spansOut := fs.String("spans", "", "write every cell's decision-provenance spans as JSONL to this file (see cmd/analyze explain)")
+	spansSample := fs.Int("spans-sample", 1, "with -spans, trace every Nth decision per cell (1 = all)")
+	attribOut := fs.String("attrib", "", "write the per-(strategy, scenario) cost/downtime attribution as JSON to this file ('-' = stdout)")
 	list := fs.Bool("list", false, "list registered strategies and builtin scenarios, then exit")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: experiments tournament [flags]")
@@ -58,12 +63,28 @@ func runTournament(args []string) error {
 		IntervalHours: *interval,
 		Epsilon:       *epsilon,
 	}
+	if *strategies != "" && *roster != "" {
+		return fmt.Errorf("tournament: -strategies and -roster are mutually exclusive")
+	}
 	if *strategies != "" {
 		specs, err := strategy.SplitSpecList(*strategies)
 		if err != nil {
 			return err
 		}
 		cfg.Specs = specs
+	}
+	if *roster != "" {
+		specs, err := loadRoster(*roster)
+		if err != nil {
+			return err
+		}
+		cfg.Specs = specs
+	}
+	if *spansOut != "" {
+		cfg.SpanSample = *spansSample
+	}
+	if *attribOut != "" {
+		cfg.Attribute = true
 	}
 	if *scenarios != "" {
 		for _, s := range strings.Split(*scenarios, ",") {
@@ -111,6 +132,38 @@ func runTournament(args []string) error {
 			fmt.Println("wrote leaderboard to", *jsonOut)
 		}
 	}
+	if *spansOut != "" {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			return err
+		}
+		meta := telemetry.SortedMeta(
+			"command", "experiments tournament",
+			"interval", strconv.FormatInt(*interval, 10),
+			"spans-sample", strconv.Itoa(*spansSample),
+		)
+		if err := provenance.WriteSpans(f, meta, res.Spans); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote decision spans to", *spansOut)
+	}
+	if *attribOut != "" {
+		runs := make([]provenance.DocCell, len(res.Attributions))
+		for i, a := range res.Attributions {
+			runs[i] = provenance.DocCell{
+				Strategy: a.Strategy, Scenario: a.Scenario,
+				Service: res.Service, Interval: fmt.Sprintf("%dh", res.IntervalHours),
+				Attribution: a.Attribution,
+			}
+		}
+		if err := writeAttribution(*attribOut, provenance.NewDoc(runs)); err != nil {
+			return err
+		}
+	}
 	if *manifestOut != "" {
 		seeds := make([]string, len(res.Seeds))
 		for i, s := range res.Seeds {
@@ -129,4 +182,22 @@ func runTournament(args []string) error {
 		}
 	}
 	return nil
+}
+
+// loadRoster reads a strategy-list file into registry specs; parse
+// errors carry the offending line number.
+func loadRoster(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	_, specs, err := strategy.Default.ParseStrategyList(f)
+	if err != nil {
+		return nil, fmt.Errorf("tournament: roster %s: %w", path, err)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("tournament: roster %s: no strategies", path)
+	}
+	return specs, nil
 }

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRoster(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "roster.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadRoster pins the -roster file format: one registry spec per
+// line, '#' comments and blank lines skipped, and every parse error
+// naming the offending line.
+func TestLoadRoster(t *testing.T) {
+	specs, err := loadRoster(writeRoster(t, "# arena roster\njupiter\n\nextra(2, 0.2)  # the paper's rival\nbaseline\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"jupiter", "extra(2, 0.2)", "baseline"}
+	if len(specs) != len(want) {
+		t.Fatalf("specs = %v, want %v", specs, want)
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Fatalf("specs = %v, want %v", specs, want)
+		}
+	}
+
+	// An unknown strategy errors with its line number.
+	_, err = loadRoster(writeRoster(t, "jupiter\nbaseline\nno-such-strategy\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("unknown-strategy error = %v, want line 3", err)
+	}
+
+	// So does a duplicate.
+	_, err = loadRoster(writeRoster(t, "jupiter\n# twice\njupiter\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate error = %v, want duplicate at line 3", err)
+	}
+
+	// A roster of only comments resolves to nothing, which is an error.
+	_, err = loadRoster(writeRoster(t, "# nothing here\n\n"))
+	if err == nil || !strings.Contains(err.Error(), "no strategies") {
+		t.Fatalf("empty roster error = %v", err)
+	}
+
+	if _, err := loadRoster(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Fatal("missing roster file did not error")
+	}
+}

@@ -31,9 +31,18 @@
 // serves live /metrics and /debug/pprof over HTTP while the run is in
 // flight (-mutex-profile-fraction / -block-profile-rate turn on the
 // runtime's contention sampling for the mutex and block profiles).
+//
+// Provenance: -spans-out records every decision's provenance spans —
+// the candidate groups considered, the dominance rule that rejected
+// alternatives, the chosen bids and their Eq. 10 margin — as versioned
+// JSONL (inspect with "analyze explain"), and -attrib-out writes the
+// cost/downtime attribution ledger, every billed cent and downtime
+// minute folded into (pool, cause) cells (render with "analyze
+// attribute"). See DESIGN.md §2.8.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -50,6 +59,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/market"
 	"repro/internal/modelcache"
+	"repro/internal/provenance"
 	"repro/internal/replay"
 	"repro/internal/strategy"
 	"repro/internal/telemetry"
@@ -71,6 +81,9 @@ type options struct {
 	jobs         int
 	modelStats   bool
 	eventsOut    string
+	spansOut     string
+	spansSample  int
+	attribOut    string
 	manifestOut  string
 	debugAddr    string
 	mutexFrac    int
@@ -98,11 +111,14 @@ func main() {
 	flag.IntVar(&o.jobs, "j", runtime.NumCPU(), "worker-pool width for an interval sweep (1 = sequential; results are identical either way)")
 	flag.BoolVar(&o.modelStats, "model-stats", false, "print the shared price-model cache's hit/train counters at the end")
 	flag.StringVar(&o.eventsOut, "events-out", "", "write the simulation event trace as JSONL to this file ('-' = stdout)")
+	flag.StringVar(&o.spansOut, "spans-out", "", "write the run's decision-provenance spans as JSONL to this file (see cmd/analyze explain)")
+	flag.IntVar(&o.spansSample, "spans-sample", 1, "with -spans-out, trace every Nth decision (1 = all)")
+	flag.StringVar(&o.attribOut, "attrib-out", "", "write the run's cost/downtime attribution as JSON to this file ('-' = stdout)")
 	flag.StringVar(&o.manifestOut, "manifest", "", "write an end-of-run summary manifest (JSON) to this file ('-' = stdout)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve live /metrics and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	flag.IntVar(&o.mutexFrac, "mutex-profile-fraction", 0, "sample 1/N of mutex contention events for /debug/pprof/mutex (0 = off)")
 	flag.IntVar(&o.blockRate, "block-profile-rate", 0, "sample blocking events >= N ns for /debug/pprof/block (0 = off)")
-	flag.StringVar(&o.chaosSpec, "chaos", "", "fault-injection scenario: a builtin name (calm, zone-blackout, reclaim-storm, price-surge, flaky-market, stale-feed) or a JSON scenario file")
+	flag.StringVar(&o.chaosSpec, "chaos", "", "fault-injection scenario: a builtin name ("+strings.Join(chaos.BuiltinNames(), ", ")+") or a JSON scenario file")
 	flag.Uint64Var(&o.chaosSeed, "chaos-seed", 0, "override the chaos scenario's seed (0 = use the scenario's own)")
 	flag.BoolVar(&o.lenient, "lenient-traces", false, "quarantine malformed trace rows instead of failing the read (default: strict, first bad row is an error)")
 	flag.StringVar(&o.typesSpec, "types", "", "comma-separated extra instance types: bid across (zone, type) pools instead of zones only")
@@ -365,10 +381,24 @@ func run(o options) error {
 		telemetry.RecordQuarantinedRows(sink.reg, o.traceFile, readReport)
 	}
 
+	// Decision provenance: one recorder/ledger pair per sweep cell,
+	// indexed by interval so the outputs keep input order under -j.
+	var recs []*provenance.Recorder
+	var leds []*provenance.Ledger
+	if o.spansOut != "" || o.attribOut != "" {
+		recs = make([]*provenance.Recorder, len(intervals))
+		leds = make([]*provenance.Ledger, len(intervals))
+		for i := range intervals {
+			recs[i] = provenance.NewRecorder(o.spansSample)
+			leds[i] = provenance.NewLedger()
+			leds[i].WatchStages(recs[i])
+		}
+	}
+
 	// One model provider shared by every cell of the interval sweep:
 	// intervals whose retrain boundaries coincide train each window once.
 	models := modelcache.New()
-	replayOne := func(hours int64) (*replay.Result, error) {
+	replayOne := func(cell int, hours int64) (*replay.Result, error) {
 		strat, err := mkStrat()
 		if err != nil {
 			return nil, err
@@ -377,6 +407,11 @@ func run(o options) error {
 		var col *telemetry.Collector
 		if sink.active() {
 			obs, col = sink.observers(o, hours)
+		}
+		var spans *provenance.Recorder
+		if recs != nil {
+			spans = recs[cell]
+			obs = append(obs, leds[cell])
 		}
 		start := o.train * experiments.Week
 		res, err := replay.Run(replay.Config{
@@ -391,16 +426,22 @@ func run(o options) error {
 			Observers:              obs,
 			Chaos:                  chaosSc,
 			ChaosSeed:              o.chaosSeed,
+			Spans:                  spans,
 		})
-		if col != nil && res != nil {
-			col.CloseRun(start + res.TotalMinutes)
+		if res != nil {
+			if col != nil {
+				col.CloseRun(start + res.TotalMinutes)
+			}
+			if leds != nil {
+				leds[cell].CloseRun(start + res.TotalMinutes)
+			}
 		}
 		return res, err
 	}
 
 	runErr := func() error {
 		if len(intervals) == 1 {
-			res, err := replayOne(intervals[0])
+			res, err := replayOne(0, intervals[0])
 			if err != nil {
 				return err
 			}
@@ -431,7 +472,7 @@ func run(o options) error {
 			go func() {
 				defer wg.Done()
 				for i := range work {
-					results[i], errs[i] = replayOne(intervals[i])
+					results[i], errs[i] = replayOne(i, intervals[i])
 				}
 			}()
 		}
@@ -458,10 +499,72 @@ func run(o options) error {
 		return nil
 	}()
 
+	if runErr == nil && recs != nil {
+		if err := writeProvenance(o, intervals, recs, leds); err != nil {
+			runErr = err
+		}
+	}
 	if err := sink.close(o); err != nil && runErr == nil {
 		runErr = err
 	}
 	return runErr
+}
+
+// writeProvenance emits the spans JSONL and/or the attribution JSON
+// after a successful run, cells in input-interval order.
+func writeProvenance(o options, intervals []int64, recs []*provenance.Recorder, leds []*provenance.Ledger) error {
+	if o.spansOut != "" {
+		var spans []provenance.Span
+		for i, rec := range recs {
+			rec.Stamp(provenance.Stamp{
+				Strategy: o.stratName,
+				Service:  o.service,
+				Interval: fmt.Sprintf("%dh", intervals[i]),
+				Seed:     o.seed,
+			})
+			spans = append(spans, rec.Spans()...)
+		}
+		meta := traceMeta(o)
+		meta["spans-sample"] = strconv.Itoa(o.spansSample)
+		f, err := os.Create(o.spansOut)
+		if err != nil {
+			return err
+		}
+		if err := provenance.WriteSpans(f, meta, spans); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote decision spans to", o.spansOut)
+	}
+	if o.attribOut != "" {
+		runs := make([]provenance.DocCell, len(leds))
+		for i, led := range leds {
+			runs[i] = provenance.DocCell{
+				Strategy:    o.stratName,
+				Service:     o.service,
+				Interval:    fmt.Sprintf("%dh", intervals[i]),
+				Seed:        o.seed,
+				Attribution: led.Attribution(),
+			}
+		}
+		b, err := json.MarshalIndent(provenance.NewDoc(runs), "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if o.attribOut == "-" {
+			_, err := os.Stdout.Write(b)
+			return err
+		}
+		if err := os.WriteFile(o.attribOut, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote attribution to", o.attribOut)
+	}
+	return nil
 }
 
 func report(res *replay.Result, spec strategy.ServiceSpec, service string, interval int64, seriesOut string) error {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/modelcache"
+	"repro/internal/provenance"
 	"repro/internal/strategy"
 )
 
@@ -46,6 +47,10 @@ func (a *Adaptive) Name() string { return "Jupiter-adaptive" }
 // UseModelCache implements modelcache.Consumer by delegating to the
 // wrapped framework.
 func (a *Adaptive) UseModelCache(c *modelcache.Cache) { a.Inner.UseModelCache(c) }
+
+// UseRecorder implements provenance.Consumer by delegating to the
+// wrapped framework.
+func (a *Adaptive) UseRecorder(r *provenance.Recorder) { a.Inner.UseRecorder(r) }
 
 // ChooseInterval implements strategy.IntervalChooser: it measures the
 // median per-zone price-change period over the lookback window and

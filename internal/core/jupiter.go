@@ -31,6 +31,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/market"
 	"repro/internal/modelcache"
+	"repro/internal/provenance"
 	"repro/internal/quorum"
 	"repro/internal/smc"
 	"repro/internal/strategy"
@@ -104,6 +105,11 @@ type Jupiter struct {
 	// never touch the degradation paths.
 	health    *healthTracker
 	lastStage DegradeStage
+
+	// prov, when set via UseRecorder, receives decision-provenance
+	// spans. It stays nil on unobserved runs, where Begin returns a nil
+	// trace and every emission site is skipped without building spans.
+	prov *provenance.Recorder
 }
 
 // zoneModel is one zone's current model and its training minute.
@@ -138,6 +144,10 @@ func New() *Jupiter {
 // UseModelCache implements modelcache.Consumer: the replay harness
 // calls it to point the framework at the run's shared provider.
 func (j *Jupiter) UseModelCache(c *modelcache.Cache) { j.Models = c }
+
+// UseRecorder implements provenance.Consumer: the replay harness calls
+// it to collect decision-provenance spans for the run.
+func (j *Jupiter) UseRecorder(r *provenance.Recorder) { j.prov = r }
 
 // provider returns the configured shared cache, or a lazily created
 // private one.
@@ -291,7 +301,13 @@ type poolSnapshot struct {
 // over a worker pool bounded by GOMAXPROCS. Results collect into a
 // slice indexed by zone order, keeping every downstream loop
 // deterministic.
-func (j *Jupiter) buildPoolSnapshots(view strategy.MarketView, spec strategy.ServiceSpec, zones []string, now, intervalMinutes int64) ([]*poolSnapshot, error) {
+//
+// dt, when non-nil, receives one SpanPool per pool considered —
+// quarantined, no-history, forecast-failed, or ok. Span emission stays
+// out of the worker pool: skip spans fire in the sequential filter
+// above it, build outcomes in the sequential collection loop after it,
+// so span order is deterministic.
+func (j *Jupiter) buildPoolSnapshots(view strategy.MarketView, spec strategy.ServiceSpec, zones []string, now, intervalMinutes int64, dt *provenance.DecisionTrace) ([]*poolSnapshot, error) {
 	type zoneWork struct {
 		zone  string
 		model *smc.Model
@@ -302,10 +318,16 @@ func (j *Jupiter) buildPoolSnapshots(view strategy.MarketView, spec strategy.Ser
 	work := make([]zoneWork, 0, len(zones))
 	for _, z := range zones {
 		if j.health != nil && j.health.quarantinedKey(z, now) {
+			if dt != nil {
+				dt.Emit(provenance.Span{Kind: provenance.SpanPool, Pool: z, Outcome: "quarantined"})
+			}
 			continue // pool quarantined after faults; re-probed once the backoff expires
 		}
 		m, err := j.model(view, z)
 		if err != nil {
+			if dt != nil {
+				dt.Emit(provenance.Span{Kind: provenance.SpanPool, Pool: z, Outcome: "no-history"})
+			}
 			continue // pool unusable this round (no history yet)
 		}
 		cur, err := view.SpotPrice(z)
@@ -386,10 +408,17 @@ func (j *Jupiter) buildPoolSnapshots(view strategy.MarketView, spec strategy.Ser
 		wg.Wait()
 	}
 	states := built[:0]
-	for _, st := range built {
-		if st != nil {
-			states = append(states, st)
+	for i, st := range built {
+		if st == nil {
+			if dt != nil {
+				dt.Emit(provenance.Span{Kind: provenance.SpanPool, Pool: work[i].zone, Outcome: "forecast-failed"})
+			}
+			continue
 		}
+		if dt != nil {
+			dt.Emit(provenance.Span{Kind: provenance.SpanPool, Pool: st.zone, Outcome: "ok", CurMicroUSD: int64(st.cur)})
+		}
+		states = append(states, st)
 	}
 	return states, nil
 }
@@ -430,17 +459,23 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 	if j.health != nil && j.health.faults > 0 {
 		stage = j.health.stage(now)
 	}
+	prevStage := j.lastStage
 	j.lastStage = stage
+
+	dt := j.prov.Begin(now)
+	if dt != nil {
+		emitStage(dt, prevStage, stage)
+	}
 
 	// One failure estimator per zone, shared across all group sizes.
 	// Forecast construction fans out over a bounded worker pool; the
 	// result is ordered by zone so every loop below is deterministic.
-	states, err := j.buildPoolSnapshots(view, spec, zones, now, intervalMinutes)
+	states, err := j.buildPoolSnapshots(view, spec, zones, now, intervalMinutes, dt)
 	if err != nil {
 		return strategy.Decision{}, err
 	}
 	if len(states) == 0 {
-		return j.fallback(view, spec)
+		return j.fallbackTraced(view, spec, dt, "no-usable-pools")
 	}
 	byZone := make(map[string]*poolSnapshot, len(states))
 	for _, st := range states {
@@ -495,6 +530,9 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 		cand := CandidateCost{Nodes: n}
 		fpTarget, ok := j.invertFP(n, k, target)
 		if !ok || fpTarget < j.FP0 {
+			if dt != nil {
+				dt.Emit(provenance.Span{Kind: provenance.SpanCandidate, Nodes: n, Outcome: "infeasible-target"})
+			}
 			j.lastDecision = append(j.lastDecision, cand)
 			continue
 		}
@@ -539,6 +577,9 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 			}
 		}
 		if len(bids)+len(odPick) < n {
+			if dt != nil {
+				dt.Emit(provenance.Span{Kind: provenance.SpanCandidate, Nodes: n, Outcome: "short", FPTarget: fpTarget})
+			}
 			j.lastDecision = append(j.lastDecision, cand)
 			continue
 		}
@@ -552,6 +593,9 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 		}
 		cand.Feasible = true
 		cand.CostUpper = cost
+		if dt != nil {
+			dt.Emit(provenance.Span{Kind: provenance.SpanCandidate, Nodes: n, Outcome: "feasible", FPTarget: fpTarget, CostMicroUSD: int64(cost)})
+		}
 		j.lastDecision = append(j.lastDecision, cand)
 		if !found || cost < bestCost {
 			found = true
@@ -561,7 +605,7 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 		}
 	}
 	if !found {
-		return j.fallback(view, spec)
+		return j.fallbackTraced(view, spec, dt, "no-feasible-group")
 	}
 	if stage == StageCritical {
 		bestBids, bestOD = hardenQuorum(bestBids, bestOD, spec)
@@ -570,6 +614,10 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 	// spot/on-demand group keeps its equalized solution.
 	if j.Refine && len(bestOD) == 0 && len(bestBids) > 0 {
 		k := spec.QuorumSize(len(bestBids))
+		var before market.Money
+		if dt != nil {
+			before = bidSum(bestBids)
+		}
 		bestBids = refineBids(bestBids, k, target, func(zone string) *refineZone {
 			st := byZone[zone]
 			if st == nil {
@@ -577,6 +625,12 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 			}
 			return &refineZone{fpOf: st.fpOf, levels: st.levels, cur: st.cur}
 		})
+		if dt != nil {
+			dt.Emit(provenance.Span{Kind: provenance.SpanRefine, AltMicroUSD: int64(before), CostMicroUSD: int64(bidSum(bestBids))})
+		}
+	}
+	if dt != nil {
+		j.emitChosenZone(dt, spec, byZone, bestBids, bestOD, target)
 	}
 	out := strategy.Decision{}
 	j.lastBidFPs = make(map[string]float64, len(bestBids))

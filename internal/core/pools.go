@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/market"
+	"repro/internal/provenance"
 	"repro/internal/quorum"
 	"repro/internal/strategy"
 )
@@ -60,9 +61,15 @@ func (j *Jupiter) decidePools(view strategy.MarketView, spec strategy.ServiceSpe
 	if j.health != nil && j.health.faults > 0 {
 		stage = j.health.stage(now)
 	}
+	prevStage := j.lastStage
 	j.lastStage = stage
 
-	snaps, err := j.buildPoolSnapshots(view, spec, pools, now, intervalMinutes)
+	dt := j.prov.Begin(now)
+	if dt != nil {
+		emitStage(dt, prevStage, stage)
+	}
+
+	snaps, err := j.buildPoolSnapshots(view, spec, pools, now, intervalMinutes, dt)
 	if err != nil {
 		return strategy.Decision{}, err
 	}
@@ -77,7 +84,7 @@ func (j *Jupiter) decidePools(view strategy.MarketView, spec strategy.ServiceSpe
 		totalUnits += u
 	}
 	if len(states) == 0 {
-		return j.fallback(view, spec)
+		return j.fallbackTraced(view, spec, dt, "no-usable-pools")
 	}
 	byKey := make(map[string]*poolSnapshot, len(states))
 	for _, st := range states {
@@ -219,6 +226,9 @@ func (j *Jupiter) decidePools(view strategy.MarketView, spec strategy.ServiceSpe
 		cand := CandidateCost{Nodes: W}
 		fpTarget, ok := j.invertFP(W, spec.QuorumSize(W), target)
 		if !ok || fpTarget < j.FP0 {
+			if dt != nil {
+				dt.Emit(provenance.Span{Kind: provenance.SpanCandidate, Nodes: W, Outcome: "infeasible-target"})
+			}
 			j.lastDecision = append(j.lastDecision, cand)
 			continue
 		}
@@ -389,6 +399,16 @@ func (j *Jupiter) decidePools(view strategy.MarketView, spec strategy.ServiceSpe
 				*best = poolSelection{found: true, cost: cost, cur: curCost, spot: spot, spotUnits: su, od: odPick}
 			}
 		}
+		if dt != nil {
+			s := provenance.Span{Kind: provenance.SpanCandidate, Nodes: W, FPTarget: fpTarget}
+			if cand.Feasible {
+				s.Outcome = "feasible"
+				s.CostMicroUSD = int64(cand.CostUpper)
+			} else {
+				s.Outcome = "short"
+			}
+			dt.Emit(s)
+		}
 		j.lastDecision = append(j.lastDecision, cand)
 	}
 	// A heterogeneous portfolio displaces the base-weight selection only
@@ -398,13 +418,25 @@ func (j *Jupiter) decidePools(view strategy.MarketView, spec strategy.ServiceSpe
 	// lower bid sum alone can still realize a costlier interval; the
 	// dominance test keeps heterogeneous runs at or below the zone-only
 	// planner's cost on both axes.
+	hetWins := bestHet.found && (!bestBase.found ||
+		(bestHet.cost <= bestBase.cost && bestHet.cur <= bestBase.cur))
 	sel := bestBase
-	if bestHet.found && (!bestBase.found ||
-		(bestHet.cost <= bestBase.cost && bestHet.cur <= bestBase.cur)) {
+	if hetWins {
 		sel = bestHet
 	}
+	if dt != nil && bestBase.found && bestHet.found {
+		winner := "base"
+		if hetWins {
+			winner = "het"
+		}
+		dt.Emit(provenance.Span{
+			Kind: provenance.SpanDominance, Outcome: winner,
+			CostMicroUSD: int64(bestBase.cost), CurMicroUSD: int64(bestBase.cur),
+			AltMicroUSD: int64(bestHet.cost), AltCurMicroUSD: int64(bestHet.cur),
+		})
+	}
 	if !sel.found {
-		return j.fallback(view, spec)
+		return j.fallbackTraced(view, spec, dt, "no-feasible-group")
 	}
 	bestSpot, bestSpotUnits, bestOD := sel.spot, sel.spotUnits, sel.od
 	if stage == StageCritical {
@@ -417,6 +449,10 @@ func (j *Jupiter) decidePools(view strategy.MarketView, spec strategy.ServiceSpe
 		for _, u := range bestSpotUnits {
 			tot += u
 		}
+		var before market.Money
+		if dt != nil {
+			before = bidSum(bestSpot)
+		}
 		bestSpot = refineBidsWeighted(bestSpot, bestSpotUnits, spec.QuorumUnits(tot), target, func(key string) *refineZone {
 			st := byKey[key]
 			if st == nil {
@@ -424,6 +460,12 @@ func (j *Jupiter) decidePools(view strategy.MarketView, spec strategy.ServiceSpe
 			}
 			return &refineZone{fpOf: st.fpOf, levels: st.levels, cur: st.cur}
 		})
+		if dt != nil {
+			dt.Emit(provenance.Span{Kind: provenance.SpanRefine, AltMicroUSD: int64(before), CostMicroUSD: int64(bidSum(bestSpot))})
+		}
+	}
+	if dt != nil {
+		j.emitChosenPools(dt, spec, byKey, bestSpot, bestSpotUnits, bestOD, target)
 	}
 	out := strategy.Decision{}
 	j.lastBidFPs = make(map[string]float64, len(bestSpot))

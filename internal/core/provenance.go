@@ -1,0 +1,102 @@
+// Decision-provenance emission helpers for the two Decide paths. Every
+// call site is guarded on a non-nil *provenance.DecisionTrace, so
+// unobserved runs never reach this file.
+package core
+
+import (
+	"repro/internal/market"
+	"repro/internal/provenance"
+	"repro/internal/quorum"
+	"repro/internal/strategy"
+)
+
+// emitStage records the degradation stage a decision ran under,
+// marking transitions with the stage it moved from.
+func emitStage(dt *provenance.DecisionTrace, prev, cur DegradeStage) {
+	s := provenance.Span{Kind: provenance.SpanStage, Outcome: cur.String()}
+	if cur != prev {
+		s.Detail = "from " + prev.String()
+	}
+	dt.Emit(s)
+}
+
+// fallbackTraced is fallback with a closing "chosen" span naming why
+// no spot configuration was usable.
+func (j *Jupiter) fallbackTraced(view strategy.MarketView, spec strategy.ServiceSpec, dt *provenance.DecisionTrace, reason string) (strategy.Decision, error) {
+	if dt != nil {
+		dt.Emit(provenance.Span{Kind: provenance.SpanChosen, Outcome: "fallback", Detail: reason})
+	}
+	return j.fallback(view, spec)
+}
+
+func bidSum(bids []poolBid) market.Money {
+	var sum market.Money
+	for _, zb := range bids {
+		sum += zb.bid
+	}
+	return sum
+}
+
+// emitChosenZone records the chosen group of the homogeneous zone
+// path: one bid span per member and the closing chosen span with the
+// exact k-of-n availability and its Eq. 10 margin over the target.
+func (j *Jupiter) emitChosenZone(dt *provenance.DecisionTrace, spec strategy.ServiceSpec, byZone map[string]*poolSnapshot, spot []poolBid, od []string, target float64) {
+	n := len(spot) + len(od)
+	fps := make([]float64, 0, n)
+	var cost market.Money
+	for _, zb := range spot {
+		fp := j.FP0
+		var cur market.Money
+		if st := byZone[zb.zone]; st != nil {
+			fp = st.fpOf(zb.bid)
+			cur = st.cur
+		}
+		fps = append(fps, fp)
+		cost += zb.bid
+		dt.Emit(provenance.Span{Kind: provenance.SpanBid, Pool: zb.zone, BidMicroUSD: int64(zb.bid), CurMicroUSD: int64(cur), FP: fp})
+	}
+	for _, z := range od {
+		fps = append(fps, j.FP0)
+		dt.Emit(provenance.Span{Kind: provenance.SpanBid, Pool: z, Outcome: "on-demand", FP: j.FP0})
+	}
+	avail := quorum.ThresholdAvailability(spec.QuorumSize(n), fps)
+	dt.Emit(provenance.Span{
+		Kind: provenance.SpanChosen, Outcome: "ok", Nodes: n,
+		CostMicroUSD: int64(cost), Availability: avail, Target: target, Margin: avail - target,
+	})
+}
+
+// emitChosenPools is emitChosenZone over capacity-weighted pools: the
+// availability comes from the exact unit-quorum rule, and on-demand
+// members carry their fixed price as the bid.
+func (j *Jupiter) emitChosenPools(dt *provenance.DecisionTrace, spec strategy.ServiceSpec, byKey map[string]*poolSnapshot, spot []poolBid, spotUnits []int, od []odPoolCand, target float64) {
+	units := make([]int, 0, len(spot)+len(od))
+	fps := make([]float64, 0, len(spot)+len(od))
+	tot := 0
+	var cost market.Money
+	for i, pb := range spot {
+		fp := j.FP0
+		var cur market.Money
+		if st := byKey[pb.zone]; st != nil {
+			fp = st.fpOf(pb.bid)
+			cur = st.cur
+		}
+		units = append(units, spotUnits[i])
+		tot += spotUnits[i]
+		fps = append(fps, fp)
+		cost += pb.bid
+		dt.Emit(provenance.Span{Kind: provenance.SpanBid, Pool: pb.zone, BidMicroUSD: int64(pb.bid), CurMicroUSD: int64(cur), FP: fp})
+	}
+	for _, oc := range od {
+		units = append(units, oc.units)
+		tot += oc.units
+		fps = append(fps, j.FP0)
+		cost += oc.price
+		dt.Emit(provenance.Span{Kind: provenance.SpanBid, Pool: oc.key, Outcome: "on-demand", BidMicroUSD: int64(oc.price), FP: j.FP0})
+	}
+	avail := quorum.WeightedThresholdAvailability(spec.QuorumUnits(tot), units, fps)
+	dt.Emit(provenance.Span{
+		Kind: provenance.SpanChosen, Outcome: "ok", Nodes: len(spot) + len(od),
+		CostMicroUSD: int64(cost), Availability: avail, Target: target, Margin: avail - target,
+	})
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/market"
 	"repro/internal/modelcache"
+	"repro/internal/provenance"
 	"repro/internal/replay"
 	"repro/internal/strategy"
 	"repro/internal/trace"
@@ -81,6 +82,12 @@ type Env struct {
 	// unobserved — the replay hot path skips event construction
 	// entirely.
 	Observe func(spec strategy.ServiceSpec, strategyName string, intervalHours int64) []engine.Observer
+	// Spans, when set, supplies each replay cell's decision-provenance
+	// recorder (replay.Config.Spans). Called once per cell like
+	// Observe, under the same concurrency rules; a recorder belongs to
+	// one run, so the factory must return a fresh (or per-cell) one.
+	// Nil leaves decisions untraced.
+	Spans func(spec strategy.ServiceSpec, strategyName string, intervalHours int64) *provenance.Recorder
 }
 
 // DefaultEnv matches the paper's scale.
@@ -138,6 +145,10 @@ func (e Env) replayOne(set *trace.Set, spec strategy.ServiceSpec, strat strategy
 	if e.Observe != nil {
 		observers = e.Observe(spec, strat.Name(), intervalHours)
 	}
+	var spans *provenance.Recorder
+	if e.Spans != nil {
+		spans = e.Spans(spec, strat.Name(), intervalHours)
+	}
 	res, err := replay.Run(replay.Config{
 		Traces:                 set,
 		Start:                  e.TrainWeeks * Week,
@@ -150,6 +161,7 @@ func (e Env) replayOne(set *trace.Set, spec strategy.ServiceSpec, strat strategy
 		Observers:              observers,
 		Chaos:                  e.Chaos,
 		ChaosSeed:              e.ChaosSeed,
+		Spans:                  spans,
 	})
 	if err == nil {
 		// Per-run observers (telemetry.Collector) finalize open state —

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/market"
+	"repro/internal/modelcache"
+	"repro/internal/provenance"
+	"repro/internal/strategy"
+	"repro/internal/telemetry"
+)
+
+// seriesSum adds up every sample of one metric family in a Prometheus
+// exposition — the family's mass regardless of how many label
+// combinations it split into.
+func seriesSum(t *testing.T, exposition, family string) float64 {
+	t.Helper()
+	var sum float64
+	found := false
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, family+"{") && !strings.HasPrefix(line, family+" ") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable sample %q: %v", line, err)
+		}
+		sum += v
+		found = true
+	}
+	if !found {
+		t.Fatalf("metric family %q absent from exposition", family)
+	}
+	return sum
+}
+
+// TestLedgerReconciliation is the attribution ledger's accounting
+// invariant, checked against every shipped chaos scenario on two
+// independent markets: the (pool, cause) cost cells sum bit-exactly to
+// the run's billed total (replay.Result.Cost AND the Collector's
+// billing counter mass), and the attributed downtime minutes sum to
+// the run's downtime (replay.Result.DownMinutes AND the Collector's
+// downtime histogram mass). Every billed cent and every down minute
+// lands in exactly one cell — nothing double-counted, nothing dropped.
+func TestLedgerReconciliation(t *testing.T) {
+	models := modelcache.New() // scenarios and seeds salt the trace fingerprint, so sharing is safe
+	for _, name := range chaos.BuiltinNames() {
+		for _, seed := range []uint64{2014, 2015} {
+			t.Run(fmt.Sprintf("%s/seed-%d", name, seed), func(t *testing.T) {
+				sc := mustBuiltin(t, name)
+				e := QuickEnv()
+				e.Seed = seed
+				e.Chaos = &sc
+				e.Models = models
+
+				reg := telemetry.NewRegistry()
+				rec := provenance.NewRecorder(1)
+				led := provenance.NewLedger()
+				led.WatchStages(rec)
+				scenario := name
+				e.Observe = func(spec strategy.ServiceSpec, strategyName string, intervalHours int64) []engine.Observer {
+					return []engine.Observer{
+						telemetry.NewCollector(reg, telemetry.Labels{
+							Service:  "lock",
+							Strategy: strategyName,
+							Interval: fmt.Sprintf("%dh", intervalHours),
+							Scenario: scenario,
+						}),
+						led,
+					}
+				}
+				e.Spans = func(strategy.ServiceSpec, string, int64) *provenance.Recorder { return rec }
+
+				set, err := e.Traces(market.M1Small)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := e.replayOne(set, LockSpec(), core.New(), 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				a := led.Attribution()
+				var cellCost, cellDown int64
+				for _, c := range a.Cells {
+					cellCost += c.CostMicroUSD
+					cellDown += c.DownMinutes
+				}
+				if cellCost != a.TotalCostMicroUSD || cellDown != a.TotalDownMinutes {
+					t.Fatalf("cells sum to %d µ$ / %d min, totals say %d / %d",
+						cellCost, cellDown, a.TotalCostMicroUSD, a.TotalDownMinutes)
+				}
+				if a.TotalCostMicroUSD != int64(res.Cost) {
+					t.Errorf("attributed cost %d µ$ != run bill %d µ$", a.TotalCostMicroUSD, int64(res.Cost))
+				}
+				if a.TotalDownMinutes != res.DownMinutes {
+					t.Errorf("attributed downtime %d min != run downtime %d min", a.TotalDownMinutes, res.DownMinutes)
+				}
+
+				var sb strings.Builder
+				if err := reg.WritePrometheus(&sb); err != nil {
+					t.Fatal(err)
+				}
+				if billed := seriesSum(t, sb.String(), "jupiter_billing_microusd_total"); int64(billed) != a.TotalCostMicroUSD {
+					t.Errorf("billing counter mass %v µ$ != attributed cost %d µ$", billed, a.TotalCostMicroUSD)
+				}
+				if down := seriesSum(t, sb.String(), "jupiter_downtime_minutes_sum"); int64(down) != a.TotalDownMinutes {
+					t.Errorf("downtime histogram mass %v min != attributed downtime %d min", down, a.TotalDownMinutes)
+				}
+			})
+		}
+	}
+}
+
+// TestTournamentProvenanceJIdentity pins the determinism contract for
+// the observability outputs: a tournament run with spans and
+// attribution enabled emits byte-identical leaderboard JSON and
+// byte-identical span streams at any worker-pool width.
+func TestTournamentProvenanceJIdentity(t *testing.T) {
+	run := func(jobs int) (leaderboard, spans []byte) {
+		e := QuickEnv()
+		e.Jobs = jobs
+		res, err := e.Tournament(TournamentConfig{
+			Specs:      []string{"jupiter", "baseline"},
+			Scenarios:  []string{"calm", "reclaim-storm"},
+			Seeds:      []uint64{2014},
+			SpanSample: 4,
+			Attribute:  true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := provenance.WriteSpans(&buf, telemetry.SortedMeta("suite", "j-identity"), res.Spans); err != nil {
+			t.Fatal(err)
+		}
+		return js, buf.Bytes()
+	}
+	j1, s1 := run(1)
+	j4, s4 := run(4)
+	if !bytes.Equal(j1, j4) {
+		t.Errorf("leaderboard JSON differs between -j 1 and -j 4: %d vs %d bytes", len(j1), len(j4))
+	}
+	if !bytes.Equal(s1, s4) {
+		t.Errorf("span stream differs between -j 1 and -j 4: %d vs %d bytes", len(s1), len(s4))
+	}
+	// Sanity: the stream actually carries stamped spans from both cells.
+	for _, want := range []string{`"scenario":"reclaim-storm"`, `"scenario":"calm"`, `"strategy":"Jupiter"`} {
+		if !bytes.Contains(s1, []byte(want)) {
+			t.Errorf("span stream missing %s", want)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/engine"
 	"repro/internal/modelcache"
+	"repro/internal/provenance"
 	"repro/internal/strategy"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -41,6 +42,16 @@ type TournamentConfig struct {
 	// snapshot (and any manifest built from it) keys series by
 	// service/strategy/interval/scenario.
 	Registry *telemetry.Registry
+	// SpanSample, when positive, records decision-provenance spans for
+	// every cell, tracing every SpanSample-th decision (1 = all), and
+	// returns them stamped with the cell coordinates in
+	// TournamentResult.Spans — in grid order, so the stream is
+	// byte-identical at any Jobs setting.
+	SpanSample int
+	// Attribute attaches a provenance.Ledger to every cell and returns
+	// per-(strategy, scenario) cost/downtime attribution merged across
+	// seeds, so leaderboard rows can cite which cause broke each rival.
+	Attribute bool
 }
 
 // DefaultTournamentSeeds replays three independent markets; the first
@@ -88,6 +99,10 @@ type ScenarioScore struct {
 	// MeetsBound is the availability verdict: mean availability at
 	// least the clean baseline's minus epsilon.
 	MeetsBound bool `json:"meets_bound"`
+	// WorstCause, when the tournament ran with Attribute, names the
+	// attribution cause with the most downtime minutes under this
+	// scenario ("" when the strategy had none).
+	WorstCause string `json:"worst_cause,omitempty"`
 }
 
 // TournamentRow is one strategy's leaderboard line.
@@ -125,6 +140,22 @@ type TournamentResult struct {
 	Bound                float64          `json:"bound"`
 	Rows                 []TournamentRow  `json:"rows"`
 	Cells                []TournamentCell `json:"cells"`
+	// Attributions, with TournamentConfig.Attribute, carries the
+	// per-(strategy, scenario) cost/downtime ledger merged across
+	// seeds, in grid order.
+	Attributions []StrategyAttribution `json:"attributions,omitempty"`
+	// Spans, with TournamentConfig.SpanSample, carries every cell's
+	// stamped decision spans in grid order. Excluded from the
+	// leaderboard JSON — write them with provenance.WriteSpans.
+	Spans []provenance.Span `json:"-"`
+}
+
+// StrategyAttribution is one (strategy, scenario) attribution of the
+// tournament grid, merged across its seeds.
+type StrategyAttribution struct {
+	Strategy string `json:"strategy"`
+	Scenario string `json:"scenario"`
+	provenance.Attribution
 }
 
 // JSON renders the leaderboard for machines (leaderboard.json).
@@ -218,6 +249,16 @@ func (e Env) Tournament(cfg TournamentConfig) (*TournamentResult, error) {
 	// The grid, strategy-major so each strategy's cells are contiguous.
 	nS, nC, nK := len(builders), len(scenarios), len(seeds)
 	cells := make([]TournamentCell, nS*nC*nK)
+	// Provenance state lives in cell-indexed slices: each cell fills
+	// only its own slot, and everything is stamped and merged in grid
+	// order afterwards, so spans and attributions stay byte-identical
+	// at any Jobs setting.
+	var recs []*provenance.Recorder
+	var leds []*provenance.Ledger
+	if cfg.SpanSample > 0 || cfg.Attribute {
+		recs = make([]*provenance.Recorder, len(cells))
+		leds = make([]*provenance.Ledger, len(cells))
+	}
 	err = forEachCell(len(cells), e.Jobs, func(i int) error {
 		si := i / (nC * nK)
 		ci := (i / nK) % nC
@@ -237,6 +278,24 @@ func (e Env) Tournament(cfg TournamentConfig) (*TournamentResult, error) {
 			}
 		} else {
 			ce.Observe = nil
+		}
+		if recs != nil {
+			// A sample of 0 (Attribute without spans) still records at
+			// sample 1: the ledger reads stage spans for quarantine
+			// evidence.
+			rec := provenance.NewRecorder(cfg.SpanSample)
+			led := provenance.NewLedger()
+			led.WatchStages(rec)
+			recs[i], leds[i] = rec, led
+			ce.Spans = func(strategy.ServiceSpec, string, int64) *provenance.Recorder { return rec }
+			inner := ce.Observe
+			ce.Observe = func(spec strategy.ServiceSpec, strategyName string, intervalHours int64) []engine.Observer {
+				var obs []engine.Observer
+				if inner != nil {
+					obs = inner(spec, strategyName, intervalHours)
+				}
+				return append(obs, led)
+			}
 		}
 		strat := builders[si]()
 		res, err := ce.replayOne(sets[seeds[ki]], spec, strat, hours)
@@ -258,6 +317,38 @@ func (e Env) Tournament(cfg TournamentConfig) (*TournamentResult, error) {
 		return nil, err
 	}
 
+	// Stamp and concatenate spans, and merge per-(strategy, scenario)
+	// attributions across seeds, in grid order.
+	var allSpans []provenance.Span
+	var attribs []StrategyAttribution
+	if recs != nil {
+		if cfg.SpanSample > 0 {
+			for i, rec := range recs {
+				si := i / (nC * nK)
+				ci := (i / nK) % nC
+				ki := i % nK
+				rec.Stamp(provenance.Stamp{
+					Strategy: names[si], Scenario: scenarioNames[ci],
+					Service: "lock", Interval: fmt.Sprintf("%dh", hours), Seed: seeds[ki],
+				})
+				allSpans = append(allSpans, rec.Spans()...)
+			}
+		}
+		if cfg.Attribute {
+			for si := 0; si < nS; si++ {
+				for ci := 0; ci < nC; ci++ {
+					var merged provenance.Attribution
+					for ki := 0; ki < nK; ki++ {
+						merged = merged.Merge(leds[(si*nC+ci)*nK+ki].Attribution())
+					}
+					attribs = append(attribs, StrategyAttribution{
+						Strategy: names[si], Scenario: scenarioNames[ci], Attribution: merged,
+					})
+				}
+			}
+		}
+	}
+
 	// Fold cells into per-strategy rows.
 	rows := make([]TournamentRow, nS)
 	for si := 0; si < nS; si++ {
@@ -272,6 +363,9 @@ func (e Env) Tournament(cfg TournamentConfig) (*TournamentResult, error) {
 			score.MeanCostDollars /= float64(nK)
 			score.MeanAvailability /= float64(nK)
 			score.MeetsBound = score.MeanAvailability >= bound
+			if cfg.Attribute {
+				score.WorstCause = attribs[si*nC+ci].WorstCause()
+			}
 			if score.MeetsBound {
 				row.ScenariosMet++
 			}
@@ -326,6 +420,8 @@ func (e Env) Tournament(cfg TournamentConfig) (*TournamentResult, error) {
 		Bound:                bound,
 		Rows:                 rows,
 		Cells:                cells,
+		Attributions:         attribs,
+		Spans:                allSpans,
 	}, nil
 }
 
@@ -369,7 +465,13 @@ func RenderTournament(r *TournamentResult) string {
 			var miss []string
 			for _, s := range row.Scenarios {
 				if !s.MeetsBound {
-					miss = append(miss, s.Scenario)
+					// With attribution on, cite the cause that cost the
+					// most downtime under the missed scenario.
+					if s.WorstCause != "" {
+						miss = append(miss, fmt.Sprintf("%s (worst cause: %s)", s.Scenario, s.WorstCause))
+					} else {
+						miss = append(miss, s.Scenario)
+					}
 				}
 			}
 			worst = append(worst, fmt.Sprintf("%s misses %s", row.Strategy, strings.Join(miss, ", ")))

@@ -1,0 +1,175 @@
+package provenance
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/market"
+)
+
+// publish dispatches a scripted event stream through the ledger the
+// way the replay kernel would.
+func publish(l *Ledger, events []engine.Event) {
+	f := engine.Fanout{l}
+	for _, e := range events {
+		f.Publish(e)
+	}
+}
+
+// TestLedgerCostCauses scripts one of every termination mechanism and
+// checks each bill lands in its (pool, cause) cell, with the total
+// equal to the billed sum.
+func TestLedgerCostCauses(t *testing.T) {
+	l := NewLedger()
+	publish(l, []engine.Event{
+		// i-od: on-demand time.
+		{Minute: 0, Kind: engine.KindInstanceLaunched, Instance: "i-od", Zone: "us-east-1a"},
+		{Minute: 100, Kind: engine.KindInstanceTerminated, Instance: "i-od", Zone: "us-east-1a", Cause: market.TerminatedByUser},
+		{Minute: 100, Kind: engine.KindBillingClose, Instance: "i-od", Zone: "us-east-1a", Amount: 1000},
+		// i-served: spot rotated out by our own decision.
+		{Minute: 0, Kind: engine.KindInstanceLaunched, Instance: "i-served", Zone: "us-west-1b", Spot: true},
+		{Minute: 100, Kind: engine.KindInstanceTerminated, Instance: "i-served", Zone: "us-west-1b", Spot: true, Cause: market.TerminatedByUser},
+		{Minute: 100, Kind: engine.KindBillingClose, Instance: "i-served", Zone: "us-west-1b", Spot: true, Amount: 200},
+		// i-oob: ordinary market reclaim.
+		{Minute: 0, Kind: engine.KindInstanceLaunched, Instance: "i-oob", Zone: "us-west-1b", Spot: true},
+		{Minute: 50, Kind: engine.KindInstanceTerminated, Instance: "i-oob", Zone: "us-west-1b", Spot: true, Cause: market.TerminatedByProvider},
+		{Minute: 50, Kind: engine.KindBillingClose, Instance: "i-oob", Zone: "us-west-1b", Spot: true, Amount: 70},
+		// i-storm: per-victim fault marker precedes the forced reclaim.
+		{Minute: 0, Kind: engine.KindInstanceLaunched, Instance: "i-storm", Zone: "eu-west-1a", Spot: true},
+		{Minute: 60, Kind: engine.KindFaultInjected, Instance: "i-storm", Zone: "eu-west-1a", Fault: "reclaim-storm"},
+		{Minute: 60, Kind: engine.KindInstanceTerminated, Instance: "i-storm", Zone: "eu-west-1a", Spot: true, Cause: market.TerminatedByProvider},
+		{Minute: 60, Kind: engine.KindBillingClose, Instance: "i-storm", Zone: "eu-west-1a", Spot: true, Amount: 30},
+		// i-bo: provider reclaim inside an open zone-blackout window.
+		{Minute: 0, Kind: engine.KindInstanceLaunched, Instance: "i-bo", Zone: "ap-northeast-1a", Spot: true},
+		{Minute: 70, Kind: engine.KindFaultInjected, Zone: "ap-northeast-1a", Fault: "zone-blackout", Until: 200},
+		{Minute: 80, Kind: engine.KindInstanceTerminated, Instance: "i-bo", Zone: "ap-northeast-1a", Spot: true, Cause: market.TerminatedByProvider},
+		{Minute: 80, Kind: engine.KindBillingClose, Instance: "i-bo", Zone: "ap-northeast-1a", Spot: true, Amount: 40},
+		// A bill with no recorded termination must not lose money.
+		{Minute: 90, Kind: engine.KindBillingClose, Instance: "i-ghost", Zone: "sa-east-1a", Amount: 5},
+	})
+	a := l.Attribution()
+	want := map[[2]string]int64{
+		{"us-east-1a", CauseOnDemand}:        1000,
+		{"us-west-1b", CauseServed}:          200,
+		{"us-west-1b", CauseOutOfBid}:        70,
+		{"eu-west-1a", "reclaim-storm"}:      30,
+		{"ap-northeast-1a", "zone-blackout"}: 40,
+		{"sa-east-1a", CauseUnattributed}:    5,
+	}
+	if len(a.Cells) != len(want) {
+		t.Fatalf("cells = %+v, want %d causes", a.Cells, len(want))
+	}
+	for _, c := range a.Cells {
+		if want[[2]string{c.Pool, c.Cause}] != c.CostMicroUSD {
+			t.Fatalf("cell %s/%s = %d, want %d", c.Pool, c.Cause, c.CostMicroUSD, want[[2]string{c.Pool, c.Cause}])
+		}
+	}
+	if a.TotalCostMicroUSD != 1345 || l.TotalCost() != 1345 {
+		t.Fatalf("total = %d/%d, want 1345", a.TotalCostMicroUSD, l.TotalCost())
+	}
+}
+
+// TestLedgerDowntimeEvidence scripts downtime spans with each kind of
+// evidence and checks the cause priority and minute totals.
+func TestLedgerDowntimeEvidence(t *testing.T) {
+	l := NewLedger()
+	publish(l, []engine.Event{
+		// Span 1: out-of-bid evidence arrives while the span is open (the
+		// tracker publishes the down transition first).
+		{Minute: 100, Kind: engine.KindQuorumDown, Size: 2},
+		{Minute: 100, Kind: engine.KindInstanceTerminated, Instance: "i-1", Zone: "us-east-1c", Spot: true, Cause: market.TerminatedByProvider},
+		{Minute: 130, Kind: engine.KindQuorumUp, Size: 3},
+		// Span 2: a named fault beats out-of-bid.
+		{Minute: 200, Kind: engine.KindQuorumDown, Size: 2},
+		{Minute: 200, Kind: engine.KindInstanceTerminated, Instance: "i-2", Zone: "us-west-2b", Spot: true, Cause: market.TerminatedByProvider},
+		{Minute: 201, Kind: engine.KindFaultInjected, Instance: "i-3", Zone: "us-west-2b", Fault: "reclaim-storm"},
+		{Minute: 201, Kind: engine.KindInstanceTerminated, Instance: "i-3", Zone: "us-west-2b", Spot: true, Cause: market.TerminatedByProvider},
+		{Minute: 240, Kind: engine.KindQuorumUp, Size: 3},
+		// Span 3: replacements still starting, nothing else wrong.
+		{Minute: 300, Kind: engine.KindInstanceLaunched, Instance: "i-4", Zone: "eu-west-1a", Spot: true},
+		{Minute: 300, Kind: engine.KindQuorumDown, Size: 2},
+		{Minute: 310, Kind: engine.KindInstanceRunning, Instance: "i-4", Zone: "eu-west-1a", Spot: true},
+		{Minute: 310, Kind: engine.KindQuorumUp, Size: 3},
+	})
+	// Span 4: still open at run end, no evidence at all.
+	publish(l, []engine.Event{{Minute: 400, Kind: engine.KindQuorumDown, Size: 2}})
+	l.CloseRun(450)
+	l.CloseRun(450) // idempotent
+
+	a := l.Attribution()
+	type cell struct {
+		pool, cause string
+		min         int64
+	}
+	want := []cell{
+		{"us-east-1c", CauseOutOfBid, 30},
+		{"us-west-2b", "reclaim-storm", 40},
+		{"", CauseStartup, 10},
+		{"", CauseUnattributed, 50},
+	}
+	for _, w := range want {
+		found := false
+		for _, c := range a.Cells {
+			if c.Pool == w.pool && c.Cause == w.cause {
+				found = true
+				if c.DownMinutes != w.min {
+					t.Fatalf("cell %s/%s = %d minutes, want %d", w.pool, w.cause, c.DownMinutes, w.min)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("missing cell %s/%s in %+v", w.pool, w.cause, a.Cells)
+		}
+	}
+	if a.TotalDownMinutes != 130 {
+		t.Fatalf("total downtime = %d, want 130", a.TotalDownMinutes)
+	}
+}
+
+// TestLedgerQuarantineEvidence: with no event evidence, a non-healthy
+// degradation stage at the span's opening minute marks the downtime
+// quarantine-constrained.
+func TestLedgerQuarantineEvidence(t *testing.T) {
+	rec := NewRecorder(1)
+	dt := rec.Begin(90)
+	dt.Emit(Span{Kind: SpanStage, Outcome: "degraded", Detail: "from healthy"})
+
+	l := NewLedger()
+	l.WatchStages(rec)
+	publish(l, []engine.Event{
+		{Minute: 100, Kind: engine.KindQuorumDown, Size: 2},
+		{Minute: 120, Kind: engine.KindQuorumUp, Size: 3},
+	})
+	a := l.Attribution()
+	if len(a.Cells) != 1 || a.Cells[0].Cause != CauseQuarantine || a.Cells[0].DownMinutes != 20 {
+		t.Fatalf("quarantine attribution = %+v", a.Cells)
+	}
+
+	// A healthy stage before the span means no quarantine evidence.
+	rec2 := NewRecorder(1)
+	rec2.Begin(90).Emit(Span{Kind: SpanStage, Outcome: "healthy"})
+	l2 := NewLedger()
+	l2.WatchStages(rec2)
+	publish(l2, []engine.Event{
+		{Minute: 100, Kind: engine.KindQuorumDown, Size: 2},
+		{Minute: 120, Kind: engine.KindQuorumUp, Size: 3},
+	})
+	if a2 := l2.Attribution(); len(a2.Cells) != 1 || a2.Cells[0].Cause != CauseUnattributed {
+		t.Fatalf("healthy-stage attribution = %+v", a2.Cells)
+	}
+}
+
+// TestLedgerBlackoutWindowExpiry: a provider reclaim after the
+// blackout window closed is ordinary out-of-bid again.
+func TestLedgerBlackoutWindowExpiry(t *testing.T) {
+	l := NewLedger()
+	publish(l, []engine.Event{
+		{Minute: 0, Kind: engine.KindFaultInjected, Zone: "us-east-1a", Fault: "zone-blackout", Until: 50},
+		{Minute: 60, Kind: engine.KindInstanceTerminated, Instance: "i-1", Zone: "us-east-1a", Spot: true, Cause: market.TerminatedByProvider},
+		{Minute: 60, Kind: engine.KindBillingClose, Instance: "i-1", Zone: "us-east-1a", Spot: true, Amount: 10},
+	})
+	a := l.Attribution()
+	if len(a.Cells) != 1 || a.Cells[0].Cause != CauseOutOfBid {
+		t.Fatalf("expired blackout attribution = %+v", a.Cells)
+	}
+}

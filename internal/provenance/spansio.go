@@ -1,0 +1,72 @@
+package provenance
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SpansHeader is the first line of a spans stream.
+type SpansHeader struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	// Meta records the run configuration for provenance, mirroring
+	// telemetry.TraceHeader (encoding/json sorts map keys, so the
+	// header is deterministic).
+	Meta map[string]string `json:"meta,omitempty"`
+}
+
+// WriteSpans writes a versioned JSONL spans stream: one SpansHeader
+// line, then one line per span in slice order. Equal span slices write
+// byte-identical streams.
+func WriteSpans(w io.Writer, meta map[string]string, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(SpansHeader{Schema: SpansSchema, Version: SpansVersion, Meta: meta}); err != nil {
+		return err
+	}
+	for _, s := range spans {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSpans parses a spans stream back, validating the header and
+// reporting malformed lines by number.
+func ReadSpans(r io.Reader) (SpansHeader, []Span, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return SpansHeader{}, nil, err
+		}
+		return SpansHeader{}, nil, fmt.Errorf("provenance: empty spans stream")
+	}
+	var hdr SpansHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return SpansHeader{}, nil, fmt.Errorf("provenance: bad spans header: %w", err)
+	}
+	if hdr.Schema != SpansSchema {
+		return SpansHeader{}, nil, fmt.Errorf("provenance: not a spans stream (schema %q, want %q)", hdr.Schema, SpansSchema)
+	}
+	if hdr.Version > SpansVersion {
+		return SpansHeader{}, nil, fmt.Errorf("provenance: spans version %d newer than supported %d", hdr.Version, SpansVersion)
+	}
+	var spans []Span
+	line := 1
+	for sc.Scan() {
+		line++
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			return SpansHeader{}, nil, fmt.Errorf("provenance: spans line %d: %w", line, err)
+		}
+		spans = append(spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		return SpansHeader{}, nil, err
+	}
+	return hdr, spans, nil
+}

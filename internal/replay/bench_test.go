@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/market"
+	"repro/internal/provenance"
 	"repro/internal/strategy"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -62,13 +63,18 @@ func BenchmarkReplayWeekJupiter(b *testing.B) {
 // BenchmarkReplayObservers pins the telemetry cost model: None is the
 // pay-nothing baseline (no observer attached — the event hot path must
 // not regress relative to the pre-telemetry kernel), Collector adds
-// metric aggregation, Trace adds JSONL encoding.
+// metric aggregation, Trace adds JSONL encoding, Provenance adds
+// decision-span recording plus the attribution ledger.
 func BenchmarkReplayObservers(b *testing.B) {
 	set := benchSet(b)
-	run := func(b *testing.B, observers func(b *testing.B) []engine.Observer) {
+	run := func(b *testing.B, observers func(b *testing.B) []engine.Observer, spans func(b *testing.B) *provenance.Recorder) {
 		b.Helper()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
+			var rec *provenance.Recorder
+			if spans != nil {
+				rec = spans(b)
+			}
 			_, err := Run(Config{
 				Traces: set, Start: 6 * week,
 				Spec:            lockSpec(),
@@ -76,6 +82,7 @@ func BenchmarkReplayObservers(b *testing.B) {
 				IntervalMinutes: 60, Seed: uint64(i),
 				InjectHardwareFailures: true,
 				Observers:              observers(b),
+				Spans:                  rec,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -83,7 +90,7 @@ func BenchmarkReplayObservers(b *testing.B) {
 		}
 	}
 	b.Run("None", func(b *testing.B) {
-		run(b, func(b *testing.B) []engine.Observer { return nil })
+		run(b, func(b *testing.B) []engine.Observer { return nil }, nil)
 	})
 	b.Run("Collector", func(b *testing.B) {
 		reg := telemetry.NewRegistry()
@@ -92,7 +99,7 @@ func BenchmarkReplayObservers(b *testing.B) {
 				Service: "lock", Strategy: "Jupiter", Interval: "1h",
 			})
 			return []engine.Observer{c}
-		})
+		}, nil)
 	})
 	b.Run("Trace", func(b *testing.B) {
 		run(b, func(b *testing.B) []engine.Observer {
@@ -101,6 +108,17 @@ func BenchmarkReplayObservers(b *testing.B) {
 				b.Fatal(err)
 			}
 			return []engine.Observer{tw}
+		}, nil)
+	})
+	b.Run("Provenance", func(b *testing.B) {
+		var led *provenance.Ledger
+		run(b, func(b *testing.B) []engine.Observer {
+			return []engine.Observer{led}
+		}, func(b *testing.B) *provenance.Recorder {
+			rec := provenance.NewRecorder(1)
+			led = provenance.NewLedger()
+			led.WatchStages(rec)
+			return rec
 		})
 	})
 }

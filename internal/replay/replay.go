@@ -24,6 +24,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/market"
 	"repro/internal/modelcache"
+	"repro/internal/provenance"
 	"repro/internal/strategy"
 	"repro/internal/trace"
 )
@@ -105,6 +106,11 @@ type Config struct {
 	// once and shared; the cache is safe for concurrent runs. Leave nil
 	// for strategy-private caching.
 	Models *modelcache.Cache
+	// Spans, when set, is the decision-provenance recorder handed to
+	// the strategy (any strategy implementing provenance.Consumer —
+	// Jupiter and its wrappers do). Unlike Models, a recorder belongs
+	// to ONE run; sweeps allocate one per cell and stamp/merge after.
+	Spans *provenance.Recorder
 }
 
 // Result is the outcome of a replay.
@@ -253,6 +259,11 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Models != nil {
 		if c, ok := cfg.Strategy.(modelcache.Consumer); ok {
 			c.UseModelCache(cfg.Models)
+		}
+	}
+	if cfg.Spans != nil {
+		if c, ok := cfg.Strategy.(provenance.Consumer); ok {
+			c.UseRecorder(cfg.Spans)
 		}
 	}
 	traces := cfg.Traces

@@ -59,6 +59,13 @@ func NewLogHistogram(lo, hi float64, perDecade int) *LogHistogram {
 // Observe records one observation.
 func (h *LogHistogram) Observe(x float64) {
 	h.total++
+	if math.IsNaN(x) {
+		// NaN fails every comparison, so the switch below would index one
+		// past the last bucket; count it under (like other unplaceable
+		// values) and keep it out of the sum, which it would poison.
+		h.Under++
+		return
+	}
 	h.sum += x
 	switch {
 	case x < h.Lo:

@@ -72,6 +72,40 @@ func TestLogHistogramBucketEdges(t *testing.T) {
 	}
 }
 
+// TestLogHistogramExtremes pins the unplaceable edges of the domain:
+// zero and negatives count under (a log scale has nowhere to put
+// them), +Inf counts over, and NaN counts under WITHOUT panicking or
+// poisoning the sum — NaN fails every bound comparison, so the naive
+// bucket search would index past the last bucket.
+func TestLogHistogramExtremes(t *testing.T) {
+	h := NewLogHistogram(1, 1000, 1)
+	h.Observe(0)
+	h.Observe(-42)
+	if h.Under != 2 {
+		t.Fatalf("Under = %d after zero and negative, want 2", h.Under)
+	}
+	h.Observe(math.Inf(1))
+	if h.Over != 1 {
+		t.Fatalf("Over = %d after +Inf, want 1", h.Over)
+	}
+	if !math.IsInf(h.Sum(), 1) {
+		t.Fatalf("Sum = %g after +Inf, want +Inf", h.Sum())
+	}
+
+	h2 := NewLogHistogram(1, 1000, 1)
+	h2.Observe(7)
+	h2.Observe(math.NaN())
+	if h2.Total() != 2 {
+		t.Fatalf("Total = %d after NaN, want 2", h2.Total())
+	}
+	if h2.Under != 1 {
+		t.Fatalf("Under = %d after NaN, want 1", h2.Under)
+	}
+	if h2.Sum() != 7 {
+		t.Fatalf("Sum = %g after NaN, want 7 (NaN must not poison the sum)", h2.Sum())
+	}
+}
+
 func TestLogHistogramRelativeResolution(t *testing.T) {
 	// Equal numbers of buckets per decade regardless of magnitude.
 	h := NewLogHistogram(0.01, 100, 4)

@@ -153,6 +153,39 @@ func TestCollectorsSharedRegistry(t *testing.T) {
 	}
 }
 
+// TestCollectorScenarioLabel pins the Labels.Scenario contract: a
+// scenario-stamped collector widens every series schema by one label,
+// and mixing stamped and unstamped collectors on one registry is a
+// schema conflict caught at construction — a tournament sets Scenario
+// on every cell or on none.
+func TestCollectorScenarioLabel(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg, Labels{Service: "lock", Strategy: "Jupiter", Interval: "3h", Scenario: "storm-surge"})
+	f := engine.Fanout{c}
+	f.Publish(engine.Event{Minute: 1, Kind: engine.KindInstanceTerminated,
+		Zone: "us-east-1a", Spot: true, Cause: market.TerminatedByProvider})
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `jupiter_out_of_bid_total{service="lock",strategy="Jupiter",interval="3h",scenario="storm-surge",zone="us-east-1a"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("missing scenario-labelled series %q in:\n%s", want, sb.String())
+	}
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("mixing empty and non-empty Scenario on one registry did not panic")
+		}
+		msg := r.(string)
+		if !strings.Contains(msg, "different schema") && !strings.Contains(msg, "different labels") {
+			t.Fatalf("panic %q, want a schema/label conflict", msg)
+		}
+	}()
+	NewCollector(reg, Labels{Service: "lock", Strategy: "Jupiter", Interval: "6h"})
+}
+
 // TestCollectorHotPathNoAlloc pins the collector's pay-for-what-you-use
 // promise: once a zone's handles exist, folding an event into metrics
 // allocates nothing.

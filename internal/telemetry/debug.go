@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -29,6 +30,10 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -42,5 +47,15 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 // Addr returns the bound address, useful with ":0".
 func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
 
-// Close stops serving.
-func (s *DebugServer) Close() error { return s.srv.Close() }
+// Close stops serving, draining in-flight requests: a /metrics scrape
+// or pprof download racing run end completes instead of getting its
+// connection cut. Requests still open after the grace period are cut
+// by the forced close.
+func (s *DebugServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}

@@ -2,7 +2,9 @@ package telemetry
 
 import (
 	"bytes"
+	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
@@ -43,6 +45,51 @@ func TestDebugServerMetricsAndPprof(t *testing.T) {
 	if code, _ = get("/debug/pprof/"); code != http.StatusOK {
 		t.Fatalf("/debug/pprof/ -> %d", code)
 	}
+	if code, body = get("/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz -> %d: %q", code, body)
+	}
+}
+
+func TestDebugServerGracefulClose(t *testing.T) {
+	srv, err := ServeDebug("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	// A request in flight when Close begins must complete: Shutdown
+	// drains instead of cutting connections.
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}
+		done <- err
+	}()
+	<-started
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := <-done; err != nil {
+		// The request may race the listener closing entirely before it
+		// connects; only a cut established connection is a failure.
+		if !strings.Contains(err.Error(), "connection refused") {
+			t.Fatalf("in-flight request: %v", err)
+		}
+	}
+	// After Close the listener is gone.
+	if _, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		t.Fatalf("listener still accepting after Close")
+	}
+	// Close is idempotent (Shutdown on a closed server returns ErrServerClosed
+	// and falls back to Close, which is a no-op error-wise).
+	srv.Close()
 }
 
 func TestManifestRoundTrip(t *testing.T) {
