@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strings"
 	"text/tabwriter"
@@ -27,8 +28,9 @@ func runCompare(args []string, out io.Writer) (bool, error) {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 	metrics := fs.String("metric", "ns/op,allocs/op", "comma-separated metrics to compare (mean values)")
 	threshold := fs.Float64("threshold", 0.10, "relative increase counted as a regression (0.10 = 10%)")
+	benchRE := fs.String("bench", "", "regexp restricting the comparison to matching benchmark names (empty = all)")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: benchjson compare [-metric m1,m2] [-threshold F] old.json new.json")
+		fmt.Fprintln(fs.Output(), "usage: benchjson compare [-metric m1,m2] [-threshold F] [-bench regexp] old.json new.json")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -36,6 +38,14 @@ func runCompare(args []string, out io.Writer) (bool, error) {
 	}
 	if fs.NArg() != 2 {
 		return false, fmt.Errorf("want exactly two report files, got %d", fs.NArg())
+	}
+	var nameRE *regexp.Regexp
+	if *benchRE != "" {
+		re, err := regexp.Compile(*benchRE)
+		if err != nil {
+			return false, fmt.Errorf("bad -bench regexp: %w", err)
+		}
+		nameRE = re
 	}
 	oldRep, err := readReport(fs.Arg(0))
 	if err != nil {
@@ -60,6 +70,9 @@ func runCompare(args []string, out io.Writer) (bool, error) {
 	var rows []comparison
 	var missing []string
 	for _, nb := range newRep.Benchmarks {
+		if nameRE != nil && !nameRE.MatchString(nb.Name) {
+			continue
+		}
 		ob, ok := oldBy[nb.Name]
 		if !ok {
 			missing = append(missing, nb.Name+" (new)")
@@ -90,6 +103,9 @@ func runCompare(args []string, out io.Writer) (bool, error) {
 		}
 	}
 	for _, ob := range oldRep.Benchmarks {
+		if nameRE != nil && !nameRE.MatchString(ob.Name) {
+			continue
+		}
 		found := false
 		for _, nb := range newRep.Benchmarks {
 			if nb.Name == ob.Name {
@@ -102,6 +118,9 @@ func runCompare(args []string, out io.Writer) (bool, error) {
 		}
 	}
 	if len(rows) == 0 {
+		if nameRE != nil {
+			return false, fmt.Errorf("no common benchmarks matching %q with metrics %s", *benchRE, *metrics)
+		}
 		return false, fmt.Errorf("no common benchmarks with metrics %s", *metrics)
 	}
 

@@ -85,6 +85,28 @@ func TestRunCompare(t *testing.T) {
 		t.Fatalf("1%% threshold: regressed=%v err=%v", regressed, err)
 	}
 
+	// -bench restricts the verdict to matching names: the +50% allocs
+	// regression on Decide is invisible when only Refine is compared,
+	// and fatal again when the filter matches it.
+	buf.Reset()
+	if regressed, err = runCompare([]string{"-bench", "Refine", old, bad}, &buf); err != nil || regressed {
+		t.Fatalf("-bench Refine: regressed=%v err=%v\n%s", regressed, err, buf.String())
+	}
+	if strings.Contains(buf.String(), "BenchmarkDecide-8") {
+		t.Fatalf("-bench Refine output still mentions Decide:\n%s", buf.String())
+	}
+	buf.Reset()
+	if regressed, err = runCompare([]string{"-bench", "Decide", old, bad}, &buf); err != nil || !regressed {
+		t.Fatalf("-bench Decide: regressed=%v err=%v\n%s", regressed, err, buf.String())
+	}
+	// A filter matching nothing in common is an explicit error.
+	if _, err := runCompare([]string{"-bench", "NoSuch", old, bad}, &buf); err == nil || !strings.Contains(err.Error(), "no common benchmarks") {
+		t.Fatalf("empty -bench match error = %v", err)
+	}
+	if _, err := runCompare([]string{"-bench", "(", old, bad}, &buf); err == nil || !strings.Contains(err.Error(), "bad -bench regexp") {
+		t.Fatalf("bad regexp error = %v", err)
+	}
+
 	// Disjoint reports are an explicit error, not a silent pass.
 	lone := writeReport(t, "lone.json", report{Benchmarks: []benchResult{bench("BenchmarkOther-8", 5, 5)}})
 	if _, err := runCompare([]string{old, lone}, &buf); err == nil || !strings.Contains(err.Error(), "no common benchmarks") {

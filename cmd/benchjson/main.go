@@ -7,7 +7,7 @@
 //
 //	go test -bench . -benchmem -count 5 ./... | benchjson -o BENCH_5.json
 //	benchjson -o BENCH_5.json bench-output.txt
-//	benchjson compare [-metric ns/op,allocs/op] [-threshold 0.10] old.json new.json
+//	benchjson compare [-metric ns/op,allocs/op] [-threshold 0.10] [-bench regexp] old.json new.json
 //
 // Every `BenchmarkName-P  N  V unit  [V unit ...]` line becomes a
 // sample of its benchmark; repeated lines (from -count or multiple
@@ -15,8 +15,11 @@
 // lines are ignored, so raw `go test` output can be piped in whole.
 //
 // The compare subcommand diffs two reports' metric means and exits 1
-// when any benchmark regressed by more than the threshold — CI runs it
-// against the last committed BENCH file as a warn-only step.
+// when any benchmark regressed by more than the threshold; -bench
+// restricts the diff to matching benchmark names. CI runs it twice
+// against the last committed BENCH file: warn-only across the whole
+// report, and as a hard gate on the SweepSharedCache family at a 15%
+// threshold.
 package main
 
 import (

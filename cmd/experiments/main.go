@@ -11,13 +11,16 @@
 //	            [-spans-out file.jsonl] [-spans-sample N] [-attrib-out file.json]
 //	experiments tournament [-strategies specs | -roster file] [-scenarios names]
 //	            [-seeds a,b,c] [-weeks N] [-train N] [-interval H] [-epsilon F] [-j N]
-//	            [-json file] [-manifest file] [-list]
+//	            [-autoscale] [-json file] [-manifest file] [-list]
 //	            [-spans file.jsonl] [-spans-sample N] [-attrib file.json]
 //
 // The tournament subcommand runs the strategy arena: every registered
 // strategy of the roster replays under every chaos scenario and seed,
 // and a leaderboard ranks them by availability bounds met, then mean
-// cost (see DESIGN.md §2.7).
+// cost (see DESIGN.md §2.7). With -autoscale, every cell and the
+// clean baseline replay under a per-seed synthetic request-rate trace
+// (diurnal sinusoid plus flash crowds), so strategies are judged while
+// their fleets resize gradually (DESIGN.md §2.9).
 //
 // Telemetry: -events-out streams every replay cell's event history to
 // one JSONL file (cells of a parallel sweep interleave; use -j 1 for a

@@ -31,6 +31,7 @@ func runTournament(args []string) error {
 	jobs := fs.Int("j", runtime.NumCPU(), "worker-pool width for grid cells")
 	interval := fs.Int64("interval", 3, "bidding interval in hours")
 	epsilon := fs.Float64("epsilon", experiments.DefaultTournamentEpsilon, "availability slack below the clean baseline")
+	autoscale := fs.Bool("autoscale", false, "arm every cell (and the baseline) with a per-seed synthetic diurnal+flash-crowd workload so fleets resize during the run")
 	jsonOut := fs.String("json", "", "write the leaderboard as JSON to this file ('-' = stdout)")
 	manifestOut := fs.String("manifest", "", "write an end-of-run telemetry manifest (JSON) to this file ('-' = stdout)")
 	spansOut := fs.String("spans", "", "write every cell's decision-provenance spans as JSONL to this file (see cmd/analyze explain)")
@@ -62,6 +63,7 @@ func runTournament(args []string) error {
 	cfg := experiments.TournamentConfig{
 		IntervalHours: *interval,
 		Epsilon:       *epsilon,
+		Autoscale:     *autoscale,
 	}
 	if *strategies != "" && *roster != "" {
 		return fmt.Errorf("tournament: -strategies and -roster are mutually exclusive")
@@ -169,14 +171,18 @@ func runTournament(args []string) error {
 		for i, s := range res.Seeds {
 			seeds[i] = strconv.FormatUint(s, 10)
 		}
-		m := telemetry.NewManifest("experiments tournament", res.Seeds[0], map[string]string{
+		kv := map[string]string{
 			"seeds":     strings.Join(seeds, ","),
 			"scenarios": strings.Join(res.Scenarios, ","),
 			"weeks":     strconv.FormatInt(*weeks, 10),
 			"train":     strconv.FormatInt(*train, 10),
 			"interval":  strconv.FormatInt(*interval, 10),
 			"jobs":      strconv.Itoa(*jobs),
-		}, start, reg)
+		}
+		if *autoscale {
+			kv["autoscale"] = "true"
+		}
+		m := telemetry.NewManifest("experiments tournament", res.Seeds[0], kv, start, reg)
 		if err := m.WriteFile(*manifestOut); err != nil {
 			return err
 		}

@@ -18,10 +18,10 @@ import (
 // the reason in the commit.)
 const goldenEventsSHA256 = "5024363114c270e71d867cb5f66b5bf607bc4928c96be0426c92c964b75d7e40"
 
-func TestReplayEventTraceGolden(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-second full replay; skipped in -short")
-	}
+// goldenRun executes the pinned configuration (plus any tweaks) and
+// returns the event trace's hex SHA-256.
+func goldenRun(t *testing.T, tweak func(*options)) string {
+	t.Helper()
 	out := filepath.Join(t.TempDir(), "events.jsonl")
 	o := options{
 		stratName:    "jupiter",
@@ -32,6 +32,9 @@ func TestReplayEventTraceGolden(t *testing.T) {
 		seed:         2014,
 		jobs:         1,
 		eventsOut:    out,
+	}
+	if tweak != nil {
+		tweak(&o)
 	}
 	// The detailed report goes to stdout; silence it for the test run.
 	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
@@ -54,7 +57,32 @@ func TestReplayEventTraceGolden(t *testing.T) {
 		t.Fatal("empty event trace")
 	}
 	sum := sha256.Sum256(data)
-	if got := hex.EncodeToString(sum[:]); got != goldenEventsSHA256 {
+	return hex.EncodeToString(sum[:])
+}
+
+func TestReplayEventTraceGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second full replay; skipped in -short")
+	}
+	if got := goldenRun(t, nil); got != goldenEventsSHA256 {
 		t.Fatalf("event trace hash %s, want %s — the replay is no longer byte-identical", got, goldenEventsSHA256)
+	}
+}
+
+// TestReplayEventTraceGoldenFlatWorkload pins the autoscaler's arming
+// rule end to end: a -workload whose rate is constant (and whose plan
+// never leaves the spec's base size) must leave the entire run — event
+// trace metadata included — byte-identical to the fixed-n golden.
+func TestReplayEventTraceGoldenFlatWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second full replay; skipped in -short")
+	}
+	wlFile := filepath.Join(t.TempDir(), "flat.csv")
+	if err := os.WriteFile(wlFile, []byte("minute,rps\n0,3000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := goldenRun(t, func(o *options) { o.workloadFile = wlFile })
+	if got != goldenEventsSHA256 {
+		t.Fatalf("flat-workload event trace hash %s, want %s — the constant workload perturbed the run", got, goldenEventsSHA256)
 	}
 }

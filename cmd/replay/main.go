@@ -7,7 +7,7 @@
 //	replay [-strategy jupiter|baseline|extra] [-extra-nodes N] [-extra-portion P]
 //	       [-service lock|storage] [-interval H[,H...]] [-weeks N] [-train N] [-seed N]
 //	       [-types a,b,c] [-min-vcpu N] [-min-mem G]
-//	       [-trace file.csv] [-j N] [-model-stats]
+//	       [-trace file.csv] [-workload file.csv] [-j N] [-model-stats]
 //	       [-chaos scenario] [-chaos-seed N]
 //	       [-events-out file.jsonl] [-manifest file.json] [-debug-addr host:port]
 //	       [-mutex-profile-fraction N] [-block-profile-rate N]
@@ -18,6 +18,15 @@
 // strategies bid across the whole portfolio with capacity-weighted
 // quorums. -min-vcpu / -min-mem constrain which instance shapes may
 // host the service; a constraint rejecting every pool is an error.
+//
+// -workload arms traffic-driven autoscaling from a request-rate CSV
+// ("minute,rps", see cmd/tracegen workload): between interval
+// boundaries the group gradually grows toward the load target
+// (charging each new member its view-change/startup delay before it
+// counts toward quorum) and drains surplus one member at a time, each
+// detach re-verified against the quorum floor and the Eq. 10
+// availability bound. A flat workload — or none — reproduces the
+// paper's fixed-n runs byte-identically.
 //
 // Without -trace, a synthetic trace set is generated from the seed.
 // With several comma-separated intervals, the cells replay on a worker
@@ -64,6 +73,7 @@ import (
 	"repro/internal/strategy"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // options carries the parsed command line.
@@ -77,6 +87,7 @@ type options struct {
 	train        int64
 	seed         uint64
 	traceFile    string
+	workloadFile string
 	seriesOut    string
 	jobs         int
 	modelStats   bool
@@ -94,6 +105,12 @@ type options struct {
 	typesSpec    string
 	minVCPU      int
 	minMem       float64
+
+	// workloadArmed is set by run() when the workload's autoscaler plan
+	// actually moves the group size; trace metadata carries the workload
+	// keys only then, so constant-workload headers stay byte-identical
+	// to fixed-size ones.
+	workloadArmed bool
 }
 
 func main() {
@@ -107,6 +124,7 @@ func main() {
 	flag.Int64Var(&o.train, "train", 13, "training prefix in weeks")
 	flag.Uint64Var(&o.seed, "seed", 2014, "seed")
 	flag.StringVar(&o.traceFile, "trace", "", "CSV trace file (default: synthetic)")
+	flag.StringVar(&o.workloadFile, "workload", "", "request-rate CSV (minute,rps): autoscale the group to the traffic between interval boundaries")
 	flag.StringVar(&o.seriesOut, "series", "", "write per-interval downtime series CSV to this file ('-' = stdout); single interval only")
 	flag.IntVar(&o.jobs, "j", runtime.NumCPU(), "worker-pool width for an interval sweep (1 = sequential; results are identical either way)")
 	flag.BoolVar(&o.modelStats, "model-stats", false, "print the shared price-model cache's hit/train counters at the end")
@@ -273,6 +291,11 @@ func traceMeta(o options) map[string]string {
 			"chaos", o.chaosSpec,
 			"chaos-seed", strconv.FormatUint(o.chaosSeed, 10))
 	}
+	// The workload key appears only when the autoscaler is actually
+	// armed, so constant-workload runs stay byte-identical to fixed-n.
+	if o.workloadArmed {
+		kv = append(kv, "workload", o.workloadFile)
+	}
 	// Pool keys, likewise, appear only on heterogeneous runs so
 	// zone-only trace headers stay byte-identical.
 	if o.typesSpec != "" {
@@ -361,6 +384,31 @@ func run(o options) error {
 		return err
 	}
 
+	var wl *workload.Trace
+	var wlReport *trace.ReadReport
+	if o.workloadFile != "" {
+		f, werr := os.Open(o.workloadFile)
+		if werr != nil {
+			return werr
+		}
+		mode := trace.Strict
+		if o.lenient {
+			mode = trace.Lenient
+		}
+		wl, wlReport, err = workload.ReadCSVMode(f, o.train*experiments.Week, (o.train+o.weeks)*experiments.Week, mode)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		// Mirror the replay kernel's arming rule so the trace metadata
+		// reflects whether the run can differ from fixed-n at all.
+		plan, perr := workload.DefaultAutoscaler(spec.BaseNodes).Plan(wl)
+		if perr != nil {
+			return perr
+		}
+		o.workloadArmed = !plan.Constant() || plan.TargetAt(plan.Start) != spec.BaseNodes
+	}
+
 	var chaosSc *chaos.Scenario
 	if o.chaosSpec != "" {
 		sc, cerr := chaos.Load(o.chaosSpec)
@@ -379,6 +427,11 @@ func run(o options) error {
 		fmt.Fprintf(os.Stderr, "replay: quarantined %d malformed trace rows: %v\n",
 			readReport.Quarantined, readReport.Reasons)
 		telemetry.RecordQuarantinedRows(sink.reg, o.traceFile, readReport)
+	}
+	if wlReport != nil && wlReport.Quarantined > 0 {
+		fmt.Fprintf(os.Stderr, "replay: quarantined %d malformed workload rows: %v\n",
+			wlReport.Quarantined, wlReport.Reasons)
+		telemetry.RecordQuarantinedRows(sink.reg, o.workloadFile, wlReport)
 	}
 
 	// Decision provenance: one recorder/ledger pair per sweep cell,
@@ -427,6 +480,7 @@ func run(o options) error {
 			Chaos:                  chaosSc,
 			ChaosSeed:              o.chaosSeed,
 			Spans:                  spans,
+			Workload:               wl,
 		})
 		if res != nil {
 			if col != nil {

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	tracegen [-type m1.small|m3.large] [-types a,b,c] [-weeks N] [-seed N] [-zones a,b,c] [-format csv|json] [-o file]
+//	tracegen workload [-weeks N] [-seed N] [-base-rps R] [-amplitude A]
+//	         [-crowds-per-week C] [-flash-factor F] [-flash-minutes M] [-o file]
 //
 // -types adds correlated sibling pools: each listed type gets its own
 // price column per zone, sharing the zone's demand shocks (level-walk
@@ -12,6 +14,10 @@
 // type's own price ladder. Rows for non-base types carry a fourth
 // (CSV) / "type" (JSON) column; zone-only output is byte-identical to
 // a run without -types.
+//
+// The "workload" subcommand generates a synthetic request-rate trace
+// instead — a diurnal sinusoid overlaid with seeded flash crowds — in
+// the "minute,rps" CSV layout that cmd/replay's -workload flag reads.
 package main
 
 import (
@@ -23,9 +29,18 @@ import (
 
 	"repro/internal/market"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "workload" {
+		if err := runWorkload(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	itype := flag.String("type", "m1.small", "base instance type (any cataloged type, e.g. m1.small, m3.large)")
 	types := flag.String("types", "", "comma-separated extra instance types, one correlated pool per (zone, type)")
 	weeks := flag.Int64("weeks", 13, "trace length in weeks")
@@ -39,6 +54,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
+}
+
+// openOut resolves the -o flag ('-' = stdout).
+func openOut(out string) (io.Writer, func() error, error) {
+	if out == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
 }
 
 func run(itype, types string, weeks int64, seed uint64, zones, format, out string) error {
@@ -61,21 +88,61 @@ func run(itype, types string, weeks int64, seed uint64, zones, format, out strin
 	if err != nil {
 		return err
 	}
-	var w io.Writer = os.Stdout
-	if out != "-" {
-		f, err := os.Create(out)
-		if err != nil {
-			return err
+	w, closeOut, err := openOut(out)
+	if err != nil {
+		return err
+	}
+	if err := func() error {
+		switch format {
+		case "csv":
+			return set.WriteCSV(w)
+		case "json":
+			return set.WriteJSON(w)
+		default:
+			return fmt.Errorf("unknown format %q", format)
 		}
-		defer f.Close()
-		w = f
+	}(); err != nil {
+		closeOut()
+		return err
 	}
-	switch format {
-	case "csv":
-		return set.WriteCSV(w)
-	case "json":
-		return set.WriteJSON(w)
-	default:
-		return fmt.Errorf("unknown format %q", format)
+	return closeOut()
+}
+
+// runWorkload is the "workload" subcommand: a synthetic request-rate
+// trace in the minute,rps CSV layout of internal/workload.
+func runWorkload(args []string) error {
+	fs := flag.NewFlagSet("tracegen workload", flag.ExitOnError)
+	weeks := fs.Int64("weeks", 1, "workload length in weeks")
+	seed := fs.Uint64("seed", 2014, "generator seed")
+	baseRPS := fs.Float64("base-rps", 0, "diurnal mean request rate (0 = generator default)")
+	amplitude := fs.Float64("amplitude", 0, "daily sinusoid swing in [0, 1) (0 = generator default)")
+	crowds := fs.Float64("crowds-per-week", 0, "expected flash crowds per week (0 = generator default)")
+	flashFactor := fs.Float64("flash-factor", 0, "maximum flash-crowd rate multiplier (0 = generator default)")
+	flashMinutes := fs.Int64("flash-minutes", 0, "mean flash-crowd duration in minutes (0 = generator default)")
+	out := fs.String("o", "-", "output file ('-' = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
+	wl, err := workload.Generate(workload.GenConfig{
+		Seed:               *seed,
+		Start:              0,
+		End:                *weeks * 7 * 24 * 60,
+		BaseRPS:            *baseRPS,
+		DailyAmplitude:     *amplitude,
+		FlashCrowdsPerWeek: *crowds,
+		FlashFactor:        *flashFactor,
+		FlashMinutes:       *flashMinutes,
+	})
+	if err != nil {
+		return err
+	}
+	w, closeOut, err := openOut(*out)
+	if err != nil {
+		return err
+	}
+	if err := wl.WriteCSV(w); err != nil {
+		closeOut()
+		return err
+	}
+	return closeOut()
 }

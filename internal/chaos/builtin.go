@@ -54,6 +54,23 @@ var builtins = map[string]Scenario{
 			{Kind: PriceSpike, Factor: 5, From: 2880, Until: 2880 + 4*60},
 		},
 	},
+	"flash-crowd": {
+		Name:        "flash-crowd",
+		Description: "Traffic triples for 4 hours on day 2: the autoscaler must grow through the crowd and drain back after it.",
+		Seed:        71,
+		Injectors: []Injector{
+			{Kind: FlashCrowd, Factor: 3, From: 1500, Until: 1500 + 4*60},
+		},
+	},
+	"flash-crowd+reclaim-storm": {
+		Name:        "flash-crowd+reclaim-storm",
+		Description: "Compound: a 3x flash crowd on day 2 with a correlated reclaim storm landing mid-crowd.",
+		Seed:        73,
+		Injectors: []Injector{
+			{Kind: FlashCrowd, Factor: 3, From: 1500, Until: 1500 + 4*60},
+			{Kind: ReclaimStorm, Count: 3, SpreadMinutes: 30, From: 1560},
+		},
+	},
 	"stale-feed": {
 		Name:        "stale-feed",
 		Description: "Price feed silent for 12 hours: strategies decide on stale prices and clamped history.",

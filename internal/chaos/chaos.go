@@ -29,6 +29,11 @@
 //   - trace-gap: the price feed goes silent over [From, Until): the
 //     strategy sees the last pre-gap price (with growing age) and no
 //     history from inside the gap.
+//   - flash-crowd: the replay's request-rate workload is multiplied by
+//     Factor over [From, Until) — a load event, not an infrastructure
+//     fault: it rewrites the workload trace before the autoscaler plans
+//     over it, schedules no provider actions, and is inert in a run
+//     without a workload.
 //
 // All windows are in minutes relative to the replay's start.
 package chaos
@@ -48,6 +53,7 @@ const (
 	RequestDelay = "request-delay"
 	RequestLoss  = "request-loss"
 	TraceGap     = "trace-gap"
+	FlashCrowd   = "flash-crowd"
 )
 
 // Injector is one declarative fault source of a scenario.
@@ -63,7 +69,8 @@ type Injector struct {
 	// (zone-blackout, price-spike, request-delay, request-loss,
 	// trace-gap), relative to the replay start.
 	Until int64 `json:"until,omitempty"`
-	// Factor multiplies the trace price (price-spike; > 0).
+	// Factor multiplies the trace price (price-spike) or the workload
+	// request rate (flash-crowd); > 0.
 	Factor float64 `json:"factor,omitempty"`
 	// Count is the number of storm victims (reclaim-storm; >= 1).
 	Count int `json:"count,omitempty"`
@@ -80,7 +87,7 @@ type Injector struct {
 // windowed reports whether the kind requires an Until > From window.
 func windowed(kind string) bool {
 	switch kind {
-	case ZoneBlackout, PriceSpike, RequestDelay, RequestLoss, TraceGap:
+	case ZoneBlackout, PriceSpike, RequestDelay, RequestLoss, TraceGap, FlashCrowd:
 		return true
 	}
 	return false
@@ -103,7 +110,7 @@ func (inj Injector) validate(i int) error {
 		if inj.SpreadMinutes < 0 {
 			return e("spread_minutes %d < 0", inj.SpreadMinutes)
 		}
-	case PriceSpike:
+	case PriceSpike, FlashCrowd:
 		if inj.Factor <= 0 {
 			return e("factor %g <= 0", inj.Factor)
 		}

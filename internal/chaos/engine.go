@@ -8,6 +8,7 @@ import (
 	"repro/internal/market"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // Engine compiles one scenario into faults against one run. An Engine
@@ -113,6 +114,23 @@ func spike(tr *trace.Trace, from, until int64, factor float64) *trace.Trace {
 	return out
 }
 
+// TransformWorkload applies the flash-crowd injectors to the replay's
+// request-rate trace, multiplying the rate by each injector's Factor
+// over its window. Without flash-crowd injectors (or without a
+// workload) the input is returned unchanged, so a scenario free of
+// crowds keeps the original autoscaling plan bit for bit.
+func (e *Engine) TransformWorkload(t *workload.Trace) *workload.Trace {
+	if t == nil {
+		return nil
+	}
+	for _, inj := range e.sc.Injectors {
+		if inj.Kind == FlashCrowd {
+			t = t.Scale(e.abs(inj.From), e.abs(inj.Until), inj.Factor)
+		}
+	}
+	return t
+}
+
 func sortInt64(s []int64) {
 	for i := 1; i < len(s); i++ {
 		for j := i; j > 0 && s[j] < s[j-1]; j-- {
@@ -156,6 +174,10 @@ func (e *Engine) Arm(p *cloud.Provider) {
 			e.scheduleClear(from, until, inj.Kind, inj.Zone)
 		case RequestDelay, RequestLoss:
 			gates = append(gates, gateWindow{inj: inj, from: from, until: until})
+		case FlashCrowd:
+			// A load event, not an infrastructure fault: it acts entirely
+			// through TransformWorkload and schedules nothing, so it stays
+			// inert in a run without a workload.
 		}
 	}
 	if len(gates) > 0 {

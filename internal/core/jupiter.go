@@ -490,6 +490,23 @@ func (j *Jupiter) Decide(view strategy.MarketView, spec strategy.ServiceSpec, in
 	if minNodes < 1 {
 		minNodes = 1
 	}
+	// A workload load target (strategy.LoadTargeter) raises the floor:
+	// the autoscaler's target group size is the least the decision may
+	// provision, clamped to what the market can host. Fixed-n runs
+	// attach no targeter and enumerate exactly as before.
+	if lt, ok := view.(strategy.LoadTargeter); ok {
+		if t, ok := lt.TargetNodes(); ok {
+			if t > maxNodes {
+				t = maxNodes
+			}
+			if t > minNodes {
+				minNodes = t
+				if dt != nil {
+					dt.Emit(provenance.Span{Kind: provenance.SpanResize, Nodes: minNodes})
+				}
+			}
+		}
+	}
 
 	// Under degradation, candidate sets that quarantine leaves short of
 	// adequate spot zones are padded with on-demand instances from the

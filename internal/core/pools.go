@@ -104,6 +104,21 @@ func (j *Jupiter) decidePools(view strategy.MarketView, spec strategy.ServiceSpe
 	if minW < 1 {
 		minW = 1
 	}
+	// A workload load target raises the floor on the weighted path too,
+	// in base-node equivalents (see the zone path in Decide).
+	if lt, ok := view.(strategy.LoadTargeter); ok {
+		if t, ok := lt.TargetNodes(); ok {
+			if t > maxW {
+				t = maxW
+			}
+			if t > minW {
+				minW = t
+				if dt != nil {
+					dt.Emit(provenance.Span{Kind: provenance.SpanResize, Nodes: minW})
+				}
+			}
+		}
+	}
 
 	// Under degradation, groups short of adequate spot capacity are
 	// padded with on-demand instances from the cheapest-per-unit

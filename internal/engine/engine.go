@@ -70,6 +70,14 @@ const (
 	// spike, trace gap) reached the end of its window. Fault and Zone
 	// mirror the matching KindFaultInjected event.
 	KindFaultCleared
+	// KindResizeTarget: the workload autoscaler moved the target group
+	// size and a gradual resize began. Size carries the new target.
+	KindResizeTarget
+	// KindResizeStep: one step of an in-flight gradual resize. Fault
+	// carries the phase ("install", "detach", "hold", "settled"),
+	// Instance the detached member where one exists, Zone its pool, and
+	// Size the fleet size after the step.
+	KindResizeStep
 
 	// KindCount is one past the last declared Kind. Consumers that map
 	// every kind (telemetry, exhaustiveness tests) iterate
@@ -106,6 +114,10 @@ func (k Kind) String() string {
 		return "fault-injected"
 	case KindFaultCleared:
 		return "fault-cleared"
+	case KindResizeTarget:
+		return "resize-target"
+	case KindResizeStep:
+		return "resize-step"
 	default:
 		return "event(?)"
 	}
@@ -142,7 +154,9 @@ type Event struct {
 	DurationNanos int64
 	// Fault names the injector behind KindFaultInjected and
 	// KindFaultCleared events ("zone-blackout", "reclaim-storm",
-	// "price-spike", "request-delay", "request-loss", "trace-gap").
+	// "price-spike", "request-delay", "request-loss", "trace-gap",
+	// "flash-crowd") and the phase of KindResizeStep events
+	// ("install", "detach", "hold", "settled").
 	Fault string
 }
 
@@ -180,7 +194,10 @@ func Dispatch(o Observer, e Event) {
 		if e.Cause == market.TerminatedByProvider {
 			o.OnOutOfBid(e)
 		}
-	case KindDecision:
+	case KindDecision, KindResizeTarget, KindResizeStep:
+		// Resize events ride the decision hook: they are control-plane
+		// choices of the same pipeline, and every existing consumer that
+		// cares distinguishes by Kind.
 		o.OnDecision(e)
 	case KindBillingClose:
 		o.OnBilling(e)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"repro/internal/chaos"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/replay"
 	"repro/internal/strategy"
 	"repro/internal/telemetry"
+	"repro/internal/workload"
 )
 
 // chaosGuaranteeEpsilon is the availability slack the guarantee suite
@@ -132,6 +134,152 @@ func TestChaosBreaksNaiveFixedBid(t *testing.T) {
 	}
 	if jup.Availability <= extra.Availability {
 		t.Errorf("Jupiter (%.6f) not above Extra (%.6f) under flaky-market", jup.Availability, extra.Availability)
+	}
+}
+
+// resizeWindowTracker collects, from one run's event stream, the
+// in-flight resize windows (resize target to settle/abort) and the
+// quorum-down spans, so the guarantee suite can compute per-window
+// rolling availability.
+type resizeWindowTracker struct {
+	engine.BaseObserver
+	windows   [][2]int64 // [open, close); close = -1 while open
+	downSpans [][2]int64
+}
+
+func (w *resizeWindowTracker) OnDecision(e engine.Event) {
+	switch e.Kind {
+	case engine.KindResizeTarget:
+		if n := len(w.windows); n == 0 || w.windows[n-1][1] >= 0 {
+			w.windows = append(w.windows, [2]int64{e.Minute, -1})
+		}
+	case engine.KindResizeStep:
+		if e.Fault == "settled" || e.Fault == "abort" {
+			if n := len(w.windows); n > 0 && w.windows[n-1][1] < 0 {
+				w.windows[n-1][1] = e.Minute
+			}
+		}
+	}
+}
+
+func (w *resizeWindowTracker) OnQuorum(e engine.Event) {
+	switch e.Kind {
+	case engine.KindQuorumDown:
+		if n := len(w.downSpans); n == 0 || w.downSpans[n-1][1] >= 0 {
+			w.downSpans = append(w.downSpans, [2]int64{e.Minute, -1})
+		}
+	case engine.KindQuorumUp:
+		if n := len(w.downSpans); n > 0 && w.downSpans[n-1][1] < 0 {
+			w.downSpans[n-1][1] = e.Minute
+		}
+	}
+}
+
+// close truncates open windows and spans at the accounting end.
+func (w *resizeWindowTracker) close(end int64) {
+	if n := len(w.windows); n > 0 && w.windows[n-1][1] < 0 {
+		w.windows[n-1][1] = end
+	}
+	if n := len(w.downSpans); n > 0 && w.downSpans[n-1][1] < 0 {
+		w.downSpans[n-1][1] = end
+	}
+}
+
+// windowAvailability returns the rolling availability over [from, to).
+func (w *resizeWindowTracker) windowAvailability(from, to int64) float64 {
+	if to <= from {
+		return 1
+	}
+	var down int64
+	for _, s := range w.downSpans {
+		lo, hi := s[0], s[1]
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if hi > lo {
+			down += hi - lo
+		}
+	}
+	return 1 - float64(down)/float64(to-from)
+}
+
+// cruiseWorkload is a flat request-rate trace sized so the autoscaler
+// holds the lock spec's five nodes until a flash-crowd injector
+// multiplies the rate.
+func cruiseWorkload(t *testing.T, e Env) *workload.Trace {
+	t.Helper()
+	start := e.TrainWeeks * Week
+	end := (e.TrainWeeks + e.ReplayWeeks) * Week
+	wl, err := workload.New(start, end, []workload.Point{{Minute: start, RPS: 3000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wl
+}
+
+// TestChaosFlashCrowdGuarantee is the resize-window availability
+// guarantee: under every flash-crowd builtin (crowd alone, and crowd
+// compounded with a reclaim storm), on two independent markets,
+// Jupiter's rolling availability through EVERY gradual-resize window
+// must stay within chaosGuaranteeEpsilon of the all-on-demand
+// autoscaled baseline, at lower cost than that baseline — scaling
+// through the crowd may not be bought with downtime or with on-demand
+// money.
+func TestChaosFlashCrowdGuarantee(t *testing.T) {
+	for _, name := range []string{"flash-crowd", "flash-crowd+reclaim-storm"} {
+		for _, seed := range []uint64{2014, 2015} {
+			t.Run(fmt.Sprintf("%s/seed-%d", name, seed), func(t *testing.T) {
+				sc := mustBuiltin(t, name)
+				e := QuickEnv()
+				e.Seed = seed
+				wl := cruiseWorkload(t, e)
+				end := (e.TrainWeeks + e.ReplayWeeks) * Week
+
+				run := func(sc *chaos.Scenario, strat strategy.Strategy) (*replay.Result, *resizeWindowTracker) {
+					re := e
+					re.Chaos = sc
+					re.Workload = wl
+					tr := &resizeWindowTracker{}
+					re.Observe = func(strategy.ServiceSpec, string, int64) []engine.Observer {
+						return []engine.Observer{tr}
+					}
+					set, err := re.Traces(market.M1Small)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := re.replayOne(set, LockSpec(), strat, 3)
+					if err != nil {
+						t.Fatal(err)
+					}
+					tr.close(end)
+					return res, tr
+				}
+
+				base, _ := run(&sc, strategy.OnDemand{})
+				res, tr := run(&sc, core.New())
+
+				if len(tr.windows) == 0 {
+					t.Fatal("flash crowd drove no resize window")
+				}
+				floor := base.Availability - chaosGuaranteeEpsilon
+				for _, w := range tr.windows {
+					if avail := tr.windowAvailability(w[0], w[1]); avail < floor {
+						t.Errorf("rolling availability %.6f through resize window [%d, %d) below baseline %.6f - %.2f",
+							avail, w[0], w[1], base.Availability, chaosGuaranteeEpsilon)
+					}
+				}
+				if res.Availability < floor {
+					t.Errorf("overall availability %.6f below baseline %.6f - %.2f",
+						res.Availability, base.Availability, chaosGuaranteeEpsilon)
+				}
+				if res.Cost >= base.Cost {
+					t.Errorf("cost %v not below all-on-demand autoscaled %v", res.Cost, base.Cost)
+				}
+			})
+		}
 	}
 }
 

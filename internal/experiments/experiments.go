@@ -26,6 +26,7 @@ import (
 	"repro/internal/replay"
 	"repro/internal/strategy"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // Week is one week of minutes.
@@ -71,6 +72,15 @@ type Env struct {
 	// MinMemGiB).
 	MinVCPU   int
 	MinMemGiB float64
+	// Workload, when set, arms every replay cell with this request-rate
+	// trace (replay.Config.Workload): the cell autoscales the group
+	// between interval boundaries instead of holding the spec's fixed
+	// size. A flat trace (or nil) reproduces the fixed-size runs
+	// byte-identically.
+	Workload *workload.Trace
+	// Scaler overrides the autoscaler mapping the Workload to group-size
+	// targets. Nil uses workload.DefaultAutoscaler for the spec.
+	Scaler *workload.Autoscaler
 	// Observe, when set, builds the observers of each replay cell: it
 	// is called once per cell, before the replay starts, with the
 	// cell's coordinates, and its return value receives that cell's
@@ -162,6 +172,8 @@ func (e Env) replayOne(set *trace.Set, spec strategy.ServiceSpec, strat strategy
 		Chaos:                  e.Chaos,
 		ChaosSeed:              e.ChaosSeed,
 		Spans:                  spans,
+		Workload:               e.Workload,
+		Scaler:                 e.Scaler,
 	})
 	if err == nil {
 		// Per-run observers (telemetry.Collector) finalize open state —

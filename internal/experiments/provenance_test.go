@@ -60,6 +60,10 @@ func TestLedgerReconciliation(t *testing.T) {
 				e.Seed = seed
 				e.Chaos = &sc
 				e.Models = models
+				// Arm a flat workload so the flash-crowd scenarios drive
+				// gradual resizes and the ledger's startup/resize causes
+				// are exercised under every scenario.
+				e.Workload = cruiseWorkload(t, e)
 
 				reg := telemetry.NewRegistry()
 				rec := provenance.NewRecorder(1)

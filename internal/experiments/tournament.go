@@ -13,6 +13,7 @@ import (
 	"repro/internal/strategy"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // TournamentConfig shapes a strategy tournament: every strategy of the
@@ -52,6 +53,11 @@ type TournamentConfig struct {
 	// per-(strategy, scenario) cost/downtime attribution merged across
 	// seeds, so leaderboard rows can cite which cause broke each rival.
 	Attribute bool
+	// Autoscale arms every cell — and the clean on-demand baseline —
+	// with a synthetic diurnal+flash-crowd request-rate trace generated
+	// per seed (workload.Generate), so the whole arena competes on
+	// traffic-driven gradual resizing instead of a fixed group size.
+	Autoscale bool
 }
 
 // DefaultTournamentSeeds replays three independent markets; the first
@@ -221,6 +227,7 @@ func (e Env) Tournament(cfg TournamentConfig) (*TournamentResult, error) {
 	// Per-seed market histories, generated once and shared read-only by
 	// every cell of that seed's grid.
 	sets := make(map[uint64]*trace.Set, len(seeds))
+	workloads := make(map[uint64]*workload.Trace, len(seeds))
 	for _, seed := range seeds {
 		se := e
 		se.Seed = seed
@@ -229,6 +236,17 @@ func (e Env) Tournament(cfg TournamentConfig) (*TournamentResult, error) {
 			return nil, err
 		}
 		sets[seed] = set
+		if cfg.Autoscale {
+			wl, err := workload.Generate(workload.GenConfig{
+				Seed:  seed,
+				Start: e.TrainWeeks * Week,
+				End:   (e.TrainWeeks + e.ReplayWeeks) * Week,
+			})
+			if err != nil {
+				return nil, err
+			}
+			workloads[seed] = wl
+		}
 	}
 
 	// The availability bound: the clean on-demand baseline, per seed,
@@ -237,6 +255,7 @@ func (e Env) Tournament(cfg TournamentConfig) (*TournamentResult, error) {
 	for _, seed := range seeds {
 		se := e
 		se.Seed = seed
+		se.Workload = workloads[seed]
 		res, err := se.replayOne(sets[seed], spec, strategy.OnDemand{}, hours)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: tournament baseline seed %d: %w", seed, err)
@@ -266,6 +285,7 @@ func (e Env) Tournament(cfg TournamentConfig) (*TournamentResult, error) {
 		ce := e
 		ce.Seed = seeds[ki]
 		ce.Chaos = &scenarios[ci]
+		ce.Workload = workloads[seeds[ki]]
 		if cfg.Registry != nil {
 			reg, scenario := cfg.Registry, scenarioNames[ci]
 			ce.Observe = func(spec strategy.ServiceSpec, strategyName string, intervalHours int64) []engine.Observer {

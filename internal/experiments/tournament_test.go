@@ -97,6 +97,51 @@ func TestTournamentDeterminism(t *testing.T) {
 	}
 }
 
+// TestTournamentAutoscaledCell: the Autoscale option arms every cell
+// (and the baseline) with a per-seed synthetic workload; Jupiter must
+// still meet the availability bound on a flash-crowd scenario while
+// the fleet actually resizes, and the autoscaled run must differ from
+// the fixed-size one.
+func TestTournamentAutoscaledCell(t *testing.T) {
+	e := QuickEnv()
+	cfg := TournamentConfig{
+		Specs:     []string{"jupiter", "baseline"},
+		Scenarios: []string{"flash-crowd"},
+		Seeds:     []uint64{2014},
+	}
+	fixed, err := e.Tournament(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Autoscale = true
+	auto, err := e.Tournament(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ji := rowIndex(auto.Rows, "Jupiter")
+	if ji < 0 {
+		t.Fatal("no Jupiter row")
+	}
+	if met := auto.Rows[ji].ScenariosMet; met != len(auto.Scenarios) {
+		t.Errorf("autoscaled Jupiter meets %d/%d bounds", met, len(auto.Scenarios))
+	}
+	fi := rowIndex(fixed.Rows, "Jupiter")
+	if fixed.Rows[fi].MeanCostDollars == auto.Rows[ji].MeanCostDollars &&
+		fixed.Rows[fi].MeanAvailability == auto.Rows[ji].MeanAvailability {
+		t.Error("autoscaled cell identical to fixed-size cell: the workload never armed")
+	}
+	// Determinism: the autoscaled arena is as repeatable as the fixed one.
+	again, err := e.Tournament(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := auto.JSON()
+	bj, _ := again.JSON()
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("equal-seed autoscaled leaderboards differ:\n%s\nvs\n%s", aj, bj)
+	}
+}
+
 // TestTournamentScenarioLabel: with a registry attached, every cell's
 // collector stamps the scenario as a fourth base label, so the
 // deterministic snapshot keys series per scenario.

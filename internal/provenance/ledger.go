@@ -32,6 +32,10 @@ const (
 	// Jupiter's degradation machinery reported a non-healthy stage —
 	// capacity was constrained by quarantined pools.
 	CauseQuarantine = "quarantine"
+	// CauseResize: spot instance time ended by a gradual-resize detach,
+	// and downtime overlapping an in-flight resize window with no
+	// stronger evidence — the cost/risk of tracking the workload.
+	CauseResize = "resize"
 	// CauseUnattributed: downtime with no evidence at all; a non-zero
 	// cell here means the taxonomy is missing a mechanism.
 	CauseUnattributed = "unattributed"
@@ -205,6 +209,12 @@ type Ledger struct {
 	// starting holds instances still in their startup delay; a quorum
 	// loss while it is non-empty is view-change/startup evidence.
 	starting map[string]bool
+	// instResize marks instances (and persistent requests) retired by a
+	// gradual-resize detach, so their user-termination bills to the
+	// resize instead of ordinary rotation.
+	instResize map[string]bool
+	// resizing is true between a resize target and its settle/abort.
+	resizing bool
 
 	// stages, when set via WatchStages, supplies degradation-stage
 	// spans for quarantine evidence.
@@ -216,6 +226,7 @@ type Ledger struct {
 	evOutOfBid bool
 	evOutage   bool
 	evStartup  bool
+	evResize   bool
 	evZone     string
 }
 
@@ -228,6 +239,7 @@ func NewLedger() *Ledger {
 		instFault:     map[string]string{},
 		blackoutUntil: map[string]int64{},
 		starting:      map[string]bool{},
+		instResize:    map[string]bool{},
 		downSince:     -1,
 	}
 }
@@ -248,6 +260,33 @@ func (l *Ledger) OnFault(e engine.Event) {
 	}
 	if e.Fault == "zone-blackout" && e.Zone != "" && e.Until > e.Minute {
 		l.blackoutUntil[e.Zone] = e.Until
+	}
+}
+
+// OnDecision tracks gradual-resize windows. A resize target opens one;
+// its settle or abort step closes it. Detach steps mark the retired
+// member (by instance and by persistent request) so its
+// user-termination bills to the resize, and count as resize evidence
+// for an open downtime span.
+func (l *Ledger) OnDecision(e engine.Event) {
+	switch e.Kind {
+	case engine.KindResizeTarget:
+		l.resizing = true
+	case engine.KindResizeStep:
+		switch e.Fault {
+		case "detach":
+			if e.Instance != "" {
+				l.instResize[e.Instance] = true
+			}
+			if e.Request != "" {
+				l.instResize[e.Request] = true
+			}
+			if l.downSince >= 0 {
+				l.evResize = true
+			}
+		case "settled", "abort":
+			l.resizing = false
+		}
 	}
 }
 
@@ -274,7 +313,7 @@ func (l *Ledger) OnInstance(e engine.Event) {
 			case CauseOutOfBid:
 				l.evOutOfBid = true
 				l.evZone = e.Zone
-			case CauseOnDemand, CauseServed:
+			case CauseOnDemand, CauseServed, CauseResize:
 			default: // a fault injector's doing
 				l.evFault = cause
 				l.evZone = e.Zone
@@ -305,6 +344,11 @@ func (l *Ledger) terminationCause(e engine.Event) string {
 		}
 		return CauseOutOfBid
 	}
+	if l.instResize[e.Instance] || (e.Request != "" && l.instResize[e.Request]) {
+		delete(l.instResize, e.Instance)
+		delete(l.instResize, e.Request)
+		return CauseResize
+	}
 	return CauseServed
 }
 
@@ -329,6 +373,7 @@ func (l *Ledger) OnQuorum(e engine.Event) {
 			l.downSince = e.Minute
 			l.evFault, l.evOutOfBid, l.evOutage, l.evZone = "", false, false, ""
 			l.evStartup = len(l.starting) > 0
+			l.evResize = l.resizing
 		}
 	case engine.KindQuorumUp:
 		if l.downSince >= 0 {
@@ -340,8 +385,9 @@ func (l *Ledger) OnQuorum(e engine.Event) {
 // closeSpan attributes one finished downtime interval. Evidence wins
 // in mechanism order: a named fault beats the ordinary out-of-bid
 // market, which beats an SLA outage, which beats a pure startup
-// window; with no event evidence at all, a non-healthy degradation
-// stage (via WatchStages) marks the span as quarantine-constrained.
+// window, which beats an in-flight resize window; with no event
+// evidence at all, a non-healthy degradation stage (via WatchStages)
+// marks the span as quarantine-constrained.
 func (l *Ledger) closeSpan(endMinute int64) {
 	minutes := endMinute - l.downSince
 	cause, pool := CauseUnattributed, ""
@@ -354,6 +400,8 @@ func (l *Ledger) closeSpan(endMinute int64) {
 		cause, pool = CauseOutage, l.evZone
 	case l.evStartup || len(l.starting) > 0:
 		cause = CauseStartup
+	case l.evResize || l.resizing:
+		cause = CauseResize
 	case l.quarantinedAt(l.downSince):
 		cause = CauseQuarantine
 	}

@@ -159,6 +159,66 @@ func TestLedgerQuarantineEvidence(t *testing.T) {
 	}
 }
 
+// TestLedgerResizeAttribution scripts a gradual-resize window: the
+// detach's user-termination bills to the resize (by instance ID and by
+// persistent-request ID alike), downtime inside the window with no
+// stronger evidence attributes to the resize, and the window closes at
+// the settle step.
+func TestLedgerResizeAttribution(t *testing.T) {
+	l := NewLedger()
+	publish(l, []engine.Event{
+		{Minute: 10, Kind: engine.KindResizeTarget, Size: 8},
+		// Detach by instance ID: the user-termination is resize cost.
+		{Minute: 12, Kind: engine.KindResizeStep, Fault: "detach", Instance: "i-old", Zone: "us-east-1a", Size: 7},
+		{Minute: 12, Kind: engine.KindInstanceTerminated, Instance: "i-old", Zone: "us-east-1a", Spot: true, Cause: market.TerminatedByUser},
+		{Minute: 12, Kind: engine.KindBillingClose, Instance: "i-old", Zone: "us-east-1a", Spot: true, Amount: 80},
+		// Detach by persistent request: the termination event carries the
+		// request, not the step's (empty) instance ID.
+		{Minute: 14, Kind: engine.KindResizeStep, Fault: "detach", Request: "r-1", Zone: "us-west-1b", Size: 6},
+		{Minute: 14, Kind: engine.KindInstanceTerminated, Instance: "i-req", Request: "r-1", Zone: "us-west-1b", Spot: true, Cause: market.TerminatedByUser},
+		{Minute: 14, Kind: engine.KindBillingClose, Instance: "i-req", Zone: "us-west-1b", Spot: true, Amount: 20},
+		// Downtime inside the window, no stronger evidence: resize cause.
+		{Minute: 20, Kind: engine.KindQuorumDown, Size: 5},
+		{Minute: 25, Kind: engine.KindQuorumUp, Size: 6},
+		{Minute: 30, Kind: engine.KindResizeStep, Fault: "settled", Size: 6},
+		// After settle, a bare span is unattributed again.
+		{Minute: 40, Kind: engine.KindQuorumDown, Size: 5},
+		{Minute: 42, Kind: engine.KindQuorumUp, Size: 6},
+	})
+	a := l.Attribution()
+	type cell struct {
+		pool, cause string
+		cost        int64
+		min         int64
+	}
+	want := []cell{
+		{"us-east-1a", CauseResize, 80, 0},
+		{"us-west-1b", CauseResize, 20, 0},
+		{"", CauseResize, 0, 5},
+		{"", CauseUnattributed, 0, 2},
+	}
+	if len(a.Cells) != len(want) {
+		t.Fatalf("cells = %+v, want %d", a.Cells, len(want))
+	}
+	for _, w := range want {
+		found := false
+		for _, c := range a.Cells {
+			if c.Pool == w.pool && c.Cause == w.cause {
+				found = true
+				if c.CostMicroUSD != w.cost || c.DownMinutes != w.min {
+					t.Fatalf("cell %s/%s = (%d, %d), want (%d, %d)", w.pool, w.cause, c.CostMicroUSD, c.DownMinutes, w.cost, w.min)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("missing cell %s/%s in %+v", w.pool, w.cause, a.Cells)
+		}
+	}
+	if a.TotalCostMicroUSD != 100 || a.TotalDownMinutes != 7 {
+		t.Fatalf("totals = (%d, %d), want (100, 7)", a.TotalCostMicroUSD, a.TotalDownMinutes)
+	}
+}
+
 // TestLedgerBlackoutWindowExpiry: a provider reclaim after the
 // blackout window closed is ordinary out-of-bid again.
 func TestLedgerBlackoutWindowExpiry(t *testing.T) {

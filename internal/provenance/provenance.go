@@ -61,6 +61,10 @@ const (
 	// margin — or "fallback" with Detail naming why the framework went
 	// all on-demand.
 	SpanChosen = "chosen"
+	// SpanResize reports that a workload load target raised the
+	// decision's minimum group size above the spec's quorum floor:
+	// Nodes is the bound applied to the candidate enumeration.
+	SpanResize = "resize"
 )
 
 // Span is one step of one decision. It is a flat struct with a fixed

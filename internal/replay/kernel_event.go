@@ -190,9 +190,18 @@ func (r *run) runEvent() error {
 	for _, o := range r.cfg.Observers {
 		r.provider.Subscribe(o)
 	}
+	rz := r.resize
+	if rz != nil {
+		rz.fleetChanged = func(minute int64) { tr.rebuild(r.fleet, minute) }
+	}
 
 	// Pre-roll to the first decision point.
 	r.provider.AdvanceTo(r.cfg.Start - r.lead)
+	if rz != nil {
+		if err := rz.prepareDecision(r.cfg.Start - r.lead); err != nil {
+			return err
+		}
+	}
 	intervalLen, err := r.decideAndLaunch()
 	if err != nil {
 		return err
@@ -223,12 +232,28 @@ func (r *run) runEvent() error {
 		if nextBoundary < wake {
 			wake = nextBoundary
 		}
+		if rz != nil {
+			if w := rz.nextWake(r.provider.Now(), nextBoundary-r.lead); w < wake {
+				wake = w
+				if now := r.provider.Now(); wake < now {
+					wake = now
+				}
+			}
+		}
 		r.provider.AdvanceTo(wake)
 		if wake == nextBoundary {
 			// Close the elapsed interval against the outgoing fleet,
 			// install the incoming one, then retire what it displaced.
 			if wake > intervalStart {
 				flush(wake)
+			}
+			if rz != nil {
+				// A resize still in flight here (possible only when the
+				// interval left no decision minute) dies with the old
+				// fleet.
+				if err := rz.abort(wake); err != nil {
+					return err
+				}
 			}
 			r.fleet = r.pending
 			r.pending = nil
@@ -246,10 +271,20 @@ func (r *run) runEvent() error {
 			}
 		}
 		if wake == nextDecision {
+			if rz != nil {
+				if err := rz.prepareDecision(wake); err != nil {
+					return err
+				}
+			}
 			if intervalLen, err = r.decideAndLaunch(); err != nil {
 				return err
 			}
 			nextDecision = engine.NoMinute // next one set at the boundary
+		}
+		if rz != nil {
+			if err := rz.act(wake, nextBoundary-r.lead); err != nil {
+				return err
+			}
 		}
 		if wake >= end-1 {
 			break

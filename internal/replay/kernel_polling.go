@@ -9,9 +9,19 @@ func (r *run) runPolling() error {
 	for _, o := range r.cfg.Observers {
 		r.provider.Subscribe(o)
 	}
+	rz := r.resize
+	fleetDirty := false
+	if rz != nil {
+		rz.fleetChanged = func(int64) { fleetDirty = true }
+	}
 
 	// Pre-roll to the first decision point.
 	r.provider.AdvanceTo(r.cfg.Start - r.lead)
+	if rz != nil {
+		if err := rz.prepareDecision(r.cfg.Start - r.lead); err != nil {
+			return err
+		}
+	}
 	intervalLen, err := r.decideAndLaunch()
 	if err != nil {
 		return err
@@ -37,23 +47,52 @@ func (r *run) runPolling() error {
 	}
 	var units []int
 	quorumUnits := 0
+	refreshUnits := func() {
+		// Quorum is over capacity units (the node rule exactly, when
+		// every member is a base-type pool of UnitsPerNode units).
+		units = fleetUnits(r.fleet, r.cfg.Spec, units[:0])
+		total := 0
+		for _, u := range units {
+			total += u
+		}
+		quorumUnits = r.cfg.Spec.QuorumUnits(total)
+	}
 	for minute := r.cfg.Start; minute < end; minute++ {
 		r.provider.AdvanceTo(minute)
 		if boundaryPending {
+			if rz != nil {
+				// A resize still in flight here (possible only when the
+				// interval left no decision minute) dies with the old
+				// fleet.
+				if err := rz.abort(minute); err != nil {
+					return err
+				}
+			}
 			r.fleet = r.pending
 			r.pending = nil
 			if err := r.retire(); err != nil {
 				return err
 			}
 			boundaryPending = false
-			// Quorum is over capacity units (the node rule exactly, when
-			// every member is a base-type pool of UnitsPerNode units).
-			units = fleetUnits(r.fleet, r.cfg.Spec, units[:0])
-			total := 0
-			for _, u := range units {
-				total += u
+			refreshUnits()
+		}
+		if rz != nil {
+			// Mirror the event kernel's within-minute order: the boundary
+			// decision aborts any in-flight resize first, resize actions
+			// due this minute run next, and the minute's quorum status is
+			// evaluated over the resulting fleet.
+			if minute == nextDecision {
+				if err := rz.prepareDecision(minute); err != nil {
+					return err
+				}
 			}
-			quorumUnits = r.cfg.Spec.QuorumUnits(total)
+			if err := rz.act(minute, nextBoundary-r.lead); err != nil {
+				return err
+			}
+			if fleetDirty {
+				refreshUnits()
+				fleetDirty = false
+			}
 		}
 		// Availability: a live quorum of the configured group.
 		n := len(r.fleet)

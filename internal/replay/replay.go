@@ -27,6 +27,7 @@ import (
 	"repro/internal/provenance"
 	"repro/internal/strategy"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // Kernel selects the replay engine.
@@ -111,6 +112,20 @@ type Config struct {
 	// Jupiter and its wrappers do). Unlike Models, a recorder belongs
 	// to ONE run; sweeps allocate one per cell and stamp/merge after.
 	Spans *provenance.Recorder
+	// Workload, when set, drives traffic-driven autoscaling: the
+	// requests/sec trace is mapped to a target group-size plan (by
+	// Scaler, or workload.DefaultAutoscaler(Spec.BaseNodes) when nil),
+	// every strategy decision sizes for the target ruling at its
+	// minute, and between interval boundaries the fleet resizes
+	// gradually — scale-ups join quorum only after their startup delay,
+	// scale-downs detach one member at a time with the Eq. 10
+	// availability bound re-verified before each step (see resize.go).
+	// A workload whose plan never leaves Spec.BaseNodes — or a nil
+	// Workload — leaves the run bit-identical to the fixed-n path.
+	Workload *workload.Trace
+	// Scaler overrides the default autoscaler mapping Workload to the
+	// group-size plan. Ignored without a Workload.
+	Scaler *workload.Autoscaler
 }
 
 // Result is the outcome of a replay.
@@ -159,6 +174,11 @@ type marketView struct {
 	// gaps: the pre-gap price with growing age, history clamped to the
 	// gap start. Nil outside chaos runs.
 	chaos *chaos.Engine
+	// load, when armed, carries the workload autoscaler's target group
+	// size (strategy.LoadTargeter). Nil outside autoscaled runs, so the
+	// fixed-n path reports no target and strategies keep sizing by
+	// Spec.BaseNodes.
+	load *loadTarget
 }
 
 func (v marketView) Now() int64      { return v.p.Now() }
@@ -188,6 +208,15 @@ func (v marketView) PriceHistory(zone string, from, to int64) (*trace.Trace, err
 	return v.p.PriceHistory(zone, from, to)
 }
 func (v marketView) TraceFingerprint() uint64 { return v.fingerprint }
+
+// TargetNodes implements strategy.LoadTargeter: the autoscaler's
+// current target when a workload plan is armed, no target otherwise.
+func (v marketView) TargetNodes() (int, bool) {
+	if v.load == nil {
+		return 0, false
+	}
+	return v.load.n, true
+}
 func (v marketView) PublishEvent(e engine.Event) {
 	v.obs.Publish(e)
 }
@@ -217,6 +246,11 @@ type run struct {
 	allInstances []cloud.InstanceID
 	allRequests  []cloud.RequestID
 	groupSizeSum int
+
+	// resize, when armed, is the gradual-resize state machine driven by
+	// the workload autoscaler plan (resize.go). Nil on the fixed-n
+	// path.
+	resize *resizer
 
 	// userObs carries the replay-level events (decisions, quorum
 	// transitions) to the configured observers; provider-level events
@@ -302,6 +336,28 @@ func Run(cfg Config) (*Result, error) {
 		res:      &Result{Strategy: cfg.Strategy.Name(), IntervalMinutes: cfg.IntervalMinutes},
 		userObs:  userObs,
 	}
+	if cfg.Workload != nil {
+		wl := cfg.Workload
+		if chaosEng != nil {
+			wl = chaosEng.TransformWorkload(wl)
+		}
+		sc := cfg.Scaler
+		if sc == nil {
+			d := workload.DefaultAutoscaler(cfg.Spec.BaseNodes)
+			sc = &d
+		}
+		plan, perr := sc.Plan(wl)
+		if perr != nil {
+			return nil, perr
+		}
+		// A plan that holds the spec's own size forever is the fixed-n
+		// world: arming nothing keeps the run byte-identical to a
+		// workload-less one.
+		if !plan.Constant() || plan.TargetAt(plan.Start) != cfg.Spec.BaseNodes {
+			r.view.load = &loadTarget{n: cfg.Spec.BaseNodes}
+			r.resize = newResizer(r, plan)
+		}
+	}
 
 	var err error
 	switch cfg.Kernel {
@@ -350,38 +406,7 @@ func (r *run) decideAndLaunch() (int64, error) {
 	}
 	var next []member
 	keep := map[cloud.InstanceID]bool{}
-	launch := func(mb member) member {
-		if mb.onDemand {
-			id, err := r.provider.RequestOnDemand(mb.zone, r.cfg.Spec.Type)
-			if err == nil {
-				mb.id = id
-				r.allInstances = append(r.allInstances, id)
-				r.res.OnDemandLaunch++
-			}
-			return mb
-		}
-		if r.cfg.PersistentRequests {
-			reqID, err := r.provider.RequestSpotPersistent(mb.zone, r.cfg.Spec.Type, mb.bid)
-			if err != nil {
-				r.res.FailedRequests++
-				return mb
-			}
-			mb.reqID = reqID
-			r.allRequests = append(r.allRequests, reqID)
-			r.res.SpotLaunch++
-			return mb
-		}
-		id, err := r.provider.RequestSpot(mb.zone, r.cfg.Spec.Type, mb.bid)
-		if err != nil {
-			r.res.FailedRequests++
-			mb.id = ""
-			return mb
-		}
-		mb.id = id
-		r.allInstances = append(r.allInstances, id)
-		r.res.SpotLaunch++
-		return mb
-	}
+	launch := r.launchMember
 	keepReq := map[cloud.RequestID]bool{}
 	for _, b := range decision.Bids {
 		mb := member{zone: b.Zone, bid: b.Price}
@@ -444,6 +469,43 @@ func (r *run) decideAndLaunch() (int64, error) {
 		})
 	}
 	return interval, nil
+}
+
+// launchMember requests one member's capacity from the provider — an
+// on-demand instance, a persistent spot request, or a one-shot spot
+// instance — recording launch accounting. The returned member carries
+// the acquired ID, or none when the request failed.
+func (r *run) launchMember(mb member) member {
+	if mb.onDemand {
+		id, err := r.provider.RequestOnDemand(mb.zone, r.cfg.Spec.Type)
+		if err == nil {
+			mb.id = id
+			r.allInstances = append(r.allInstances, id)
+			r.res.OnDemandLaunch++
+		}
+		return mb
+	}
+	if r.cfg.PersistentRequests {
+		reqID, err := r.provider.RequestSpotPersistent(mb.zone, r.cfg.Spec.Type, mb.bid)
+		if err != nil {
+			r.res.FailedRequests++
+			return mb
+		}
+		mb.reqID = reqID
+		r.allRequests = append(r.allRequests, reqID)
+		r.res.SpotLaunch++
+		return mb
+	}
+	id, err := r.provider.RequestSpot(mb.zone, r.cfg.Spec.Type, mb.bid)
+	if err != nil {
+		r.res.FailedRequests++
+		mb.id = ""
+		return mb
+	}
+	mb.id = id
+	r.allInstances = append(r.allInstances, id)
+	r.res.SpotLaunch++
+	return mb
 }
 
 // retire terminates the instances and cancels the requests displaced by

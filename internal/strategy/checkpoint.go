@@ -82,7 +82,7 @@ func (c *CheckpointRestart) Decide(view MarketView, spec ServiceSpec, intervalMi
 	}
 	sortPerUnit(pools)
 	var bids []Bid
-	for _, z := range fillUnits(pools, spec.BaseNodes*market.UnitsPerNode) {
+	for _, z := range fillUnits(pools, TargetNodes(view, spec)*market.UnitsPerNode) {
 		bids = append(bids, Bid{Zone: z.key, Price: z.price})
 	}
 	return Decision{Bids: bids}, nil

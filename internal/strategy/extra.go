@@ -45,7 +45,7 @@ func (e Extra) Decide(view MarketView, spec ServiceSpec, intervalMinutes int64) 
 	}
 	sortPerUnit(pools)
 	var bids []Bid
-	for _, z := range fillUnits(pools, (spec.BaseNodes+e.ExtraNodes)*market.UnitsPerNode) {
+	for _, z := range fillUnits(pools, (TargetNodes(view, spec)+e.ExtraNodes)*market.UnitsPerNode) {
 		bids = append(bids, Bid{Zone: z.key, Price: z.price.Scale(1 + e.Portion)})
 	}
 	return Decision{Bids: bids}, nil

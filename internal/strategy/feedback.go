@@ -131,7 +131,7 @@ func (f *FeedbackControl) Decide(view MarketView, spec ServiceSpec, intervalMinu
 	}
 	sortPerUnit(candidates)
 	var bids []Bid
-	for _, z := range fillUnits(candidates, spec.BaseNodes*market.UnitsPerNode) {
+	for _, z := range fillUnits(candidates, TargetNodes(view, spec)*market.UnitsPerNode) {
 		bids = append(bids, Bid{Zone: z.key, Price: z.price})
 	}
 	return Decision{Bids: bids}, nil

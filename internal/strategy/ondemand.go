@@ -33,7 +33,7 @@ func (OnDemand) Decide(view MarketView, spec ServiceSpec, intervalMinutes int64)
 	}
 	sortPerUnit(pools)
 	var zones []string
-	for _, z := range fillUnits(pools, spec.BaseNodes*market.UnitsPerNode) {
+	for _, z := range fillUnits(pools, TargetNodes(view, spec)*market.UnitsPerNode) {
 		zones = append(zones, z.key)
 	}
 	return Decision{OnDemand: zones}, nil

@@ -113,7 +113,8 @@ func (p *PortfolioContract) Decide(view MarketView, spec ServiceSpec, intervalMi
 		return a.key < b.key
 	})
 
-	wantUnits := spec.BaseNodes * market.UnitsPerNode
+	targetNodes := TargetNodes(view, spec)
+	wantUnits := targetNodes * market.UnitsPerNode
 	fullOD := market.Money(0)
 	for _, z := range fillUnits(odRank, wantUnits) {
 		fullOD += z.price
@@ -128,7 +129,7 @@ func (p *PortfolioContract) Decide(view MarketView, spec ServiceSpec, intervalMi
 	}
 	var best plan
 	haveBest := false
-	for odNodes := 0; odNodes <= spec.BaseNodes; odNodes++ {
+	for odNodes := 0; odNodes <= targetNodes; odNodes++ {
 		var pl plan
 		taken := map[string]bool{}
 		for _, z := range fillUnits(odRank, odNodes*market.UnitsPerNode) {

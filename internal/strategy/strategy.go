@@ -57,6 +57,38 @@ type EventPublisher interface {
 	PublishEvent(engine.Event)
 }
 
+// LoadTargeter is an optional MarketView extension: views driven by a
+// workload autoscaler (internal/workload) expose the target group
+// size the current request load calls for. TargetNodes returns
+// (0, false) when no load signal is attached — strategies then fall
+// back to the spec's fixed BaseNodes, the paper's world.
+type LoadTargeter interface {
+	TargetNodes() (int, bool)
+}
+
+// TargetNodes returns the group size a strategy should provision for:
+// the view's load target when one is attached, the spec's BaseNodes
+// otherwise. Every shipped strategy sizes through this, so rival
+// bidders resize under an autoscaled replay exactly like Jupiter.
+func TargetNodes(view MarketView, spec ServiceSpec) int {
+	if lt, ok := view.(LoadTargeter); ok {
+		if n, ok := lt.TargetNodes(); ok && n > 0 {
+			return n
+		}
+	}
+	return spec.BaseNodes
+}
+
+// FailureProber is an optional Strategy extension: strategies that
+// estimate per-pool failure probabilities expose the estimates behind
+// their latest Decide, keyed by pool. The replay harness's gradual
+// resizer uses them to re-verify the Eq. 10 availability bound before
+// each scale-down detach; for strategies without the extension it
+// falls back to the on-demand failure probability.
+type FailureProber interface {
+	LastBidFailureProbabilities() map[string]float64
+}
+
 // ServiceSpec describes the distributed service being hosted.
 type ServiceSpec struct {
 	// Type is the base instance type the service runs on: the unit of

@@ -233,9 +233,15 @@ func (c *Collector) OnOutOfBid(e engine.Event) {
 	c.zone(e.Zone).outOfBid.Inc()
 }
 
-// OnDecision books one decision and its group size.
+// OnDecision books one decision and its group size. Resize events
+// (KindResizeTarget, KindResizeStep) ride the same hook but are
+// counted only in the per-kind event counters — folding them into the
+// decision count or the group-size distribution would skew both.
 func (c *Collector) OnDecision(e engine.Event) {
 	c.count(e)
+	if e.Kind != engine.KindDecision {
+		return
+	}
 	c.decisions.Inc()
 	c.groupSize.Observe(float64(e.Size))
 }

@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// FuzzReadWorkload pins the workload CSV reader's two properties under
+// arbitrary input, mirroring trace.FuzzReadCSV: it never panics, and
+// the two modes stay coherent — whatever Strict accepts, Lenient
+// accepts identically with an empty quarantine report. The seed corpus
+// covers the interesting shapes by hand: a valid generated trace,
+// truncated rows, NaN and negative rates, out-of-order and duplicate
+// minutes, a dangling quote, emptiness.
+func FuzzReadWorkload(f *testing.F) {
+	gen, err := Generate(GenConfig{Seed: 9, Start: 0, End: 24 * 60})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := gen.WriteCSV(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.String())
+	f.Add("minute,rps\n")
+	f.Add("minute,rps\n0,100\n5\n")
+	f.Add("minute,rps\n0,NaN\n")
+	f.Add("minute,rps\n0,-1e300\n")
+	f.Add("minute,rps\n0,+Inf\n")
+	f.Add("minute,rps\n10,100\n5,100\n")
+	f.Add("minute,rps\n0,100\n0,100\n")
+	f.Add("minute,rps\n\"unclosed quote")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		strictTr, _, strictErr := ReadCSVMode(strings.NewReader(input), 0, 24*60, trace.Strict)
+		lenTr, rep, lenErr := ReadCSVMode(strings.NewReader(input), 0, 24*60, trace.Lenient)
+		if strictErr == nil {
+			if strictTr == nil {
+				t.Fatal("strict success returned a nil trace")
+			}
+			if lenErr != nil {
+				t.Fatalf("strict accepted what lenient rejected: %v", lenErr)
+			}
+			if rep.Quarantined != 0 {
+				t.Fatalf("strictly-clean input quarantined %d rows: %+v", rep.Quarantined, rep.Reasons)
+			}
+			if !reflect.DeepEqual(strictTr, lenTr) {
+				t.Fatal("strict and lenient parsed the same input differently")
+			}
+		}
+		if lenErr == nil && lenTr == nil {
+			t.Fatal("lenient success returned a nil trace")
+		}
+	})
+}
