@@ -21,13 +21,21 @@ type comparison struct {
 	Regression bool
 }
 
+// higherIsBetter reports whether a metric improves upward. Rate units
+// ("sim-min/s", "MB/s", anything per second except time itself) count
+// regressions as drops; cost units (ns/op, B/op, allocs/op) count them
+// as rises.
+func higherIsBetter(metric string) bool {
+	return strings.HasSuffix(metric, "/s") && metric != "ns/s"
+}
+
 // runCompare is the "benchjson compare" subcommand: it diffs two
 // benchjson reports metric by metric and flags regressions beyond the
 // threshold. It returns whether any regression was found.
 func runCompare(args []string, out io.Writer) (bool, error) {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 	metrics := fs.String("metric", "ns/op,allocs/op", "comma-separated metrics to compare (mean values)")
-	threshold := fs.Float64("threshold", 0.10, "relative increase counted as a regression (0.10 = 10%)")
+	threshold := fs.Float64("threshold", 0.10, "relative change counted as a regression: an increase for cost metrics (ns/op), a decrease for rate metrics (sim-min/s)")
 	benchRE := fs.String("bench", "", "regexp restricting the comparison to matching benchmark names (empty = all)")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: benchjson compare [-metric m1,m2] [-threshold F] [-bench regexp] old.json new.json")
@@ -98,7 +106,11 @@ func runCompare(args []string, out io.Writer) (bool, error) {
 			} else if nm.Mean != 0 {
 				c.Delta = 1
 			}
-			c.Regression = c.Delta > *threshold
+			if higherIsBetter(u) {
+				c.Regression = c.Delta < -*threshold
+			} else {
+				c.Regression = c.Delta > *threshold
+			}
 			rows = append(rows, c)
 		}
 	}

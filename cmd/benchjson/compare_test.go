@@ -116,3 +116,56 @@ func TestRunCompare(t *testing.T) {
 		t.Fatal("single-argument call accepted")
 	}
 }
+
+// rateBench builds a result carrying a throughput metric, where higher
+// is better and regressions point the other way.
+func rateBench(name string, simMinPerSec float64) benchResult {
+	return benchResult{Name: name, Metrics: map[string]metricAgg{
+		"sim-min/s": {Min: simMinPerSec, Mean: simMinPerSec, Max: simMinPerSec, Count: 1},
+	}}
+}
+
+// TestRunCompareThroughputDirection pins the direction awareness: for
+// rate metrics (units ending in /s) a drop beyond the threshold is the
+// regression, and a rise — however large — never is.
+func TestRunCompareThroughputDirection(t *testing.T) {
+	old := writeReport(t, "old.json", report{Benchmarks: []benchResult{
+		rateBench("BenchmarkSweep-8", 100000),
+	}})
+	faster := writeReport(t, "faster.json", report{Benchmarks: []benchResult{
+		rateBench("BenchmarkSweep-8", 250000),
+	}})
+	slower := writeReport(t, "slower.json", report{Benchmarks: []benchResult{
+		rateBench("BenchmarkSweep-8", 80000),
+	}})
+
+	var buf bytes.Buffer
+	regressed, err := runCompare([]string{"-metric", "sim-min/s", old, faster}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("a 2.5x throughput gain flagged as regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "sim-min/s") || !strings.Contains(buf.String(), "+150.0%") {
+		t.Fatalf("throughput delta missing from output:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	regressed, err = runCompare([]string{"-metric", "sim-min/s", old, slower}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("a 20%% throughput drop not flagged at the 10%% default:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("REGRESSION marker missing:\n%s", buf.String())
+	}
+
+	// A drop within the threshold passes.
+	buf.Reset()
+	if regressed, err = runCompare([]string{"-metric", "sim-min/s", "-threshold", "0.25", old, slower}, &buf); err != nil || regressed {
+		t.Fatalf("25%% threshold: regressed=%v err=%v\n%s", regressed, err, buf.String())
+	}
+}

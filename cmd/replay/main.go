@@ -7,7 +7,8 @@
 //	replay [-strategy jupiter|baseline|extra] [-extra-nodes N] [-extra-portion P]
 //	       [-service lock|storage] [-interval H[,H...]] [-weeks N] [-train N] [-seed N]
 //	       [-types a,b,c] [-min-vcpu N] [-min-mem G]
-//	       [-trace file.csv] [-workload file.csv] [-j N] [-model-stats]
+//	       [-kernel event|polling|sharded] [-shard-workers N]
+//	       [-trace file] [-workload file.csv] [-j N] [-model-stats]
 //	       [-chaos scenario] [-chaos-seed N]
 //	       [-events-out file.jsonl] [-manifest file.json] [-debug-addr host:port]
 //	       [-mutex-profile-fraction N] [-block-profile-rate N]
@@ -29,9 +30,20 @@
 // paper's fixed-n runs byte-identically.
 //
 // Without -trace, a synthetic trace set is generated from the seed.
+// A trace file's format is detected from its bytes: the columnar
+// binary format (cmd/tracegen -format colbin, or "tracegen convert"),
+// JSON, or CSV. Binary and JSON traces are self-describing, so their
+// base instance type must match the service's; CSV is filtered
+// against the requested types and span as before.
 // With several comma-separated intervals, the cells replay on a worker
 // pool of -j goroutines and a summary table is printed; a single
 // interval keeps the detailed report.
+//
+// -kernel selects the replay engine: the discrete-event kernel
+// (default), the minute-polling reference kernel, or the
+// region-sharded kernel, which partitions pools by region across
+// per-shard providers advanced concurrently (-shard-workers bounds
+// the parallelism; results are identical at every worker count).
 //
 // Telemetry: -events-out streams the run's event history as versioned
 // JSONL (byte-reproducible for a fixed seed and single interval; see
@@ -73,6 +85,7 @@ import (
 	"repro/internal/strategy"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/trace/colbin"
 	"repro/internal/workload"
 )
 
@@ -105,6 +118,8 @@ type options struct {
 	typesSpec    string
 	minVCPU      int
 	minMem       float64
+	kernel       string
+	shardWorkers int
 
 	// workloadArmed is set by run() when the workload's autoscaler plan
 	// actually moves the group size; trace metadata carries the workload
@@ -123,7 +138,9 @@ func main() {
 	flag.Int64Var(&o.weeks, "weeks", 11, "replay length in weeks")
 	flag.Int64Var(&o.train, "train", 13, "training prefix in weeks")
 	flag.Uint64Var(&o.seed, "seed", 2014, "seed")
-	flag.StringVar(&o.traceFile, "trace", "", "CSV trace file (default: synthetic)")
+	flag.StringVar(&o.traceFile, "trace", "", "trace file, format auto-detected: colbin binary, JSON, or CSV (default: synthetic)")
+	flag.StringVar(&o.kernel, "kernel", "event", "replay kernel: event, polling, or sharded (region-sharded, parallel)")
+	flag.IntVar(&o.shardWorkers, "shard-workers", 0, "with -kernel sharded, max goroutines advancing shards (0 = GOMAXPROCS; results are identical at every count)")
 	flag.StringVar(&o.workloadFile, "workload", "", "request-rate CSV (minute,rps): autoscale the group to the traffic between interval boundaries")
 	flag.StringVar(&o.seriesOut, "series", "", "write per-interval downtime series CSV to this file ('-' = stdout); single interval only")
 	flag.IntVar(&o.jobs, "j", runtime.NumCPU(), "worker-pool width for an interval sweep (1 = sequential; results are identical either way)")
@@ -284,6 +301,12 @@ func traceMeta(o options) map[string]string {
 		"seed", strconv.FormatUint(o.seed, 10),
 		"trace", o.traceFile,
 	}
+	// The kernel key appears only off the default, so event-kernel
+	// headers stay byte-identical to earlier versions. shard-workers is
+	// never recorded: worker counts must not change any output byte.
+	if o.kernel != "" && o.kernel != "event" {
+		kv = append(kv, "kernel", o.kernel)
+	}
 	// Chaos keys appear only when the layer is armed, keeping no-chaos
 	// trace headers byte-identical to earlier versions.
 	if o.chaosSpec != "" {
@@ -351,6 +374,18 @@ func run(o options) error {
 		return err
 	}
 
+	var kernel replay.Kernel
+	switch o.kernel {
+	case "", "event":
+		kernel = replay.KernelEvent
+	case "polling":
+		kernel = replay.KernelPolling
+	case "sharded":
+		kernel = replay.KernelSharded
+	default:
+		return fmt.Errorf("unknown kernel %q (want event, polling, or sharded)", o.kernel)
+	}
+
 	intervals, err := parseIntervals(o.intervalSpec)
 	if err != nil {
 		return err
@@ -371,10 +406,12 @@ func run(o options) error {
 		if o.lenient {
 			mode = trace.Lenient
 		}
-		if len(extraTypes) > 0 {
-			set, readReport, err = trace.ReadCSVPoolsMode(f, spec.Type, extraTypes, 0, (o.train+o.weeks)*experiments.Week, mode)
-		} else {
-			set, readReport, err = trace.ReadCSVMode(f, spec.Type, 0, (o.train+o.weeks)*experiments.Week, mode)
+		set, readReport, err = colbin.ReadAny(f, spec.Type, extraTypes, 0, (o.train+o.weeks)*experiments.Week, mode)
+		// Binary and JSON traces are self-describing; the CSV reader
+		// already filters on the base type, so this only rejects a
+		// mismatched binary/JSON file.
+		if err == nil && set.Type != spec.Type {
+			err = fmt.Errorf("trace file %s holds %s pools, service needs %s", o.traceFile, set.Type, spec.Type)
 		}
 	} else {
 		env := experiments.Env{Seed: o.seed, TrainWeeks: o.train, ReplayWeeks: o.weeks, Types: extraTypes}
@@ -475,6 +512,8 @@ func run(o options) error {
 			IntervalMinutes:        hours * 60,
 			Seed:                   o.seed,
 			InjectHardwareFailures: true,
+			Kernel:                 kernel,
+			ShardWorkers:           o.shardWorkers,
 			Models:                 models,
 			Observers:              obs,
 			Chaos:                  chaosSc,

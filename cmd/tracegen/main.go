@@ -1,10 +1,11 @@
 // Command tracegen generates calibrated synthetic spot-price traces
 // (the repository's substitute for the paper's 2014 AWS price history)
-// and writes them as CSV or JSON.
+// and writes them as CSV, JSON, or the columnar binary format.
 //
 // Usage:
 //
-//	tracegen [-type m1.small|m3.large] [-types a,b,c] [-weeks N] [-seed N] [-zones a,b,c] [-format csv|json] [-o file]
+//	tracegen [-type m1.small|m3.large] [-types a,b,c] [-weeks N] [-seed N] [-zones a,b,c] [-format csv|json|colbin] [-o file]
+//	tracegen convert -in file [-format csv|json|colbin] [-type t] [-types a,b,c] [-weeks N] [-lenient] [-o file]
 //	tracegen workload [-weeks N] [-seed N] [-base-rps R] [-amplitude A]
 //	         [-crowds-per-week C] [-flash-factor F] [-flash-minutes M] [-o file]
 //
@@ -14,6 +15,17 @@
 // type's own price ladder. Rows for non-base types carry a fourth
 // (CSV) / "type" (JSON) column; zone-only output is byte-identical to
 // a run without -types.
+//
+// -format colbin writes the columnar binary trace format
+// (internal/trace/colbin): delta-encoded minute and price columns per
+// pool behind a pool directory, typically ~4x smaller than CSV and
+// decoded by cmd/replay without per-row parsing — the fast path for
+// large sweeps.
+//
+// The "convert" subcommand rewrites an existing trace file between the
+// three formats, detecting the input format from its bytes. Binary and
+// JSON inputs are self-describing; a CSV input is read against -type,
+// -types, and -weeks (the span CSV rows cannot declare themselves).
 //
 // The "workload" subcommand generates a synthetic request-rate trace
 // instead — a diurnal sinusoid overlaid with seeded flash crowds — in
@@ -29,6 +41,7 @@ import (
 
 	"repro/internal/market"
 	"repro/internal/trace"
+	"repro/internal/trace/colbin"
 	"repro/internal/workload"
 )
 
@@ -40,13 +53,20 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "convert" {
+		if err := runConvert(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen: convert:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	itype := flag.String("type", "m1.small", "base instance type (any cataloged type, e.g. m1.small, m3.large)")
 	types := flag.String("types", "", "comma-separated extra instance types, one correlated pool per (zone, type)")
 	weeks := flag.Int64("weeks", 13, "trace length in weeks")
 	seed := flag.Uint64("seed", 2014, "generator seed")
 	zones := flag.String("zones", "", "comma-separated zones (default: the 17 experiment zones)")
-	format := flag.String("format", "csv", "output format: csv or json")
+	format := flag.String("format", "csv", "output format: csv, json, or colbin (columnar binary)")
 	out := flag.String("o", "-", "output file ('-' = stdout)")
 	flag.Parse()
 
@@ -92,16 +112,75 @@ func run(itype, types string, weeks int64, seed uint64, zones, format, out strin
 	if err != nil {
 		return err
 	}
-	if err := func() error {
-		switch format {
-		case "csv":
-			return set.WriteCSV(w)
-		case "json":
-			return set.WriteJSON(w)
-		default:
-			return fmt.Errorf("unknown format %q", format)
-		}
-	}(); err != nil {
+	if err := writeSet(w, set, format); err != nil {
+		closeOut()
+		return err
+	}
+	return closeOut()
+}
+
+// writeSet renders a trace set in one of the three supported formats.
+func writeSet(w io.Writer, set *trace.Set, format string) error {
+	switch format {
+	case "csv":
+		return set.WriteCSV(w)
+	case "json":
+		return set.WriteJSON(w)
+	case "colbin":
+		return colbin.Write(w, set)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}
+
+// runConvert is the "convert" subcommand: rewrite a trace file between
+// CSV, JSON, and the columnar binary format. The input format is
+// detected from the file's bytes.
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("tracegen convert", flag.ExitOnError)
+	in := fs.String("in", "", "input trace file (required); format auto-detected")
+	format := fs.String("format", "colbin", "output format: csv, json, or colbin")
+	itype := fs.String("type", "m1.small", "base instance type of a CSV input (self-describing inputs carry their own)")
+	types := fs.String("types", "", "comma-separated extra instance types to admit from a CSV input")
+	weeks := fs.Int64("weeks", 13, "span of a CSV input in weeks (CSV rows cannot declare their own span)")
+	lenient := fs.Bool("lenient", false, "quarantine malformed input rows instead of failing the read")
+	out := fs.String("o", "-", "output file ('-' = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	it := market.InstanceType(*itype)
+	if _, err := market.Shape(it); err != nil {
+		return fmt.Errorf("unknown instance type %q", *itype)
+	}
+	extra, err := market.ParseTypes(*types)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	mode := trace.Strict
+	if *lenient {
+		mode = trace.Lenient
+	}
+	set, report, err := colbin.ReadAny(f, it, extra, 0, *weeks*7*24*60, mode)
+	if err != nil {
+		return err
+	}
+	if report != nil && report.Quarantined > 0 {
+		fmt.Fprintf(os.Stderr, "tracegen: convert: quarantined %d malformed rows: %v\n",
+			report.Quarantined, report.Reasons)
+	}
+	w, closeOut, err := openOut(*out)
+	if err != nil {
+		return err
+	}
+	if err := writeSet(w, set, *format); err != nil {
 		closeOut()
 		return err
 	}

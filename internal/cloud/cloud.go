@@ -116,10 +116,17 @@ type timer struct {
 
 // Provider is the simulated control plane over a fixed price trace set.
 type Provider struct {
-	traces *trace.Set
-	now    int64
-	rng    *stats.RNG
-	nextID int64
+	traces   *trace.Set
+	now      int64
+	rng      *stats.RNG
+	nextID   int64
+	idPrefix string
+
+	// cursors memoize the last price lookup per zone: the simulation
+	// clock only moves forward, so SpotPrice/SpotPriceAge and the
+	// refulfilment scan hit the next point in O(1) instead of a binary
+	// search per call (see trace.Cursor).
+	cursors map[string]*trace.Cursor
 
 	instances map[InstanceID]*Instance
 	// active holds non-terminated instances in creation order, which is
@@ -169,6 +176,11 @@ type Config struct {
 	// InjectHardwareFailures enables the SLA failure model (FP' = 0.01)
 	// on every instance, spot and on-demand alike.
 	InjectHardwareFailures bool
+	// IDPrefix, when non-empty, is spliced into minted instance and
+	// request IDs ("i-<prefix>-spot-000001", "sir-<prefix>-000001") so
+	// several providers — the sharded kernel runs one per region — mint
+	// globally distinct IDs. Empty keeps the legacy formats byte-exact.
+	IDPrefix string
 }
 
 // mttr and hazard chosen so steady-state unavailability matches the
@@ -185,7 +197,9 @@ func NewProvider(traces *trace.Set, cfg Config) *Provider {
 		traces:       traces,
 		now:          traces.Start,
 		rng:          stats.NewRNG(cfg.Seed),
+		idPrefix:     cfg.IDPrefix,
 		instances:    make(map[InstanceID]*Instance),
+		cursors:      make(map[string]*trace.Cursor, len(traces.ByZone)),
 		refulfilNext: engine.NoMinute,
 	}
 	if cfg.InjectHardwareFailures {
@@ -214,11 +228,26 @@ func (p *Provider) Zones() []string { return p.traces.Zones() }
 
 // SpotPrice returns the current spot price in a zone.
 func (p *Provider) SpotPrice(zone string) (market.Money, error) {
+	c, err := p.cursor(zone)
+	if err != nil {
+		return 0, err
+	}
+	return c.PriceAt(p.now), nil
+}
+
+// cursor returns the zone's memoized price cursor, creating it on first
+// use.
+func (p *Provider) cursor(zone string) (*trace.Cursor, error) {
+	if c, ok := p.cursors[zone]; ok {
+		return c, nil
+	}
 	t, ok := p.traces.ByZone[zone]
 	if !ok {
-		return 0, fmt.Errorf("cloud: unknown zone %q", zone)
+		return nil, fmt.Errorf("cloud: unknown zone %q", zone)
 	}
-	return t.PriceAt(p.now), nil
+	c := trace.NewCursor(t)
+	p.cursors[zone] = c
+	return c, nil
 }
 
 // SpotPriceAt returns the zone's spot price at a past minute — what an
@@ -250,11 +279,11 @@ func (p *Provider) SpotPriceAgeAt(zone string, minute int64) (int64, error) {
 // SpotPriceAge returns how many minutes the current price has held, a
 // direct input to the semi-Markov failure estimator.
 func (p *Provider) SpotPriceAge(zone string) (int64, error) {
-	t, ok := p.traces.ByZone[zone]
-	if !ok {
-		return 0, fmt.Errorf("cloud: unknown zone %q", zone)
+	c, err := p.cursor(zone)
+	if err != nil {
+		return 0, err
 	}
-	return t.AgeAt(p.now), nil
+	return c.AgeAt(p.now), nil
 }
 
 // PriceHistory returns the price trace of a zone over [from, to),
@@ -528,6 +557,9 @@ func (p *Provider) PublishEvent(e engine.Event) {
 
 func (p *Provider) newID(kind string) InstanceID {
 	p.nextID++
+	if p.idPrefix != "" {
+		return InstanceID(fmt.Sprintf("i-%s-%s-%06d", p.idPrefix, kind, p.nextID))
+	}
 	return InstanceID(fmt.Sprintf("i-%s-%06d", kind, p.nextID))
 }
 

@@ -48,8 +48,12 @@ func (p *Provider) RequestSpotPersistent(zone string, it market.InstanceType, bi
 		return "", fmt.Errorf("cloud: unknown zone %q", zone)
 	}
 	p.nextID++
+	rid := fmt.Sprintf("sir-%06d", p.nextID)
+	if p.idPrefix != "" {
+		rid = fmt.Sprintf("sir-%s-%06d", p.idPrefix, p.nextID)
+	}
 	req := &spotRequest{
-		ID:   RequestID(fmt.Sprintf("sir-%06d", p.nextID)),
+		ID:   RequestID(rid),
 		Zone: zone, Type: it, Bid: bid,
 		refulfilAt: engine.NoMinute,
 	}
@@ -68,7 +72,11 @@ func (p *Provider) fulfil(req *spotRequest) {
 	if req.Cancelled || req.Current != "" {
 		return
 	}
-	price := p.traces.ByZone[req.Zone].PriceAt(p.now)
+	c, err := p.cursor(req.Zone)
+	if err != nil {
+		panic(err) // zone validated when the request was opened
+	}
+	price := c.PriceAt(p.now)
 	if price > req.Bid {
 		p.scheduleRefulfil(req, p.now)
 		return

@@ -72,6 +72,16 @@ type Env struct {
 	// MinMemGiB).
 	MinVCPU   int
 	MinMemGiB float64
+	// TraceSet, when set, replaces the synthetic market: every spec
+	// replays over this set — e.g. one loaded from a file — instead of
+	// generating one from Seed. Traces validates that the set carries
+	// the spec's base type and covers the train+replay span.
+	TraceSet *trace.Set
+	// Kernel and ShardWorkers select the replay engine of every cell
+	// (replay.Config.Kernel / ShardWorkers). The zero value keeps the
+	// default event kernel.
+	Kernel       replay.Kernel
+	ShardWorkers int
 	// Workload, when set, arms every replay cell with this request-rate
 	// trace (replay.Config.Workload): the cell autoscales the group
 	// between interval boundaries instead of holding the spec's fixed
@@ -127,6 +137,16 @@ func StorageSpec() strategy.ServiceSpec {
 // market, across the paper's 17 experiment zones — plus one correlated
 // sibling pool per (zone, Env.Types entry) when types are configured.
 func (e Env) Traces(it market.InstanceType) (*trace.Set, error) {
+	if e.TraceSet != nil {
+		if e.TraceSet.Type != it {
+			return nil, fmt.Errorf("experiments: trace set holds %s pools, spec needs %s", e.TraceSet.Type, it)
+		}
+		if need := (e.TrainWeeks + e.ReplayWeeks) * Week; e.TraceSet.Start > 0 || e.TraceSet.End < need {
+			return nil, fmt.Errorf("experiments: trace set spans [%d, %d), need [0, %d)",
+				e.TraceSet.Start, e.TraceSet.End, need)
+		}
+		return e.TraceSet, nil
+	}
 	return trace.Generate(trace.GenConfig{
 		Seed:  e.Seed,
 		Type:  it,
@@ -167,6 +187,8 @@ func (e Env) replayOne(set *trace.Set, spec strategy.ServiceSpec, strat strategy
 		IntervalMinutes:        intervalHours * 60,
 		Seed:                   e.Seed ^ uint64(intervalHours)<<32 ^ uint64(len(strat.Name())),
 		InjectHardwareFailures: true,
+		Kernel:                 e.Kernel,
+		ShardWorkers:           e.ShardWorkers,
 		Models:                 e.Models,
 		Observers:              observers,
 		Chaos:                  e.Chaos,

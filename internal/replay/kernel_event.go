@@ -21,7 +21,7 @@ import (
 type availTracker struct {
 	engine.BaseObserver
 	spec strategy.ServiceSpec
-	p    *cloud.Provider
+	p    controlPlane
 	// emit reports quorum transitions (minute, down, live count).
 	emit func(minute int64, down bool, live int)
 

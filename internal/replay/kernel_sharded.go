@@ -1,0 +1,339 @@
+package replay
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cloud"
+	"repro/internal/engine"
+	"repro/internal/market"
+	"repro/internal/trace"
+)
+
+// eventBuffer captures one shard's event stream in emission order so
+// shardedCloud can merge all shards deterministically before anything
+// reaches the run's observers. OnOutOfBid stays a no-op: Dispatch
+// delivers provider terminations to OnInstance as well, and buffering
+// both copies would duplicate the event on replay.
+type eventBuffer struct {
+	events []engine.Event
+}
+
+func (b *eventBuffer) append(e engine.Event)     { b.events = append(b.events, e) }
+func (b *eventBuffer) OnInstance(e engine.Event) { b.append(e) }
+func (b *eventBuffer) OnOutOfBid(engine.Event)   {}
+func (b *eventBuffer) OnDecision(e engine.Event) { b.append(e) }
+func (b *eventBuffer) OnBilling(e engine.Event)  { b.append(e) }
+func (b *eventBuffer) OnQuorum(e engine.Event)   { b.append(e) }
+func (b *eventBuffer) OnModel(e engine.Event)    { b.append(e) }
+func (b *eventBuffer) OnFault(e engine.Event)    { b.append(e) }
+
+// shard is one region's slice of the market: a full provider over the
+// region's pools with its own timer queue, RNG stream, and event
+// buffer.
+type shard struct {
+	region string
+	p      *cloud.Provider
+	buf    *eventBuffer
+}
+
+// shardedCloud implements controlPlane over per-region providers. The
+// pool partition is fixed by the catalog (region of each pool's zone),
+// so every call routes to exactly one shard; only AdvanceTo touches
+// more than one, advancing all shards — concurrently when workers
+// permit — and then merging their buffered events into one
+// deterministic stream ordered by (minute, shard index, emission
+// order). Shards never interact, so the merged stream, and therefore
+// the whole replay, is identical at every worker count.
+type shardedCloud struct {
+	shards  []shard
+	workers int
+	// zones is the full sorted pool-key list across shards; byZone maps
+	// each key to its shard.
+	zones  []string
+	byZone map[string]int
+	// byInst and byReq route IDs minted by the shards. Instances born
+	// inside a shard (persistent-request refulfilment) enter byInst
+	// when they first surface through RequestHistory or LiveInstances.
+	byInst map[cloud.InstanceID]int
+	byReq  map[cloud.RequestID]int
+	obs    engine.Fanout
+	now    int64
+}
+
+// fnv64a hashes a region name to decorrelate per-shard RNG streams.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// newShardedCloud partitions the trace set's pools by region and
+// builds one provider per region. Pool keys whose zone is outside the
+// market catalog share a catch-all shard under the empty region name.
+func newShardedCloud(traces *trace.Set, cfg Config) (*shardedCloud, error) {
+	byRegion := map[string][]string{}
+	for _, key := range traces.Zones() {
+		name := ""
+		if region, err := market.RegionOfZone(market.PoolZone(key)); err == nil {
+			name = region.Name
+		}
+		byRegion[name] = append(byRegion[name], key)
+	}
+	if len(byRegion) == 0 {
+		return nil, fmt.Errorf("replay: sharded kernel needs a non-empty trace set")
+	}
+	regions := make([]string, 0, len(byRegion))
+	for name := range byRegion {
+		regions = append(regions, name)
+	}
+	sort.Strings(regions)
+
+	workers := cfg.ShardWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &shardedCloud{
+		workers: workers,
+		zones:   traces.Zones(),
+		byZone:  make(map[string]int, len(traces.ByZone)),
+		byInst:  make(map[cloud.InstanceID]int),
+		byReq:   make(map[cloud.RequestID]int),
+		now:     traces.Start,
+	}
+	for _, name := range regions {
+		sub := &trace.Set{
+			Type:   traces.Type,
+			Start:  traces.Start,
+			End:    traces.End,
+			ByZone: make(map[string]*trace.Trace, len(byRegion[name])),
+		}
+		for _, key := range byRegion[name] {
+			sub.ByZone[key] = traces.ByZone[key]
+			s.byZone[key] = len(s.shards)
+		}
+		p := cloud.NewProvider(sub, cloud.Config{
+			Seed:                   cfg.Seed ^ fnv64a(name),
+			InjectHardwareFailures: cfg.InjectHardwareFailures,
+			IDPrefix:               name,
+		})
+		buf := &eventBuffer{}
+		p.Subscribe(buf)
+		s.shards = append(s.shards, shard{region: name, p: p, buf: buf})
+	}
+	return s, nil
+}
+
+func (s *shardedCloud) Now() int64      { return s.now }
+func (s *shardedCloud) Zones() []string { return s.zones }
+
+func (s *shardedCloud) zoneShard(zone string) (*cloud.Provider, error) {
+	i, ok := s.byZone[zone]
+	if !ok {
+		return nil, fmt.Errorf("cloud: unknown zone %q", zone)
+	}
+	return s.shards[i].p, nil
+}
+
+func (s *shardedCloud) SpotPrice(zone string) (market.Money, error) {
+	p, err := s.zoneShard(zone)
+	if err != nil {
+		return 0, err
+	}
+	return p.SpotPrice(zone)
+}
+
+func (s *shardedCloud) SpotPriceAge(zone string) (int64, error) {
+	p, err := s.zoneShard(zone)
+	if err != nil {
+		return 0, err
+	}
+	return p.SpotPriceAge(zone)
+}
+
+func (s *shardedCloud) PriceHistory(zone string, from, to int64) (*trace.Trace, error) {
+	p, err := s.zoneShard(zone)
+	if err != nil {
+		return nil, err
+	}
+	return p.PriceHistory(zone, from, to)
+}
+
+func (s *shardedCloud) RequestSpot(zone string, it market.InstanceType, bid market.Money) (cloud.InstanceID, error) {
+	i, ok := s.byZone[zone]
+	if !ok {
+		return "", fmt.Errorf("cloud: unknown zone %q", zone)
+	}
+	id, err := s.shards[i].p.RequestSpot(zone, it, bid)
+	if err == nil {
+		s.byInst[id] = i
+	}
+	return id, err
+}
+
+func (s *shardedCloud) RequestOnDemand(zone string, it market.InstanceType) (cloud.InstanceID, error) {
+	i, ok := s.byZone[zone]
+	if !ok {
+		return "", fmt.Errorf("cloud: unknown zone %q", zone)
+	}
+	id, err := s.shards[i].p.RequestOnDemand(zone, it)
+	if err == nil {
+		s.byInst[id] = i
+	}
+	return id, err
+}
+
+func (s *shardedCloud) RequestSpotPersistent(zone string, it market.InstanceType, bid market.Money) (cloud.RequestID, error) {
+	i, ok := s.byZone[zone]
+	if !ok {
+		return "", fmt.Errorf("cloud: unknown zone %q", zone)
+	}
+	rid, err := s.shards[i].p.RequestSpotPersistent(zone, it, bid)
+	if err == nil {
+		s.byReq[rid] = i
+	}
+	return rid, err
+}
+
+func (s *shardedCloud) CancelSpotRequest(id cloud.RequestID, terminate bool) error {
+	i, ok := s.byReq[id]
+	if !ok {
+		return fmt.Errorf("cloud: unknown spot request %s", id)
+	}
+	return s.shards[i].p.CancelSpotRequest(id, terminate)
+}
+
+func (s *shardedCloud) RequestHistory(id cloud.RequestID) ([]cloud.InstanceID, error) {
+	i, ok := s.byReq[id]
+	if !ok {
+		return nil, fmt.Errorf("cloud: unknown spot request %s", id)
+	}
+	hist, err := s.shards[i].p.RequestHistory(id)
+	if err != nil {
+		return nil, err
+	}
+	for _, iid := range hist {
+		s.byInst[iid] = i
+	}
+	return hist, nil
+}
+
+func (s *shardedCloud) RequestAlive(id cloud.RequestID) bool {
+	i, ok := s.byReq[id]
+	if !ok {
+		return false
+	}
+	return s.shards[i].p.RequestAlive(id)
+}
+
+func (s *shardedCloud) Terminate(id cloud.InstanceID) error {
+	i, ok := s.byInst[id]
+	if !ok {
+		return fmt.Errorf("cloud: unknown instance %s", id)
+	}
+	return s.shards[i].p.Terminate(id)
+}
+
+func (s *shardedCloud) Instance(id cloud.InstanceID) (cloud.Instance, error) {
+	i, ok := s.byInst[id]
+	if !ok {
+		return cloud.Instance{}, fmt.Errorf("cloud: unknown instance %s", id)
+	}
+	return s.shards[i].p.Instance(id)
+}
+
+func (s *shardedCloud) Alive(id cloud.InstanceID) bool {
+	i, ok := s.byInst[id]
+	if !ok {
+		return false
+	}
+	return s.shards[i].p.Alive(id)
+}
+
+func (s *shardedCloud) Charge(id cloud.InstanceID) (market.Money, error) {
+	i, ok := s.byInst[id]
+	if !ok {
+		return 0, fmt.Errorf("cloud: unknown instance %s", id)
+	}
+	return s.shards[i].p.Charge(id)
+}
+
+func (s *shardedCloud) LiveInstances() []cloud.InstanceID {
+	var all []cloud.InstanceID
+	for i := range s.shards {
+		ids := s.shards[i].p.LiveInstances()
+		for _, id := range ids {
+			s.byInst[id] = i
+		}
+		all = append(all, ids...)
+	}
+	return all
+}
+
+// AdvanceTo moves every shard to the minute — concurrently when more
+// than one worker is allowed — then flushes the merged event stream.
+// Shards share no state, so the only cross-shard ordering is the merge
+// itself, which depends on buffer contents alone, never on scheduling.
+func (s *shardedCloud) AdvanceTo(minute int64) {
+	if s.workers <= 1 || len(s.shards) == 1 {
+		for i := range s.shards {
+			s.shards[i].p.AdvanceTo(minute)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, s.workers)
+		for i := range s.shards {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(p *cloud.Provider) {
+				defer wg.Done()
+				p.AdvanceTo(minute)
+				<-sem
+			}(s.shards[i].p)
+		}
+		wg.Wait()
+	}
+	s.now = minute
+	s.Flush()
+}
+
+func (s *shardedCloud) Subscribe(o engine.Observer) {
+	s.obs = append(s.obs, o)
+}
+
+// Flush drains every shard buffer into the subscribed observers in
+// (minute, shard index, per-shard emission order). The scan prefers a
+// strictly smaller minute, so same-minute events across shards always
+// publish in shard-index order — a total order fixed by the region
+// partition, independent of worker scheduling.
+func (s *shardedCloud) Flush() {
+	if s.obs.Active() {
+		heads := make([]int, len(s.shards))
+		for {
+			best := -1
+			var bestMinute int64
+			for i := range s.shards {
+				evs := s.shards[i].buf.events
+				if heads[i] >= len(evs) {
+					continue
+				}
+				if m := evs[heads[i]].Minute; best < 0 || m < bestMinute {
+					best, bestMinute = i, m
+				}
+			}
+			if best < 0 {
+				break
+			}
+			s.obs.Publish(s.shards[best].buf.events[heads[best]])
+			heads[best]++
+		}
+	}
+	for i := range s.shards {
+		s.shards[i].buf.events = s.shards[i].buf.events[:0]
+	}
+}

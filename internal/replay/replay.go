@@ -41,6 +41,16 @@ const (
 	// KernelPolling is the original minute-by-minute loop, kept as the
 	// reference implementation the event kernel is verified against.
 	KernelPolling
+	// KernelSharded is the region-sharded event kernel: pools partition
+	// by region across per-shard providers that advance concurrently
+	// (bounded by ShardWorkers), with per-shard event buffers merged
+	// deterministically at every wake. The decision loop is the event
+	// kernel's; only the control plane underneath is sharded. Its event
+	// stream is deterministic and independent of ShardWorkers, but not
+	// byte-identical to KernelEvent's (per-shard RNG streams and ID
+	// prefixes differ); it is pinned by its own golden. Incompatible
+	// with Chaos.
+	KernelSharded
 )
 
 // Config parameterizes one replay run.
@@ -80,6 +90,11 @@ type Config struct {
 	PersistentRequests bool
 	// Kernel selects the replay engine (default KernelEvent).
 	Kernel Kernel
+	// ShardWorkers bounds the goroutines advancing shards concurrently
+	// under KernelSharded (default GOMAXPROCS; 1 = sequential). The
+	// result and event stream are identical at every worker count.
+	// Ignored by the other kernels.
+	ShardWorkers int
 	// Observers receive the simulation event stream: instance
 	// lifecycle, out-of-bid reclaims, outages, billing closures from
 	// the provider, plus the replay's own bidding decisions, service
@@ -161,19 +176,47 @@ type IntervalStats struct {
 	DownMinutes int64 // downtime within this interval
 }
 
+// controlPlane is the slice of the provider surface the replay drives.
+// *cloud.Provider satisfies it directly (the single-shard kernels);
+// shardedCloud satisfies it by routing each call to the per-region
+// shard owning the zone, instance, or request.
+type controlPlane interface {
+	Now() int64
+	Zones() []string
+	SpotPrice(zone string) (market.Money, error)
+	SpotPriceAge(zone string) (int64, error)
+	PriceHistory(zone string, from, to int64) (*trace.Trace, error)
+	RequestSpot(zone string, it market.InstanceType, bid market.Money) (cloud.InstanceID, error)
+	RequestOnDemand(zone string, it market.InstanceType) (cloud.InstanceID, error)
+	RequestSpotPersistent(zone string, it market.InstanceType, bid market.Money) (cloud.RequestID, error)
+	CancelSpotRequest(id cloud.RequestID, terminate bool) error
+	RequestHistory(id cloud.RequestID) ([]cloud.InstanceID, error)
+	RequestAlive(id cloud.RequestID) bool
+	Terminate(id cloud.InstanceID) error
+	Instance(id cloud.InstanceID) (cloud.Instance, error)
+	Alive(id cloud.InstanceID) bool
+	LiveInstances() []cloud.InstanceID
+	Charge(id cloud.InstanceID) (market.Money, error)
+	AdvanceTo(minute int64)
+	Subscribe(o engine.Observer)
+}
+
 // marketView adapts the provider to the strategy's view interface. It
 // also implements the optional strategy.TraceIdentifier and
 // strategy.EventPublisher extensions: the replayed trace set's
 // fingerprint keys shared model caches, and strategy instrumentation
 // events (model training) reach the run's observers.
 type marketView struct {
-	p           *cloud.Provider
+	p           controlPlane
 	fingerprint uint64
 	obs         engine.Fanout
 	// chaos, when armed, rewrites observations inside injected trace
 	// gaps: the pre-gap price with growing age, history clamped to the
-	// gap start. Nil outside chaos runs.
+	// gap start. Nil outside chaos runs. raw is the concrete provider
+	// the chaos engine is armed against (chaos never combines with the
+	// sharded control plane, so it is always p itself).
 	chaos *chaos.Engine
+	raw   *cloud.Provider
 	// load, when armed, carries the workload autoscaler's target group
 	// size (strategy.LoadTargeter). Nil outside autoscaled runs, so the
 	// fixed-n path reports no target and strategies keep sizing by
@@ -185,7 +228,7 @@ func (v marketView) Now() int64      { return v.p.Now() }
 func (v marketView) Zones() []string { return v.p.Zones() }
 func (v marketView) SpotPrice(zone string) (market.Money, error) {
 	if v.chaos != nil {
-		if price, _, stale, err := v.chaos.StalePrice(v.p, zone, v.p.Now()); stale || err != nil {
+		if price, _, stale, err := v.chaos.StalePrice(v.raw, zone, v.p.Now()); stale || err != nil {
 			return price, err
 		}
 	}
@@ -193,7 +236,7 @@ func (v marketView) SpotPrice(zone string) (market.Money, error) {
 }
 func (v marketView) SpotPriceAge(zone string) (int64, error) {
 	if v.chaos != nil {
-		if _, age, stale, err := v.chaos.StalePrice(v.p, zone, v.p.Now()); stale || err != nil {
+		if _, age, stale, err := v.chaos.StalePrice(v.raw, zone, v.p.Now()); stale || err != nil {
 			return age, err
 		}
 	}
@@ -235,7 +278,7 @@ type run struct {
 	cfg      Config
 	lead     int64
 	end      int64
-	provider *cloud.Provider
+	provider controlPlane
 	view     marketView
 	res      *Result
 
@@ -303,6 +346,9 @@ func Run(cfg Config) (*Result, error) {
 	traces := cfg.Traces
 	var chaosEng *chaos.Engine
 	if cfg.Chaos != nil {
+		if cfg.Kernel == KernelSharded {
+			return nil, fmt.Errorf("replay: chaos scenarios require a single-shard kernel")
+		}
 		var cerr error
 		chaosEng, cerr = chaos.New(*cfg.Chaos, cfg.ChaosSeed, cfg.Start)
 		if cerr != nil {
@@ -312,14 +358,25 @@ func Run(cfg Config) (*Result, error) {
 			return nil, cerr
 		}
 	}
-	provider := cloud.NewProvider(traces, cloud.Config{
-		Seed:                   cfg.Seed,
-		InjectHardwareFailures: cfg.InjectHardwareFailures,
-	})
+	var provider controlPlane
+	var raw *cloud.Provider
+	if cfg.Kernel == KernelSharded {
+		sc, serr := newShardedCloud(traces, cfg)
+		if serr != nil {
+			return nil, serr
+		}
+		provider = sc
+	} else {
+		raw = cloud.NewProvider(traces, cloud.Config{
+			Seed:                   cfg.Seed,
+			InjectHardwareFailures: cfg.InjectHardwareFailures,
+		})
+		provider = raw
+	}
 	fingerprint := traces.Fingerprint()
 	if chaosEng != nil {
 		fingerprint ^= chaosEng.FingerprintSalt()
-		chaosEng.Arm(provider)
+		chaosEng.Arm(raw)
 		// Let a fault-aware strategy (Jupiter's staged degradation)
 		// watch the stream it must react to.
 		if obs, ok := cfg.Strategy.(engine.Observer); ok {
@@ -332,7 +389,7 @@ func Run(cfg Config) (*Result, error) {
 		lead:     lead,
 		end:      end,
 		provider: provider,
-		view:     marketView{p: provider, fingerprint: fingerprint, obs: userObs, chaos: chaosEng},
+		view:     marketView{p: provider, fingerprint: fingerprint, obs: userObs, chaos: chaosEng, raw: raw},
 		res:      &Result{Strategy: cfg.Strategy.Name(), IntervalMinutes: cfg.IntervalMinutes},
 		userObs:  userObs,
 	}
@@ -371,6 +428,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if err := r.finish(); err != nil {
 		return nil, err
+	}
+	// Final accounting terminates instances without advancing the
+	// clock; flush those trailing events to the observers.
+	if sc, ok := r.provider.(*shardedCloud); ok {
+		sc.Flush()
 	}
 	return r.res, nil
 }

@@ -1,0 +1,160 @@
+package replay
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/market"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+	"repro/internal/trace/colbin"
+)
+
+// recordObserver captures every delivered hook call so two runs'
+// streams can be compared field-for-field.
+type recordObserver struct {
+	engine.BaseObserver
+	events []engine.Event
+}
+
+func (r *recordObserver) OnInstance(e engine.Event) { r.events = append(r.events, e) }
+func (r *recordObserver) OnDecision(e engine.Event) { r.events = append(r.events, e) }
+func (r *recordObserver) OnBilling(e engine.Event)  { r.events = append(r.events, e) }
+func (r *recordObserver) OnQuorum(e engine.Event)   { r.events = append(r.events, e) }
+
+// TestShardedWorkerInvariance is the determinism contract: the sharded
+// kernel must produce the identical Result and the identical event
+// stream at every worker count, because the region partition — not the
+// scheduler — fixes all cross-shard ordering.
+func TestShardedWorkerInvariance(t *testing.T) {
+	set := genTraces(t, 11, 1, market.M1Small)
+	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	var ref *Result
+	var refEvents []engine.Event
+	for _, persistent := range []bool{false, true} {
+		for i, w := range counts {
+			rec := &recordObserver{}
+			res, err := Run(Config{
+				Traces: set, Start: 13 * week,
+				Spec: lockSpec(), Strategy: core.New(),
+				IntervalMinutes: 180, Seed: 11,
+				InjectHardwareFailures: true,
+				PersistentRequests:     persistent,
+				Kernel:                 KernelSharded,
+				ShardWorkers:           w,
+				Observers:              []engine.Observer{rec},
+			})
+			if err != nil {
+				t.Fatalf("workers=%d persistent=%v: %v", w, persistent, err)
+			}
+			if i == 0 {
+				ref, refEvents = res, rec.events
+				if res.Decisions == 0 || res.SpotLaunch == 0 {
+					t.Fatalf("degenerate reference run: %+v", res)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(res, ref) {
+				t.Fatalf("workers=%d persistent=%v result differs:\n%+v\n%+v", w, persistent, res, ref)
+			}
+			if len(rec.events) != len(refEvents) {
+				t.Fatalf("workers=%d persistent=%v: %d events, reference %d",
+					w, persistent, len(rec.events), len(refEvents))
+			}
+			for j := range rec.events {
+				if rec.events[j] != refEvents[j] {
+					t.Fatalf("workers=%d persistent=%v event %d differs:\n%+v\n%+v",
+						w, persistent, j, rec.events[j], refEvents[j])
+				}
+			}
+		}
+		ref, refEvents = nil, nil
+	}
+}
+
+// TestShardedColbinMatchesCSVSet runs the sharded kernel once over the
+// generated set and once over its colbin round-trip: the binary format
+// must be lossless all the way through a replay, not just through
+// Fingerprint.
+func TestShardedColbinMatchesCSVSet(t *testing.T) {
+	set := genTraces(t, 12, 1, market.M1Small)
+	file, _, err := colbin.Decode(colbin.Encode(set), trace.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Start: 13 * week,
+		Spec:  lockSpec(), Strategy: nil,
+		IntervalMinutes: 360, Seed: 12,
+		InjectHardwareFailures: true,
+		Kernel:                 KernelSharded,
+	}
+	cfg.Traces, cfg.Strategy = set, core.New()
+	direct, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Traces, cfg.Strategy = file.Set(), core.New()
+	viaColbin, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, viaColbin) {
+		t.Fatalf("colbin round-trip changed the replay:\n%+v\n%+v", direct, viaColbin)
+	}
+}
+
+// TestShardedMatchesEventKernelAggregates sanity-checks the sharded
+// kernel against the single-shard event kernel: RNG streams differ by
+// construction, so results are not bit-identical, but the aggregate
+// economics must land in the same regime.
+func TestShardedMatchesEventKernelAggregates(t *testing.T) {
+	set := genTraces(t, 13, 1, market.M1Small)
+	run := func(k Kernel) *Result {
+		res, err := Run(Config{
+			Traces: set, Start: 13 * week,
+			Spec: lockSpec(), Strategy: core.New(),
+			IntervalMinutes: 180, Seed: 13,
+			Kernel: k,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ev, sh := run(KernelEvent), run(KernelSharded)
+	if sh.Decisions != ev.Decisions || sh.TotalMinutes != ev.TotalMinutes {
+		t.Fatalf("cadence differs: sharded %+v vs event %+v", sh, ev)
+	}
+	if ev.Cost <= 0 || sh.Cost <= 0 {
+		t.Fatalf("degenerate costs: sharded %v, event %v", sh.Cost, ev.Cost)
+	}
+	ratio := float64(sh.Cost) / float64(ev.Cost)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("sharded cost %v not within 2x of event kernel %v", sh.Cost, ev.Cost)
+	}
+	if sh.Availability < 0.98 {
+		t.Fatalf("sharded availability %v", sh.Availability)
+	}
+}
+
+// TestShardedRejectsChaos pins the compatibility rule: chaos scenarios
+// arm against the single concrete provider and cannot combine with the
+// sharded control plane.
+func TestShardedRejectsChaos(t *testing.T) {
+	set := genTraces(t, 14, 1, market.M1Small)
+	_, err := Run(Config{
+		Traces: set, Start: 13 * week,
+		Spec: lockSpec(), Strategy: strategy.OnDemand{},
+		IntervalMinutes: 60, Seed: 14,
+		Kernel: KernelSharded,
+		Chaos:  &chaos.Scenario{},
+	})
+	if err == nil {
+		t.Fatal("sharded kernel accepted a chaos scenario")
+	}
+}

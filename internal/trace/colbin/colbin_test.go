@@ -1,0 +1,359 @@
+package colbin
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/market"
+	"repro/internal/trace"
+)
+
+func genSet(t *testing.T) *trace.Set {
+	t.Helper()
+	set, err := trace.Generate(trace.GenConfig{
+		Seed:  2014,
+		Type:  market.M1Small,
+		Zones: []string{"us-east-1a", "us-east-1b", "eu-west-1a", "ap-northeast-1a"},
+		Start: 0,
+		End:   14 * 24 * 60,
+		Types: []market.InstanceType{market.C3Large, market.R3Large},
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return set
+}
+
+// TestRoundTrip pins the CSV→colbin→CSV property: encoding a set and
+// decoding it back yields the same fingerprint, the same pool keys, and
+// byte-identical canonical CSV.
+func TestRoundTrip(t *testing.T) {
+	set := genSet(t)
+	data := Encode(set)
+
+	f, rep, err := Decode(data, trace.Strict)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if rep.Quarantined != 0 {
+		t.Fatalf("strict decode quarantined %d rows", rep.Quarantined)
+	}
+	got := f.Set()
+	if got.Fingerprint() != set.Fingerprint() {
+		t.Fatalf("fingerprint mismatch after round trip")
+	}
+
+	var orig, back bytes.Buffer
+	if err := set.WriteCSV(&orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WriteCSV(&back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig.Bytes(), back.Bytes()) {
+		t.Fatalf("canonical CSV differs after colbin round trip")
+	}
+
+	// And from CSV: parse the canonical CSV, encode, decode — same set.
+	parsed, err := trace.ReadCSVPools(bytes.NewReader(orig.Bytes()), set.Type,
+		[]market.InstanceType{market.C3Large, market.R3Large}, set.Start, set.End)
+	if err != nil {
+		t.Fatalf("re-parse CSV: %v", err)
+	}
+	f2, _, err := Decode(Encode(parsed), trace.Strict)
+	if err != nil {
+		t.Fatalf("decode re-encoded: %v", err)
+	}
+	if f2.Set().Fingerprint() != set.Fingerprint() {
+		t.Fatalf("fingerprint mismatch after CSV→colbin→set")
+	}
+}
+
+// TestPoolViewMatchesTrace drives PriceAt and AppendPoints on the
+// zero-copy views against the materialized traces.
+func TestPoolViewMatchesTrace(t *testing.T) {
+	set := genSet(t)
+	f, _, err := Decode(Encode(set), trace.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Zones()) != len(set.Zones()) {
+		t.Fatalf("zones: got %d, want %d", len(f.Zones()), len(set.Zones()))
+	}
+	var buf, want []trace.PricePoint
+	for _, key := range set.Zones() {
+		v := f.Pool(key)
+		if v == nil {
+			t.Fatalf("pool %s missing from file", key)
+		}
+		tr := set.ByZone[key]
+		if v.Len() != len(tr.Points) {
+			t.Fatalf("pool %s: %d points, want %d", key, v.Len(), len(tr.Points))
+		}
+		for m := tr.Start; m < tr.End; m += 97 {
+			if v.PriceAt(m) != tr.PriceAt(m) {
+				t.Fatalf("pool %s: PriceAt(%d) differs", key, m)
+			}
+		}
+		lo, hi := tr.Start+1000, tr.End-1000
+		buf = v.AppendPoints(buf[:0], lo, hi)
+		want = tr.AppendPoints(want[:0], lo, hi)
+		if len(buf) != len(want) {
+			t.Fatalf("pool %s: window sizes differ: %d vs %d", key, len(buf), len(want))
+		}
+		for i := range buf {
+			if buf[i] != want[i] {
+				t.Fatalf("pool %s: window point %d differs", key, i)
+			}
+		}
+	}
+	if f.Pool("no-such-pool") != nil {
+		t.Fatal("lookup of absent pool returned a view")
+	}
+}
+
+// TestReadAnyDetectsFormats feeds the same set as colbin, JSON, and CSV
+// bytes through ReadAny and checks all three decode to the same set.
+func TestReadAnyDetectsFormats(t *testing.T) {
+	set := genSet(t)
+	types := []market.InstanceType{market.C3Large, market.R3Large}
+
+	var csvBuf, jsonBuf bytes.Buffer
+	if err := set.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string][]byte{
+		"colbin": Encode(set),
+		"json":   jsonBuf.Bytes(),
+		"csv":    csvBuf.Bytes(),
+	}
+	for name, data := range inputs {
+		got, rep, err := ReadAny(bytes.NewReader(data), set.Type, types, set.Start, set.End, trace.Strict)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Quarantined != 0 {
+			t.Fatalf("%s: quarantined %d", name, rep.Quarantined)
+		}
+		if got.Fingerprint() != set.Fingerprint() {
+			t.Fatalf("%s: fingerprint mismatch", name)
+		}
+	}
+}
+
+// handBuild assembles colbin bytes directly so tests can express
+// streams the encoder would never produce.
+type handPool struct {
+	zone, typ string
+	minutes   []int64
+	prices    []int64
+}
+
+func handBuild(base string, start, end int64, pools []handPool) []byte {
+	out := []byte(Magic)
+	out = append(out, Version)
+	out = appendString(out, base)
+	out = binary.AppendVarint(out, start)
+	out = binary.AppendVarint(out, end)
+	out = binary.AppendUvarint(out, uint64(len(pools)))
+	var groups [][]byte
+	for _, p := range pools {
+		var g []byte
+		prev := start
+		for i, m := range p.minutes {
+			if i == 0 {
+				g = binary.AppendVarint(g, m-prev)
+			} else {
+				g = binary.AppendUvarint(g, uint64(m-prev))
+			}
+			prev = m
+		}
+		var prevPrice int64
+		for _, pr := range p.prices {
+			g = binary.AppendVarint(g, pr-prevPrice)
+			prevPrice = pr
+		}
+		groups = append(groups, g)
+	}
+	off := 0
+	for i, p := range pools {
+		out = appendString(out, p.zone)
+		out = appendString(out, p.typ)
+		out = binary.AppendUvarint(out, uint64(len(p.minutes)))
+		out = binary.AppendUvarint(out, uint64(off))
+		out = binary.AppendUvarint(out, uint64(len(groups[i])))
+		off += len(groups[i])
+	}
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+// TestHandBuildMatchesEncoder pins the byte layout: a hand-assembled
+// valid stream is byte-identical to Encode's output.
+func TestHandBuildMatchesEncoder(t *testing.T) {
+	set := trace.NewSet(market.M1Small, 0, 100)
+	tr := &trace.Trace{Zone: "us-east-1a", Type: market.M1Small, Start: 0, End: 100,
+		Points: []trace.PricePoint{{Minute: 0, Price: 44000}, {Minute: 30, Price: 51000}, {Minute: 80, Price: 46000}}}
+	if err := set.AddPool(tr); err != nil {
+		t.Fatal(err)
+	}
+	hand := handBuild("m1.small", 0, 100, []handPool{{
+		zone: "us-east-1a", minutes: []int64{0, 30, 80}, prices: []int64{44000, 51000, 46000},
+	}})
+	if !bytes.Equal(hand, Encode(set)) {
+		t.Fatalf("hand-built bytes differ from encoder output")
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	valid := func() []byte {
+		return handBuild("m1.small", 0, 100, []handPool{{
+			zone: "us-east-1a", minutes: []int64{0, 30}, prices: []int64{44000, 51000},
+		}})
+	}
+	cases := map[string]struct {
+		data       []byte
+		wantErr    string // strict error substring; "" = strict succeeds
+		hardErr    bool   // lenient fails too
+		quarantine string // lenient reason expected when !hardErr and wantErr != ""
+	}{
+		"bad magic": {
+			data: append([]byte("XXXX"), valid()[4:]...), wantErr: "bad magic", hardErr: true,
+		},
+		"bad version": {
+			data: func() []byte { d := valid(); d[4] = 9; return d }(), wantErr: "unsupported version", hardErr: true,
+		},
+		"truncated": {
+			data: valid()[:12], wantErr: "truncated", hardErr: true,
+		},
+		"unknown base type": {
+			data:    handBuild("z9.mega", 0, 100, []handPool{{zone: "a", minutes: []int64{0}, prices: []int64{1}}}),
+			wantErr: "base type", hardErr: true,
+		},
+		"duplicate minute": {
+			data: handBuild("m1.small", 0, 100, []handPool{{
+				zone: "us-east-1a", minutes: []int64{0, 30, 30, 60}, prices: []int64{1000, 2000, 3000, 4000},
+			}}),
+			wantErr: "repeated", quarantine: trace.ReasonDuplicateMinute,
+		},
+		"non-positive price": {
+			data: handBuild("m1.small", 0, 100, []handPool{{
+				zone: "us-east-1a", minutes: []int64{0, 30}, prices: []int64{1000, -5},
+			}}),
+			wantErr: "not positive", quarantine: trace.ReasonNonPositivePrice,
+		},
+		"unknown pool type": {
+			data: handBuild("m1.small", 0, 100, []handPool{
+				{zone: "us-east-1a", minutes: []int64{0}, prices: []int64{1000}},
+				{zone: "us-east-1b", typ: "z9.mega", minutes: []int64{0}, prices: []int64{1000}},
+			}),
+			wantErr: "unknown instance type", quarantine: trace.ReasonTypeMismatch,
+		},
+		"first point after start": {
+			data: handBuild("m1.small", 0, 100, []handPool{
+				{zone: "us-east-1a", minutes: []int64{0}, prices: []int64{1000}},
+				{zone: "us-east-1b", minutes: []int64{5}, prices: []int64{1000}},
+			}),
+			wantErr: "want start", quarantine: trace.ReasonZoneDropped,
+		},
+		"point beyond end": {
+			data: handBuild("m1.small", 0, 100, []handPool{
+				{zone: "us-east-1a", minutes: []int64{0}, prices: []int64{1000}},
+				{zone: "us-east-1b", minutes: []int64{0, 100}, prices: []int64{1000, 2000}},
+			}),
+			wantErr: "beyond end", quarantine: trace.ReasonZoneDropped,
+		},
+		"duplicate pool": {
+			data: handBuild("m1.small", 0, 100, []handPool{
+				{zone: "us-east-1a", minutes: []int64{0}, prices: []int64{1000}},
+				{zone: "us-east-1a", minutes: []int64{0}, prices: []int64{2000}},
+			}),
+			wantErr: "duplicate pool", quarantine: trace.ReasonZoneDropped,
+		},
+		"all pools invalid": {
+			data: handBuild("m1.small", 0, 100, []handPool{
+				{zone: "us-east-1a", minutes: []int64{5}, prices: []int64{1000}},
+			}),
+			wantErr: "want start", hardErr: true, // lenient drops the only pool → no usable zones
+		},
+		"valid": {data: valid()},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, _, err := Decode(tc.data, trace.Strict)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("strict: unexpected error %v", err)
+				}
+			} else if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("strict: error %v, want substring %q", err, tc.wantErr)
+			}
+			f, rep, err := Decode(tc.data, trace.Lenient)
+			switch {
+			case tc.hardErr:
+				if err == nil {
+					t.Fatalf("lenient: expected error, got pools %v", f.Zones())
+				}
+			case tc.quarantine != "":
+				if err != nil {
+					t.Fatalf("lenient: %v", err)
+				}
+				if rep.Reasons[tc.quarantine] == 0 {
+					t.Fatalf("lenient: reasons %v, want %s counted", rep.Reasons, tc.quarantine)
+				}
+			default:
+				if err != nil || rep.Quarantined != 0 {
+					t.Fatalf("lenient: err %v, quarantined %d", err, rep.Quarantined)
+				}
+			}
+		})
+	}
+}
+
+// TestLenientKeepsGoodPoints checks that quarantining a bad point keeps
+// the surrounding good ones and the delta chain intact.
+func TestLenientKeepsGoodPoints(t *testing.T) {
+	data := handBuild("m1.small", 0, 100, []handPool{{
+		zone: "us-east-1a", minutes: []int64{0, 20, 40, 60}, prices: []int64{1000, -7, 3000, 4000},
+	}})
+	f, rep, err := Decode(data, trace.Lenient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reasons[trace.ReasonNonPositivePrice] != 1 {
+		t.Fatalf("reasons %v", rep.Reasons)
+	}
+	v := f.Pool("us-east-1a")
+	if v.Len() != 3 {
+		t.Fatalf("kept %d points, want 3", v.Len())
+	}
+	wantMinutes := []int64{0, 40, 60}
+	wantPrices := []market.Money{1000, 3000, 4000}
+	for i := 0; i < v.Len(); i++ {
+		p := v.Point(i)
+		if p.Minute != wantMinutes[i] || p.Price != wantPrices[i] {
+			t.Fatalf("point %d = %+v", i, p)
+		}
+	}
+}
+
+func TestEmptySpanRoundTrip(t *testing.T) {
+	set := trace.NewSet(market.M1Small, 50, 50)
+	if err := set.AddPool(&trace.Trace{Zone: "us-east-1a", Type: market.M1Small, Start: 50, End: 50}); err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := Decode(Encode(set), trace.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Set().Fingerprint(); got != set.Fingerprint() {
+		t.Fatal("empty-span fingerprint mismatch")
+	}
+}

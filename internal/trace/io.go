@@ -58,6 +58,10 @@ func (r *ReadReport) add(reason string) {
 	r.Reasons[reason]++
 }
 
+// Add counts one quarantined row under a Reason* constant, for readers
+// living outside this package (the colbin binary reader).
+func (r *ReadReport) Add(reason string) { r.add(reason) }
+
 // checkPrice classifies a price in dollars; ok rows return "".
 func checkPrice(dollars float64) string {
 	if math.IsNaN(dollars) || math.IsInf(dollars, 0) {

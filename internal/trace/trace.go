@@ -64,17 +64,21 @@ func (t *Trace) Validate() error {
 	return nil
 }
 
-// PriceAt returns the price in effect at the given minute. It panics if
-// the minute is outside [Start, End).
-func (t *Trace) PriceAt(minute int64) market.Money {
+// indexAt returns the index of the last point at or before minute. It
+// panics if the minute is outside [Start, End).
+func (t *Trace) indexAt(minute int64) int {
 	if minute < t.Start || minute >= t.End {
 		panic(fmt.Sprintf("trace: minute %d outside [%d, %d)", minute, t.Start, t.End))
 	}
-	// Index of the last point at or before minute.
-	i := sort.Search(len(t.Points), func(i int) bool {
+	return sort.Search(len(t.Points), func(i int) bool {
 		return t.Points[i].Minute > minute
 	}) - 1
-	return t.Points[i].Price
+}
+
+// PriceAt returns the price in effect at the given minute. It panics if
+// the minute is outside [Start, End).
+func (t *Trace) PriceAt(minute int64) market.Money {
+	return t.Points[t.indexAt(minute)].Price
 }
 
 // PriceFunc adapts the trace to the billing engine's PriceFunc.
@@ -86,12 +90,13 @@ func (t *Trace) PriceFunc() market.PriceFunc {
 // minute has held, merging adjacent points with equal price. It panics
 // outside [Start, End).
 func (t *Trace) AgeAt(minute int64) int64 {
-	if minute < t.Start || minute >= t.End {
-		panic(fmt.Sprintf("trace: minute %d outside [%d, %d)", minute, t.Start, t.End))
-	}
-	i := sort.Search(len(t.Points), func(i int) bool {
-		return t.Points[i].Minute > minute
-	}) - 1
+	return t.ageFrom(t.indexAt(minute), minute)
+}
+
+// ageFrom computes AgeAt given the index of the point covering minute,
+// so callers that already know the index (the memoized Cursor) skip the
+// binary search.
+func (t *Trace) ageFrom(i int, minute int64) int64 {
 	cur := t.Points[i].Price
 	start := t.Points[i].Minute
 	for i > 0 && t.Points[i-1].Price == cur {
@@ -101,24 +106,35 @@ func (t *Trace) AgeAt(minute int64) int64 {
 	return minute - start + 1
 }
 
-// Window returns the sub-trace over [lo, hi). The result owns fresh
-// point storage. It panics if [lo, hi) is not within [Start, End).
-func (t *Trace) Window(lo, hi int64) *Trace {
+// AppendPoints appends the window [lo, hi) of the trace's points to dst
+// and returns the extended slice, letting hot loops reuse one buffer
+// across windows instead of allocating per call. The first appended
+// point is forced to (lo, covering price) exactly as Window does. It
+// panics if [lo, hi) is not within [Start, End); an empty window
+// appends nothing.
+func (t *Trace) AppendPoints(dst []PricePoint, lo, hi int64) []PricePoint {
 	if lo < t.Start || hi > t.End || lo > hi {
 		panic(fmt.Sprintf("trace: window [%d, %d) outside [%d, %d)", lo, hi, t.Start, t.End))
 	}
-	w := &Trace{Zone: t.Zone, Type: t.Type, Start: lo, End: hi}
 	if lo == hi {
-		return w
+		return dst
 	}
 	// First point covering lo.
 	i := sort.Search(len(t.Points), func(i int) bool {
 		return t.Points[i].Minute > lo
 	}) - 1
-	w.Points = append(w.Points, PricePoint{Minute: lo, Price: t.Points[i].Price})
+	dst = append(dst, PricePoint{Minute: lo, Price: t.Points[i].Price})
 	for j := i + 1; j < len(t.Points) && t.Points[j].Minute < hi; j++ {
-		w.Points = append(w.Points, t.Points[j])
+		dst = append(dst, t.Points[j])
 	}
+	return dst
+}
+
+// Window returns the sub-trace over [lo, hi). The result owns fresh
+// point storage. It panics if [lo, hi) is not within [Start, End).
+func (t *Trace) Window(lo, hi int64) *Trace {
+	w := &Trace{Zone: t.Zone, Type: t.Type, Start: lo, End: hi}
+	w.Points = t.AppendPoints(nil, lo, hi)
 	return w
 }
 
